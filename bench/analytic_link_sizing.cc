@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Section 3.3.1: the closed-form inter-GPM bandwidth sizing exercise.
+ * Reproduces the paper's worked example (4 GPMs, 3 TB/s aggregate
+ * DRAM, 50% L2 hit rate -> links must match the aggregate DRAM
+ * bandwidth; 768 GB/s links sustain only a fraction of peak) and
+ * sweeps the model over hit rates and module counts.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "sim/analytic.hh"
+
+using namespace mcmgpu;
+
+int
+main()
+{
+    analytic::LinkSizingModel m; // paper defaults: 4 GPMs, 3 TB/s, h=0.5
+
+    std::cout << "Section 3.3.1: analytical on-package bandwidth "
+                 "sizing\n\n";
+    std::cout << "Paper example (P=4, DRAM=3 TB/s, L2 hit=50%):\n";
+    std::cout << "  per-partition DRAM bandwidth b  = "
+              << Table::fmt(m.partitionGbps(), 0) << " GB/s\n";
+    std::cout << "  L2 supply per partition (2b)    = "
+              << Table::fmt(m.l2SupplyGbps(), 0) << " GB/s\n";
+    std::cout << "  remote egress per GPM (1.5b)    = "
+              << Table::fmt(m.remoteEgressPerModuleGbps(), 0)
+              << " GB/s\n";
+    std::cout << "  required link bandwidth (~4b)   = "
+              << Table::fmt(m.requiredLinkGbps(), 0) << " GB/s\n\n";
+
+    Table t({"Link setting", "Sustainable DRAM utilization"});
+    for (double gbps : {6144.0, 3072.0, 1536.0, 768.0, 384.0}) {
+        t.addRow({Table::fmt(gbps, 0) + " GB/s",
+                  Table::fmt(100.0 * m.dramUtilizationAt(gbps), 1) + "%"});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nRequired link bandwidth vs L2 hit rate and module "
+                 "count (GB/s):\n\n";
+    Table sweep({"L2 hit rate", "P=2", "P=4", "P=8"});
+    for (double h : {0.3, 0.4, 0.5, 0.6, 0.7}) {
+        std::vector<std::string> row{Table::fmt(h, 1)};
+        for (uint32_t p : {2u, 4u, 8u}) {
+            analytic::LinkSizingModel s;
+            s.l2_hit_rate = h;
+            s.num_modules = p;
+            row.push_back(Table::fmt(s.requiredLinkGbps(), 0));
+        }
+        sweep.addRow(std::move(row));
+    }
+    sweep.print(std::cout);
+    std::cout << "\nLink settings below ~3 TB/s leave DRAM bandwidth "
+                 "stranded, matching Figure 4;\nsettings above it buy "
+                 "nothing.\n";
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Table 1: key characteristics of recent NVIDIA GPUs (static reference
+ * data reproduced from the paper), plus the extrapolated machines this
+ * repository simulates, derived from the config presets.
+ */
+
+#include <iostream>
+
+#include "common/config.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+
+using namespace mcmgpu;
+
+int
+main()
+{
+    Table t({"", "Fermi", "Kepler", "Maxwell", "Pascal"});
+    t.addRow({"SMs", "16", "15", "24", "56"});
+    t.addRow({"BW (GB/s)", "177", "288", "288", "720"});
+    t.addRow({"L2 (KB)", "768", "1536", "3072", "4096"});
+    t.addRow({"Transistors (B)", "3.0", "7.1", "8.0", "15.3"});
+    t.addRow({"Tech. node (nm)", "40", "28", "28", "16"});
+    t.addRow({"Chip size (mm2)", "529", "551", "601", "610"});
+
+    std::cout << "Table 1: key characteristics of recent NVIDIA GPUs\n\n";
+    t.print(std::cout);
+
+    // The machines this repository extrapolates from that trend.
+    GpuConfig mono128 = configs::monolithicBuildableMax();
+    GpuConfig mcm = configs::mcmBasic();
+    Table x({"Simulated machine", "SMs", "DRAM BW", "L2 total",
+             "Modules"});
+    for (const GpuConfig *c : {&mono128, &mcm}) {
+        x.addRow({c->name, std::to_string(c->totalSms()),
+                  formatBandwidthGB(c->dram_total_gbps),
+                  formatBytes(c->l2.size_bytes),
+                  std::to_string(c->num_modules)});
+    }
+    std::cout << "\nExtrapolated machines used in this reproduction:\n\n";
+    x.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Table 2: approximate bandwidth and energy parameters for the four
+ * integration domains, as wired into the EnergyModel, plus a worked
+ * example of what they imply for moving one GB of data.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "common/units.hh"
+#include "noc/energy.hh"
+
+using namespace mcmgpu;
+
+int
+main()
+{
+    Table t({"", "Chip", "Package", "Board", "System"});
+    {
+        std::vector<std::string> bw{"BW"}, en{"Energy"}, ov{"Overhead"};
+        for (const EnergyDomain &d : kEnergyDomains) {
+            bw.push_back(d.bandwidth);
+            char buf[32];
+            if (d.pj_per_bit < 1.0) {
+                std::snprintf(buf, sizeof(buf), "%.0f fJ/bit",
+                              d.pj_per_bit * 1000.0);
+            } else {
+                std::snprintf(buf, sizeof(buf), "%.1f pJ/bit",
+                              d.pj_per_bit);
+            }
+            en.push_back(buf);
+            ov.push_back(d.overhead);
+        }
+        t.addRow(bw);
+        t.addRow(en);
+        t.addRow(ov);
+    }
+    std::cout << "Table 2: approximate bandwidth and energy parameters "
+                 "for different integration domains\n\n";
+    t.print(std::cout);
+
+    // What the constants imply: energy to move 1 GB in each domain.
+    EnergyModel m;
+    Table e({"Domain", "Energy to move 1 GB"});
+    const char *names[] = {"Chip", "Package", "Board", "System"};
+    for (int d = 0; d < 4; ++d) {
+        m.reset();
+        m.account(static_cast<Domain>(d), 1ull << 30);
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3f J",
+                      m.joulesIn(static_cast<Domain>(d)));
+        e.addRow({names[d], buf});
+    }
+    std::cout << "\nImplied data-movement energy:\n\n";
+    e.print(std::cout);
+    std::cout << "\nOn-package GRS signaling is 20x cheaper per bit than "
+                 "on-board links,\nwhich is why MCM-GPU integration beats "
+                 "the multi-GPU alternative (section 6.2).\n";
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Example: defining your own workload with the public API.
+ *
+ * Builds a 2D Jacobi relaxation solver from scratch — three kernels
+ * (interior stencil, boundary exchange, residual reduction) launched
+ * iteratively — and runs it on every machine preset, showing how the
+ * locality optimizations interact with a brand-new application.
+ *
+ *   ./build/examples/custom_workload
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+using namespace mcmgpu;
+using namespace mcmgpu::workloads;
+
+namespace {
+
+/** A 2D Jacobi solver: the "hello world" of NUMA-sensitive HPC. */
+Workload
+makeJacobi2D()
+{
+    WorkloadBuilder b("Jacobi 2D relaxation", "Jacobi2D",
+                      Category::MemoryIntensive);
+
+    // Two ping-pong grids plus a small residual array.
+    ArrayRef grid_a{b.alloc(16 * MiB), 16 * MiB};
+    ArrayRef grid_b{b.alloc(16 * MiB), 16 * MiB};
+    ArrayRef residual{b.alloc(1 * MiB), 1 * MiB};
+
+    // Kernel 1: 5-point stencil. East/west neighbours are adjacent
+    // cache lines; north/south are one grid row away (128 lines here),
+    // reaching into the neighbouring CTA's chunk: this is the
+    // inter-CTA locality distributed scheduling exploits.
+    KernelSpec stencil;
+    stencil.name = "jacobi_stencil";
+    stencil.num_ctas = 2048;
+    stencil.warps_per_cta = 4;
+    stencil.items_per_warp = 16;
+    stencil.compute_per_item = 4;
+    stencil.arrays = {grid_a, grid_b};
+    stencil.accesses = {part(0), halo(0, 1), halo(0, -1), halo(0, 128),
+                        halo(0, -128), part(1, true)};
+    stencil.seed = 1001;
+
+    // Kernel 2: residual reduction; only a fraction of warps write.
+    KernelSpec reduce;
+    reduce.name = "jacobi_residual";
+    reduce.num_ctas = 2048;
+    reduce.warps_per_cta = 4;
+    reduce.items_per_warp = 8;
+    reduce.compute_per_item = 6;
+    reduce.arrays = {grid_b, residual};
+    AccessSpec emit = part(1, true, 32);
+    emit.prob = 0.125;
+    reduce.accesses = {part(0), emit};
+    reduce.seed = 1002;
+
+    // Three solver iterations: stencil + residual per iteration. The
+    // same CTA indices touch the same grid rows every iteration, which
+    // is what first-touch placement converts into locality.
+    for (int it = 0; it < 3; ++it) {
+        b.launch(stencil);
+        b.launch(reduce);
+    }
+    return b.build();
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuietLogging(true);
+    Workload jacobi = makeJacobi2D();
+
+    std::printf("Custom workload: %s — %u kernel launches, %.0f MB\n\n",
+                jacobi.name.c_str(),
+                static_cast<unsigned>(jacobi.launches.size() * 3),
+                static_cast<double>(jacobi.footprint_bytes) / (1 << 20));
+
+    const GpuConfig machines[] = {
+        configs::monolithicBuildableMax(),
+        configs::mcmBasic(),
+        configs::mcmWithL15(16 * MiB),
+        configs::mcmOptimized(),
+        configs::monolithicUnbuildable(),
+        configs::multiGpuBaseline(),
+    };
+
+    RunResult base = Simulator::run(configs::mcmBasic(), jacobi);
+
+    Table t({"Machine", "Cycles", "IPC", "Inter-module TB/s",
+             "vs basic MCM"});
+    for (const GpuConfig &cfg : machines) {
+        RunResult r = Simulator::run(cfg, jacobi);
+        t.addRow({cfg.name, std::to_string(r.cycles),
+                  Table::fmt(r.ipc(), 1),
+                  Table::fmt(r.interModuleTBps(), 3),
+                  Table::fmt(r.speedupOver(base), 2) + "x"});
+    }
+    t.print(std::cout);
+
+    std::printf("\nThe stencil's row halos cross CTA chunks, so the "
+                "optimized MCM-GPU keeps them\non-GPM via distributed "
+                "scheduling + first touch and approaches the "
+                "unbuildable\nmonolithic design.\n");
+    return 0;
+}

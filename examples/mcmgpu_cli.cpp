@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Command-line driver: run any workload on any machine configuration
+ * without writing code.
+ *
+ *   mcmgpu_cli --list
+ *   mcmgpu_cli --workload Stream --machine mcm-optimized
+ *   mcmgpu_cli --workload CoMD --machine mcm-basic --link-gbps 1536 \
+ *              --sched distributed --pages first-touch --l15-mb 8
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <iostream>
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "common/units.hh"
+#include "gpu/gpu_system.hh"
+#include "gpu/runtime.hh"
+#include "sim/simulator.hh"
+#include "workloads/registry.hh"
+
+using namespace mcmgpu;
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "usage: mcmgpu_cli [options]\n"
+        "  --list                     list workloads and exit\n"
+        "  --workload <abbr>          workload to run (default Stream)\n"
+        "  --machine <preset>         mono-128 | mono-256 | mcm-basic |\n"
+        "                             mcm-optimized | multi-gpu |\n"
+        "                             multi-gpu-opt (default mcm-basic)\n"
+        "  --link-gbps <n>            inter-module link bandwidth\n"
+        "  --hop-cycles <n>           per-hop latency\n"
+        "  --l15-mb <n>               remote-only L1.5 capacity (total)\n"
+        "  --sched <p>                centralized | distributed | dynamic\n"
+        "  --pages <p>                interleave | first-touch | rr-page\n"
+        "  --fabric <f>               ring | mesh | ports\n"
+        "  --stats                    print summary statistics\n"
+        "  --dump-stats               dump every component counter\n");
+}
+
+bool
+parseMachine(const std::string &name, GpuConfig &cfg)
+{
+    if (name == "mono-128") {
+        cfg = configs::monolithicBuildableMax();
+    } else if (name == "mono-256") {
+        cfg = configs::monolithicUnbuildable();
+    } else if (name == "mcm-basic") {
+        cfg = configs::mcmBasic();
+    } else if (name == "mcm-optimized") {
+        cfg = configs::mcmOptimized();
+    } else if (name == "multi-gpu") {
+        cfg = configs::multiGpuBaseline();
+    } else if (name == "multi-gpu-opt") {
+        cfg = configs::multiGpuOptimized();
+    } else {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuietLogging(true);
+    std::string workload = "Stream";
+    GpuConfig cfg = configs::mcmBasic();
+    bool stats = false;
+    bool dump = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            for (const auto &w : workloads::allWorkloads())
+                std::printf("%-14s %-12s %s\n", w.abbr.c_str(),
+                            workloads::categoryName(w.category),
+                            w.name.c_str());
+            return 0;
+        } else if (arg == "--workload") {
+            workload = next();
+        } else if (arg == "--machine") {
+            if (!parseMachine(next(), cfg)) {
+                usage();
+                return 1;
+            }
+        } else if (arg == "--link-gbps") {
+            cfg.link_gbps = std::stod(next());
+        } else if (arg == "--hop-cycles") {
+            cfg.link_hop_cycles = std::stoul(next());
+        } else if (arg == "--l15-mb") {
+            uint64_t mb = std::stoull(next());
+            cfg.withL15(mb * MiB, L15Alloc::RemoteOnly);
+            if (mb > 0 && mb * MiB < 16 * MiB)
+                cfg.l2.size_bytes = 16 * MiB - mb * MiB;
+        } else if (arg == "--sched") {
+            std::string p = next();
+            cfg.cta_sched = p == "centralized"
+                                ? CtaSchedPolicy::CentralizedRR
+                            : p == "distributed"
+                                ? CtaSchedPolicy::DistributedBatch
+                                : CtaSchedPolicy::DynamicBatch;
+        } else if (arg == "--pages") {
+            std::string p = next();
+            cfg.page_policy = p == "interleave"
+                                  ? PagePolicy::FineInterleave
+                              : p == "first-touch"
+                                  ? PagePolicy::FirstTouch
+                                  : PagePolicy::RoundRobinPage;
+        } else if (arg == "--fabric") {
+            std::string f = next();
+            cfg.fabric = f == "ring"   ? FabricKind::Ring
+                         : f == "mesh" ? FabricKind::Mesh
+                                       : FabricKind::Ports;
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (arg == "--dump-stats") {
+            dump = true;
+        } else {
+            usage();
+            return arg == "--help" || arg == "-h" ? 0 : 1;
+        }
+    }
+
+    const workloads::Workload *w = workloads::findByAbbr(workload);
+    if (!w) {
+        std::fprintf(stderr, "unknown workload '%s' (try --list)\n",
+                     workload.c_str());
+        return 1;
+    }
+
+    try {
+        cfg.validate();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+
+    if (dump) {
+        // Drive the machine directly so its counters stay accessible.
+        GpuSystem gpu(cfg);
+        Runtime rt(gpu);
+        rt.runAll(w->launches);
+        gpu.dumpStats(std::cout);
+        return 0;
+    }
+
+    RunResult r = Simulator::run(cfg, *w);
+    std::printf("workload        : %s (%s)\n", w->name.c_str(),
+                w->abbr.c_str());
+    std::printf("machine         : %s\n", cfg.name.c_str());
+    std::printf("cycles          : %llu\n",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("warp insts      : %llu (IPC %.2f)\n",
+                static_cast<unsigned long long>(r.warp_instructions),
+                r.ipc());
+    std::printf("kernels         : %u\n", r.kernels);
+    std::printf("inter-module    : %.3f TB/s average\n",
+                r.interModuleTBps());
+    if (stats) {
+        std::printf("dram read/write : %llu / %llu MB\n",
+                    static_cast<unsigned long long>(r.dram_read_bytes >>
+                                                    20),
+                    static_cast<unsigned long long>(r.dram_write_bytes >>
+                                                    20));
+        std::printf("hit rates       : L1 %.1f%%  L1.5 %.1f%%  L2 "
+                    "%.1f%%\n",
+                    100.0 * r.l1_hit_rate, 100.0 * r.l15_hit_rate,
+                    100.0 * r.l2_hit_rate);
+        std::printf("energy          : chip %.4f J, links %.4f J\n",
+                    r.energy_chip_j, r.energy_link_j);
+    }
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Quickstart: simulate one workload on the basic and the optimized
+ * MCM-GPU and print what the optimizations buy.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart [workload-abbr]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "sim/simulator.hh"
+#include "workloads/registry.hh"
+
+using namespace mcmgpu;
+
+int
+main(int argc, char **argv)
+{
+    setQuietLogging(true);
+    const std::string abbr = argc > 1 ? argv[1] : "Stream";
+
+    const workloads::Workload *w = workloads::findByAbbr(abbr);
+    if (!w) {
+        std::fprintf(stderr, "unknown workload '%s'; try one of:\n",
+                     abbr.c_str());
+        for (const auto &wl : workloads::allWorkloads())
+            std::fprintf(stderr, "  %s\n", wl.abbr.c_str());
+        return 1;
+    }
+
+    std::printf("workload : %s (%s, %s)\n", w->name.c_str(),
+                w->abbr.c_str(), workloads::categoryName(w->category));
+    std::printf("footprint: %.1f MB simulated (paper: %llu MB)\n\n",
+                static_cast<double>(w->footprint_bytes) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(w->paper_footprint_mb));
+
+    RunResult base = Simulator::run(configs::mcmBasic(), *w);
+    RunResult opt = Simulator::run(configs::mcmOptimized(), *w);
+
+    auto show = [](const char *tag, const RunResult &r) {
+        std::printf("%-14s %12llu cycles  ipc %6.2f  inter-GPM %6.3f TB/s"
+                    "  L2 hit %4.1f%%\n",
+                    tag, static_cast<unsigned long long>(r.cycles), r.ipc(),
+                    r.interModuleTBps(), 100.0 * r.l2_hit_rate);
+    };
+    show("basic MCM-GPU", base);
+    show("optimized", opt);
+
+    std::printf("\nspeedup from locality optimizations: %.2fx\n",
+                opt.speedupOver(base));
+    std::printf("inter-GPM traffic reduction:         %.1fx\n",
+                base.inter_module_bytes > 0 && opt.inter_module_bytes > 0
+                    ? static_cast<double>(base.inter_module_bytes) /
+                          static_cast<double>(opt.inter_module_bytes)
+                    : 0.0);
+    return 0;
+}

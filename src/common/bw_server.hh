@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Work-conserving bandwidth server: the basic timing primitive of the
+ * model.
+ *
+ * Shared resources (link directions, DRAM channels) are modelled as a
+ * capacity calendar: time is divided into small buckets, each holding
+ * rate * bucket_cycles bytes of service capacity. A request arriving at
+ * cycle t consumes capacity from bucket(t) forward and completes where
+ * its last byte fits. This is insensitive to the order in which the
+ * event engine happens to process requests (requests reserve capacity
+ * at their own arrival time, never behind later-arriving traffic), so
+ * queueing delay emerges purely from utilization — the first-order NUMA
+ * effect the paper studies — at a tiny fraction of the cost of
+ * flit-level simulation.
+ */
+
+#ifndef MCMGPU_COMMON_BW_SERVER_HH
+#define MCMGPU_COMMON_BW_SERVER_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace mcmgpu {
+
+/** A single fixed-rate, work-conserving server. */
+class BandwidthServer
+{
+  public:
+    BandwidthServer() { init(1.0, kDefaultBucket); }
+
+    explicit BandwidthServer(double bytes_per_cycle,
+                             Cycle bucket_cycles = kDefaultBucket)
+    {
+        init(bytes_per_cycle, bucket_cycles);
+    }
+
+    /**
+     * Consume @p bytes of service starting no earlier than @p now.
+     * @return the cycle at which the last byte has been served.
+     */
+    Cycle
+    acquire(Cycle now, uint64_t bytes)
+    {
+        if (bytes == 0)
+            return now;
+
+        uint64_t abs_bucket = now / bucket_;
+        if (abs_bucket < base_)
+            abs_bucket = base_; // older than retained history: clamp
+
+        size_t idx = findAvail(static_cast<size_t>(abs_bucket - base_));
+        double need = static_cast<double>(bytes);
+        while (true) {
+            double &a = avail_[idx];
+            double take = a < need ? a : need;
+            a -= take;
+            need -= take;
+            if (a <= kEps) {
+                a = 0.0;
+                jump_[idx] = static_cast<uint32_t>(idx + 1);
+            }
+            if (need <= kEps)
+                break;
+            idx = findAvail(idx + 1);
+        }
+
+        // Completion: position of the last byte within its bucket.
+        Cycle bucket_start = (base_ + idx) * bucket_;
+        double used = cap_ - avail_[idx];
+        Cycle done = bucket_start +
+                     static_cast<Cycle>(std::ceil(used / rate_));
+        Cycle min_done = now + static_cast<Cycle>(
+                                   std::ceil(static_cast<double>(bytes) /
+                                             rate_));
+        if (done < min_done)
+            done = min_done;
+
+        bytes_served_ += bytes;
+        busy_time_ += static_cast<double>(bytes) / rate_;
+        if (abs_bucket > newest_seen_)
+            newest_seen_ = abs_bucket;
+        maybeCompact();
+        return done;
+    }
+
+    double rateBytesPerCycle() const { return rate_; }
+    uint64_t bytesServed() const { return bytes_served_; }
+    double busyCycles() const { return busy_time_; }
+    Cycle bucketCycles() const { return bucket_; }
+
+    /** Forget all reservations (used between independent runs). */
+    void
+    reset()
+    {
+        avail_.clear();
+        jump_.clear();
+        base_ = 0;
+        newest_seen_ = 0;
+        bytes_served_ = 0;
+        busy_time_ = 0.0;
+    }
+
+  private:
+    static constexpr Cycle kDefaultBucket = 16;
+    static constexpr double kEps = 1e-9;
+    /** Buckets of history retained behind the newest arrival; must
+     *  exceed the largest path-latency skew between the order requests
+     *  are processed and the times they arrive (a few thousand cycles).
+     */
+    static constexpr uint64_t kHistoryBuckets = 1024;
+
+    void
+    init(double bytes_per_cycle, Cycle bucket_cycles)
+    {
+        panic_if(bytes_per_cycle <= 0.0,
+                 "bandwidth server needs a positive rate");
+        panic_if(bucket_cycles == 0, "bucket size must be positive");
+        rate_ = bytes_per_cycle;
+        bucket_ = bucket_cycles;
+        cap_ = rate_ * static_cast<double>(bucket_);
+    }
+
+    void
+    ensure(size_t idx)
+    {
+        while (avail_.size() <= idx) {
+            jump_.push_back(static_cast<uint32_t>(avail_.size()));
+            avail_.push_back(cap_);
+        }
+    }
+
+    /** First bucket at or after @p idx with remaining capacity, with
+     *  path compression over drained runs. */
+    size_t
+    findAvail(size_t idx)
+    {
+        ensure(idx);
+        while (jump_[idx] != idx) {
+            uint32_t next = jump_[idx];
+            ensure(next);
+            if (jump_[next] != next)
+                jump_[idx] = jump_[next]; // compress
+            idx = next;
+            ensure(idx);
+        }
+        return idx;
+    }
+
+    void
+    maybeCompact()
+    {
+        if (newest_seen_ < base_ + 2 * kHistoryBuckets)
+            return;
+        uint64_t drop = newest_seen_ - kHistoryBuckets - base_;
+        if (drop >= avail_.size()) {
+            base_ += drop;
+            avail_.clear();
+            jump_.clear();
+            return;
+        }
+        avail_.erase(avail_.begin(),
+                     avail_.begin() + static_cast<long>(drop));
+        jump_.erase(jump_.begin(), jump_.begin() + static_cast<long>(drop));
+        for (auto &j : jump_) {
+            j = j > drop ? static_cast<uint32_t>(j - drop) : 0u;
+        }
+        base_ += drop;
+    }
+
+    double rate_ = 1.0;
+    double cap_ = 16.0;
+    Cycle bucket_ = kDefaultBucket;
+    uint64_t base_ = 0;         //!< absolute bucket index of avail_[0]
+    uint64_t newest_seen_ = 0;  //!< newest absolute bucket touched
+    std::vector<double> avail_; //!< remaining bytes per bucket
+    std::vector<uint32_t> jump_; //!< skip pointers over drained buckets
+    uint64_t bytes_served_ = 0;
+    double busy_time_ = 0.0;
+};
+
+} // namespace mcmgpu
+
+#endif // MCMGPU_COMMON_BW_SERVER_HH

@@ -1,0 +1,182 @@
+#include "common/config.hh"
+
+#include "common/log.hh"
+
+namespace mcmgpu {
+
+void
+GpuConfig::validate() const
+{
+    fatal_if(num_modules == 0, "config '", name, "': num_modules == 0");
+    fatal_if(sms_per_module == 0, "config '", name, "': sms_per_module == 0");
+    fatal_if(partitions_per_module == 0,
+             "config '", name, "': partitions_per_module == 0");
+    fatal_if(l2.line_bytes == 0 || (l2.line_bytes & (l2.line_bytes - 1)),
+             "config '", name, "': L2 line size must be a power of two");
+    fatal_if(l1.line_bytes != l2.line_bytes ||
+             l15.line_bytes != l2.line_bytes,
+             "config '", name, "': all cache levels must share a line size");
+    fatal_if(page_bytes == 0 || (page_bytes & (page_bytes - 1)),
+             "config '", name, "': page size must be a power of two");
+    fatal_if(page_bytes < l2.line_bytes,
+             "config '", name, "': pages smaller than a cache line");
+    fatal_if(interleave_bytes < l2.line_bytes,
+             "config '", name, "': interleave granularity below line size");
+    fatal_if(dram_total_gbps <= 0.0,
+             "config '", name, "': DRAM bandwidth must be positive");
+    fatal_if(fabric != FabricKind::Ideal && num_modules > 1 &&
+             link_gbps <= 0.0,
+             "config '", name, "': inter-module links need bandwidth");
+    fatal_if(l15_alloc != L15Alloc::Off && l15_total_bytes == 0,
+             "config '", name, "': L1.5 enabled with zero capacity");
+    fatal_if(l2.size_bytes != 0 &&
+             l2.size_bytes / totalPartitions() <
+                 static_cast<uint64_t>(l2.line_bytes) * l2.ways,
+             "config '", name, "': per-partition L2 smaller than one set");
+}
+
+GpuConfig &
+GpuConfig::withL15(uint64_t total_bytes, L15Alloc alloc)
+{
+    l15_total_bytes = total_bytes;
+    l15_alloc = total_bytes == 0 ? L15Alloc::Off : alloc;
+    return *this;
+}
+
+namespace configs {
+
+namespace {
+
+/**
+ * The paper carves L1.5 capacity out of the memory-side L2 in an
+ * iso-transistor manner; when (almost) all of the L2 moves, a small 32 KB
+ * per-partition sliver remains to accelerate atomics (section 5.1.2).
+ */
+constexpr uint64_t kTotalCacheBudget = 16 * MiB;
+constexpr uint64_t kL2SliverPerPartition = 32 * KiB;
+
+} // namespace
+
+GpuConfig
+monolithic(uint32_t num_sms)
+{
+    fatal_if(num_sms == 0 || num_sms % 32 != 0,
+             "monolithic preset wants a multiple of 32 SMs, got ", num_sms);
+    GpuConfig c;
+    c.name = "monolithic-" + std::to_string(num_sms);
+    c.num_modules = 1;
+    c.sms_per_module = num_sms;
+    // Keep one partition per 32 SMs so channel counts (and hence DRAM
+    // parallelism) scale with the machine exactly like the paper's
+    // proportional scaling experiment.
+    c.partitions_per_module = num_sms / 32;
+    c.l2.size_bytes = kTotalCacheBudget * num_sms / 256;
+    c.dram_total_gbps = 3072.0 * num_sms / 256.0;
+    c.fabric = FabricKind::Ideal;
+    c.link_gbps = 0.0;
+    c.cta_sched = CtaSchedPolicy::CentralizedRR;
+    c.page_policy = PagePolicy::FineInterleave;
+    return c;
+}
+
+GpuConfig
+monolithicBuildableMax()
+{
+    return monolithic(128).withName("monolithic-128-max-buildable");
+}
+
+GpuConfig
+monolithicUnbuildable()
+{
+    return monolithic(256).withName("monolithic-256-unbuildable");
+}
+
+GpuConfig
+mcmBasic(double link_gbps)
+{
+    GpuConfig c;
+    c.name = "mcm-basic";
+    c.num_modules = 4;
+    c.sms_per_module = 64;
+    c.partitions_per_module = 1;
+    c.l2.size_bytes = kTotalCacheBudget;
+    c.dram_total_gbps = 3072.0;
+    c.fabric = FabricKind::Ring;
+    c.link_gbps = link_gbps;
+    c.link_hop_cycles = 32;
+    c.cta_sched = CtaSchedPolicy::CentralizedRR;
+    c.page_policy = PagePolicy::FineInterleave;
+    return c;
+}
+
+GpuConfig
+mcmWithL15(uint64_t l15_total, L15Alloc alloc, double link_gbps)
+{
+    GpuConfig c = mcmBasic(link_gbps);
+    c.withL15(l15_total, alloc);
+    // Iso-transistor rebalance: L1.5 capacity comes out of the L2 budget,
+    // never below the per-partition sliver. A 32MB L1.5 exceeds the
+    // budget on purpose (the paper's non-iso-transistor data point).
+    uint64_t sliver = kL2SliverPerPartition * c.totalPartitions();
+    c.l2.size_bytes = l15_total >= kTotalCacheBudget
+                          ? sliver
+                          : kTotalCacheBudget - l15_total;
+    if (c.l2.size_bytes < sliver)
+        c.l2.size_bytes = sliver;
+    // Small per-partition L2s cannot sustain 16 ways of a full line set.
+    if (c.l2BytesPerPartition() <
+        static_cast<uint64_t>(c.l2.line_bytes) * c.l2.ways) {
+        c.l2.ways = 4;
+    }
+    c.name = "mcm-l15-" + std::to_string(l15_total / MiB) + "mb" +
+             (alloc == L15Alloc::RemoteOnly ? "-remote" : "-all");
+    return c;
+}
+
+GpuConfig
+mcmOptimized(double link_gbps)
+{
+    GpuConfig c = mcmWithL15(8 * MiB, L15Alloc::RemoteOnly, link_gbps);
+    c.cta_sched = CtaSchedPolicy::DistributedBatch;
+    c.page_policy = PagePolicy::FirstTouch;
+    c.name = "mcm-optimized";
+    return c;
+}
+
+GpuConfig
+multiGpuBaseline()
+{
+    GpuConfig c;
+    c.name = "multi-gpu-baseline";
+    c.num_modules = 2;
+    c.sms_per_module = 128;
+    // Each discrete GPU is the maximal buildable die: 8MB L2, 1.5 TB/s.
+    c.partitions_per_module = 4;
+    c.l2.size_bytes = 16 * MiB;
+    c.dram_total_gbps = 3072.0;
+    c.fabric = FabricKind::Ring; // two nodes: degenerates to one link pair
+    c.link_gbps = 256.0;         // 256 GB/s aggregate over both directions
+    c.link_hop_cycles = 256;     // board-level hop (serdes + PCB flight)
+    c.board_level_links = true;
+    // Section 6.1: distributed scheduling and first touch are applied to
+    // the multi-GPU baseline as well (fine-grain alternatives performed
+    // very poorly over the slow board link).
+    c.cta_sched = CtaSchedPolicy::DistributedBatch;
+    c.page_policy = PagePolicy::FirstTouch;
+    return c;
+}
+
+GpuConfig
+multiGpuOptimized()
+{
+    GpuConfig c = multiGpuBaseline();
+    // Half of each GPU's L2 becomes a GPU-side remote-only cache.
+    c.withL15(8 * MiB, L15Alloc::RemoteOnly);
+    c.l2.size_bytes = 8 * MiB;
+    c.name = "multi-gpu-optimized";
+    return c;
+}
+
+} // namespace configs
+
+} // namespace mcmgpu

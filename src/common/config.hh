@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Machine description for every GPU organization studied in the paper:
+ * monolithic GPUs (buildable and hypothetical), the basic and optimized
+ * MCM-GPU, and on-board multi-GPU systems.
+ *
+ * All named presets correspond to configurations evaluated in the paper;
+ * Table 3 is exactly what mcmBasic() describes.
+ */
+
+#ifndef MCMGPU_COMMON_CONFIG_HH
+#define MCMGPU_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "common/units.hh"
+
+namespace mcmgpu {
+
+/** How CTAs are handed to SMs (paper section 5.2). */
+enum class CtaSchedPolicy
+{
+    /** Global round-robin across all SMs, like a monolithic GPU. */
+    CentralizedRR,
+    /** Contiguous CTA batches split equally among modules. */
+    DistributedBatch,
+    /**
+     * Distributed batches plus contiguity-preserving work stealing:
+     * an idle module takes the tail half of the largest remaining
+     * batch. Implements the dynamic mechanism the paper leaves to
+     * future work for imbalanced grids (section 5.4).
+     */
+    DynamicBatch,
+};
+
+/** How pages are mapped to memory partitions (paper section 5.3). */
+enum class PagePolicy
+{
+    /** 256B-granularity interleave across all partitions (baseline). */
+    FineInterleave,
+    /** Page maps to the partition local to the first-touching module. */
+    FirstTouch,
+    /** Whole pages interleaved round-robin across partitions. */
+    RoundRobinPage,
+};
+
+/** Allocation filter of the GPM-side L1.5 cache (paper section 5.1). */
+enum class L15Alloc
+{
+    Off,        //!< no L1.5 cache present
+    All,        //!< cache both local and remote lines
+    RemoteOnly, //!< cache only lines homed on a remote module
+};
+
+/** Inter-module fabric model. */
+enum class FabricKind
+{
+    /** Bidirectional ring, shortest-path routing, per-segment bandwidth. */
+    Ring,
+    /** 2D mesh with dimension-ordered (XY) routing. */
+    Mesh,
+    /** Ingress/egress port model (the paper's analytical abstraction). */
+    Ports,
+    /** Infinite-bandwidth zero-hop fabric (monolithic on-chip). */
+    Ideal,
+};
+
+/** Warp issue arbitration within an SM (Table 3: greedy-then-oldest). */
+enum class WarpSchedPolicy
+{
+    GreedyThenRoundRobin,
+    LooseRoundRobin,
+};
+
+/** Geometry/latency of one set-associative cache level. */
+struct CacheGeometry
+{
+    uint64_t size_bytes = 0;
+    uint32_t line_bytes = 128;
+    uint32_t ways = 16;
+    Cycle hit_latency = 30;
+
+    uint32_t
+    numSets() const
+    {
+        if (size_bytes == 0)
+            return 0;
+        return static_cast<uint32_t>(size_bytes /
+                                     (static_cast<uint64_t>(line_bytes) *
+                                      ways));
+    }
+};
+
+/**
+ * Full description of one logical GPU. Sizes marked "total" are summed
+ * over the entire logical GPU and divided among modules/partitions when
+ * the machine is instantiated.
+ */
+struct GpuConfig
+{
+    std::string name = "unnamed";
+
+    // --- Organization -----------------------------------------------------
+    uint32_t num_modules = 4;       //!< GPMs (or discrete GPUs on a board)
+    uint32_t sms_per_module = 64;
+    uint32_t partitions_per_module = 1;
+
+    // --- SM ----------------------------------------------------------------
+    uint32_t max_warps_per_sm = 64;
+    uint32_t max_ctas_per_sm = 16;
+    uint32_t sm_issue_width = 1;    //!< warp-instructions issued per cycle
+    /** In-order SMs scoreboard loads and keep issuing until a value is
+     *  consumed; this caps the independent memory requests one warp may
+     *  have in flight (per-warp MLP). */
+    uint32_t max_outstanding_per_warp = 4;
+    WarpSchedPolicy warp_sched = WarpSchedPolicy::GreedyThenRoundRobin;
+
+    // --- Caches -------------------------------------------------------------
+    CacheGeometry l1{128 * KiB, 128, 4, 4};    //!< per SM
+    CacheGeometry l15{0, 128, 16, 16};         //!< per module (total below)
+    CacheGeometry l2{16 * MiB, 128, 16, 30};   //!< total across the GPU
+    uint64_t l15_total_bytes = 0;              //!< summed over all modules
+    L15Alloc l15_alloc = L15Alloc::Off;
+    /** Serial tag-check latency added to requests that miss the L1.5
+     *  before they can head for the fabric (cause of the paper's
+     *  DWT/NN regressions). */
+    Cycle l15_miss_penalty = 4;
+
+    // --- DRAM ----------------------------------------------------------------
+    double dram_total_gbps = 3072.0;   //!< aggregate DRAM bandwidth (GB/s)
+    double dram_latency_ns = 100.0;
+    uint32_t channels_per_partition = 8;
+
+    // --- Inter-module fabric --------------------------------------------------
+    FabricKind fabric = FabricKind::Ring;
+    double link_gbps = 768.0;          //!< aggregate GB/s of one link
+                                       //!< (both directions combined)
+    Cycle link_hop_cycles = 32;        //!< per-hop latency penalty
+    bool board_level_links = false;    //!< true for multi-GPU systems
+
+    // --- Energy (Table 2) -----------------------------------------------------
+    double chip_pj_per_bit = 0.080;    //!< on-chip movement, 80 fJ/b
+    double package_pj_per_bit = 0.5;   //!< on-package GRS links
+    double board_pj_per_bit = 10.0;    //!< on-board (multi-GPU) links
+
+    // --- Memory management ------------------------------------------------------
+    PagePolicy page_policy = PagePolicy::FineInterleave;
+    uint64_t page_bytes = 4 * KiB;
+    uint32_t interleave_bytes = 256;   //!< fine-interleave granularity
+
+    // --- Scheduling ----------------------------------------------------------
+    CtaSchedPolicy cta_sched = CtaSchedPolicy::CentralizedRR;
+    /** Driver + hardware kernel launch latency, scaled to this
+     *  suite's shortened kernels (real launches cost 2-10 us; these
+     *  kernels are ~100x shorter than the paper's 1B-instruction
+     *  windows). The serial cost is what bends Figure 2's strong
+     *  scaling below linear. */
+    Cycle kernel_launch_cycles = 300;
+
+    // --- Derived helpers -------------------------------------------------------
+    uint32_t totalSms() const { return num_modules * sms_per_module; }
+    uint32_t totalPartitions() const
+    { return num_modules * partitions_per_module; }
+    double dramGbpsPerPartition() const
+    { return dram_total_gbps / totalPartitions(); }
+    uint64_t l2BytesPerPartition() const
+    { return l2.size_bytes / totalPartitions(); }
+    uint64_t l15BytesPerModule() const
+    { return l15_total_bytes / num_modules; }
+
+    /** Validate internal consistency; fatal()s on user error. */
+    void validate() const;
+
+    // --- Fluent mutators used by experiment sweeps ------------------------------
+    GpuConfig &withName(std::string n) { name = std::move(n); return *this; }
+    GpuConfig &withLinkGbps(double gbps) { link_gbps = gbps; return *this; }
+    GpuConfig &withL15(uint64_t total_bytes, L15Alloc alloc);
+    GpuConfig &withSched(CtaSchedPolicy p) { cta_sched = p; return *this; }
+    GpuConfig &withPagePolicy(PagePolicy p) { page_policy = p; return *this; }
+};
+
+namespace configs {
+
+/**
+ * A monolithic single-die GPU with @p num_sms SMs; L2 capacity and DRAM
+ * bandwidth scale proportionally with SM count as in Figure 2
+ * (384 GB/s + 2 MB at 32 SMs up to 3 TB/s + 16 MB at 256 SMs).
+ */
+GpuConfig monolithic(uint32_t num_sms);
+
+/** The largest GPU assumed buildable on one die: 128 SMs (section 2.1). */
+GpuConfig monolithicBuildableMax();
+
+/** The hypothetical, unbuildable 256-SM monolithic GPU. */
+GpuConfig monolithicUnbuildable();
+
+/** Table 3: the basic 4-GPM, 256-SM MCM-GPU. */
+GpuConfig mcmBasic(double link_gbps = 768.0);
+
+/** Basic MCM-GPU plus a remote-only L1.5 of @p l15_total bytes. */
+GpuConfig mcmWithL15(uint64_t l15_total, L15Alloc alloc = L15Alloc::RemoteOnly,
+                     double link_gbps = 768.0);
+
+/**
+ * The fully optimized MCM-GPU (section 5.4): 8MB remote-only L1.5 +
+ * 8MB L2, distributed CTA scheduling, first-touch page placement.
+ */
+GpuConfig mcmOptimized(double link_gbps = 768.0);
+
+/**
+ * Baseline 2x128-SM multi-GPU (section 6.1): 256 GB/s aggregate board
+ * link, distributed scheduling + first touch, no GPU-side remote cache.
+ */
+GpuConfig multiGpuBaseline();
+
+/** Optimized multi-GPU: half of each GPU's L2 becomes a remote-only cache. */
+GpuConfig multiGpuOptimized();
+
+} // namespace configs
+
+} // namespace mcmgpu
+
+#endif // MCMGPU_COMMON_CONFIG_HH

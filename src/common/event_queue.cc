@@ -1,0 +1,50 @@
+#include "common/event_queue.hh"
+
+#include "common/log.hh"
+
+namespace mcmgpu {
+
+void
+EventQueue::schedule(Cycle when, EventFn fn)
+{
+    panic_if(when < now_, "scheduling event in the past: when=", when,
+             " now=", now_);
+    heap_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because we pop immediately and never re-heapify the moved node.
+    Event ev = std::move(const_cast<Event &>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+    return true;
+}
+
+bool
+EventQueue::run(Cycle limit)
+{
+    while (!heap_.empty()) {
+        if (heap_.top().when > limit)
+            return false;
+        step();
+    }
+    return true;
+}
+
+void
+EventQueue::reset()
+{
+    heap_ = {};
+    now_ = 0;
+    next_seq_ = 0;
+    executed_ = 0;
+}
+
+} // namespace mcmgpu

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Discrete-event engine driving the performance model.
+ *
+ * Events are (cycle, sequence, callback) tuples in a binary heap; ties on
+ * cycle break by insertion order so execution is deterministic. Components
+ * schedule continuations (e.g. "warp 17 becomes ready at cycle t") and the
+ * simulator drains the queue until empty or until a cycle limit.
+ */
+
+#ifndef MCMGPU_COMMON_EVENT_QUEUE_HH
+#define MCMGPU_COMMON_EVENT_QUEUE_HH
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mcmgpu {
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/** Deterministic priority queue of timed callbacks. */
+class EventQueue
+{
+  public:
+    /** Schedule @p fn to run at absolute cycle @p when (>= now()). */
+    void schedule(Cycle when, EventFn fn);
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    size_t size() const { return heap_.size(); }
+
+    /** Current simulated time (time of the last event executed). */
+    Cycle now() const { return now_; }
+
+    /**
+     * Run events until the queue drains or @p limit cycles have been
+     * simulated.
+     * @return true if the queue drained; false if the limit was hit.
+     */
+    bool run(Cycle limit = kCycleMax);
+
+    /** Execute exactly one event if available; returns false when empty. */
+    bool step();
+
+    /** Drop all pending events and rewind time to zero. */
+    void reset();
+
+    /** Total events executed since construction/reset (for stats). */
+    uint64_t executed() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    Cycle now_ = 0;
+    uint64_t next_seq_ = 0;
+    uint64_t executed_ = 0;
+};
+
+} // namespace mcmgpu
+
+#endif // MCMGPU_COMMON_EVENT_QUEUE_HH

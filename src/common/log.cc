@@ -1,0 +1,61 @@
+#include "common/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mcmgpu {
+
+namespace {
+bool quiet_logging = false;
+} // namespace
+
+void
+setQuietLogging(bool quiet)
+{
+    quiet_logging = quiet;
+}
+
+bool
+quietLogging()
+{
+    return quiet_logging;
+}
+
+namespace log_detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n  @ %s:%d\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    // Throw instead of abort() so unit tests can assert on invariant
+    // violations; uncaught it still terminates the process.
+    throw std::logic_error("panic: " + msg);
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n  @ %s:%d\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!quiet_logging)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quiet_logging)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace log_detail
+
+} // namespace mcmgpu

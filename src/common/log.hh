@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 tradition.
+ *
+ * panic()  - an internal simulator invariant was violated (aborts).
+ * fatal()  - the user asked for something impossible (clean exit(1)).
+ * warn()   - functionality is approximated; results may be affected.
+ * inform() - neutral status messages.
+ */
+
+#ifndef MCMGPU_COMMON_LOG_HH
+#define MCMGPU_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace mcmgpu {
+
+namespace log_detail {
+
+/** Assemble a message from stream-formattable parts. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace log_detail
+
+/** Globally silence warn()/inform() (benchmarks produce clean tables). */
+void setQuietLogging(bool quiet);
+bool quietLogging();
+
+} // namespace mcmgpu
+
+#define panic(...)                                                          \
+    ::mcmgpu::log_detail::panicImpl(__FILE__, __LINE__,                     \
+        ::mcmgpu::log_detail::concat(__VA_ARGS__))
+
+#define fatal(...)                                                          \
+    ::mcmgpu::log_detail::fatalImpl(__FILE__, __LINE__,                     \
+        ::mcmgpu::log_detail::concat(__VA_ARGS__))
+
+#define warn(...)                                                           \
+    ::mcmgpu::log_detail::warnImpl(::mcmgpu::log_detail::concat(__VA_ARGS__))
+
+#define inform(...)                                                         \
+    ::mcmgpu::log_detail::informImpl(                                       \
+        ::mcmgpu::log_detail::concat(__VA_ARGS__))
+
+/** panic() unless the given invariant condition holds. */
+#define panic_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) {                                                         \
+            panic("panic condition (" #cond ") occurred: ", __VA_ARGS__);   \
+        }                                                                   \
+    } while (0)
+
+/** fatal() unless the given user-facing condition holds. */
+#define fatal_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) {                                                         \
+            fatal("fatal condition (" #cond ") occurred: ", __VA_ARGS__);   \
+        }                                                                   \
+    } while (0)
+
+#endif // MCMGPU_COMMON_LOG_HH

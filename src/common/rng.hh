@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Small deterministic PRNGs for procedural workload generation.
+ *
+ * Workloads must produce identical address streams across runs and across
+ * machine configurations (otherwise speedups between configurations would
+ * be contaminated by stream noise), so we use explicit, seedable engines
+ * rather than std::random_device-backed generators.
+ */
+
+#ifndef MCMGPU_COMMON_RNG_HH
+#define MCMGPU_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace mcmgpu {
+
+/** SplitMix64: used to derive well-distributed seeds from small integers. */
+constexpr uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Xoshiro-style 64-bit PRNG (xorshift128+ core). Fast, decent quality,
+ * and fully deterministic given a seed.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 1)
+    {
+        s0_ = splitmix64(seed);
+        s1_ = splitmix64(s0_ ^ 0xdeadbeefcafef00dull);
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t x = s0_;
+        const uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi]. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    uint64_t s0_;
+    uint64_t s1_;
+};
+
+} // namespace mcmgpu
+
+#endif // MCMGPU_COMMON_RNG_HH

@@ -1,0 +1,53 @@
+#include "common/stats.hh"
+
+#include "common/log.hh"
+
+namespace mcmgpu {
+namespace stats {
+
+Scalar &
+Group::add(const std::string &stat_name, const std::string &desc)
+{
+    panic_if(find(stat_name) != nullptr,
+             "duplicate stat '", stat_name, "' in group '", name_, "'");
+    scalars_.emplace_back(stat_name, desc);
+    return scalars_.back();
+}
+
+const Scalar *
+Group::find(const std::string &stat_name) const
+{
+    for (const auto &s : scalars_) {
+        if (s.name() == stat_name)
+            return &s;
+    }
+    return nullptr;
+}
+
+double
+Group::get(const std::string &stat_name) const
+{
+    const Scalar *s = find(stat_name);
+    return s ? s->value() : 0.0;
+}
+
+void
+Group::resetAll()
+{
+    for (auto &s : scalars_)
+        s.reset();
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    for (const auto &s : scalars_) {
+        os << name_ << '.' << s.name() << ' ' << s.value();
+        if (!s.desc().empty())
+            os << "  # " << s.desc();
+        os << '\n';
+    }
+}
+
+} // namespace stats
+} // namespace mcmgpu

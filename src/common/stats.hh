@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A tiny statistics package: named scalar counters grouped per component.
+ *
+ * Components create a stats::Group and add() named counters; references
+ * returned by add() are stable for the lifetime of the group (backed by a
+ * deque), so hot paths can bump counters without any lookup.
+ */
+
+#ifndef MCMGPU_COMMON_STATS_HH
+#define MCMGPU_COMMON_STATS_HH
+
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+
+namespace mcmgpu {
+namespace stats {
+
+/** A double-valued accumulating counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+    explicit Scalar(std::string name, std::string desc = "")
+        : name_(std::move(name)), desc_(std::move(desc)) {}
+
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator++() { value_ += 1.0; return *this; }
+    void set(double v) { value_ = v; }
+    void reset() { value_ = 0.0; }
+
+    double value() const { return value_; }
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    double value_ = 0.0;
+};
+
+/**
+ * A group of named counters owned by one component ("sm12", "l2.part0").
+ */
+class Group
+{
+  public:
+    Group() : name_("anon") {}
+    explicit Group(std::string name) : name_(std::move(name)) {}
+
+    /**
+     * Create-and-register a counter.
+     * @return a reference that stays valid for the group's lifetime.
+     */
+    Scalar &add(const std::string &stat_name, const std::string &desc = "");
+
+    /** Look up a counter by name; nullptr if absent. */
+    const Scalar *find(const std::string &stat_name) const;
+
+    /** Value of the named counter, or 0 if it does not exist. */
+    double get(const std::string &stat_name) const;
+
+    /** Zero every counter in the group. */
+    void resetAll();
+
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+    const std::deque<Scalar> &scalars() const { return scalars_; }
+
+    /** Write "group.stat value  # desc" lines. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string name_;
+    std::deque<Scalar> scalars_;
+};
+
+} // namespace stats
+} // namespace mcmgpu
+
+#endif // MCMGPU_COMMON_STATS_HH

@@ -1,0 +1,55 @@
+#include "common/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace mcmgpu {
+
+double
+geomean(std::span<const double> values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        panic_if(v <= 0.0, "geomean requires positive values, got ", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(std::span<const double> values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+std::vector<double>
+ratios(std::span<const double> a, std::span<const double> b)
+{
+    panic_if(a.size() != b.size(), "ratio spans differ in length: ",
+             a.size(), " vs ", b.size());
+    std::vector<double> out(a.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        panic_if(b[i] == 0.0, "division by zero in ratios()");
+        out[i] = a[i] / b[i];
+    }
+    return out;
+}
+
+std::vector<double>
+sortedAscending(std::span<const double> values)
+{
+    std::vector<double> out(values.begin(), values.end());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace mcmgpu

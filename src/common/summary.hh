@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Summary statistics used for reporting: geometric / arithmetic means
+ * and speedup helpers, matching how the paper aggregates workloads.
+ */
+
+#ifndef MCMGPU_COMMON_SUMMARY_HH
+#define MCMGPU_COMMON_SUMMARY_HH
+
+#include <span>
+#include <vector>
+
+namespace mcmgpu {
+
+/** Geometric mean of strictly positive values; 0 for an empty span. */
+double geomean(std::span<const double> values);
+
+/** Arithmetic mean; 0 for an empty span. */
+double mean(std::span<const double> values);
+
+/** Element-wise ratio a[i]/b[i]; spans must have equal length. */
+std::vector<double> ratios(std::span<const double> a,
+                           std::span<const double> b);
+
+/** Sorted copy, ascending (for s-curves). */
+std::vector<double> sortedAscending(std::span<const double> values);
+
+} // namespace mcmgpu
+
+#endif // MCMGPU_COMMON_SUMMARY_HH

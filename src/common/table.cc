@@ -1,0 +1,110 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace mcmgpu {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    fatal_if(headers_.empty(), "a table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    fatal_if(cells.size() != headers_.size(),
+             "row has ", cells.size(), " cells, table has ",
+             headers_.size(), " columns");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addSeparator()
+{
+    rows_.emplace_back(); // empty vector marks a separator
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto hline = [&]() {
+        for (size_t c = 0; c < width.size(); ++c) {
+            os << '+' << std::string(width[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < width.size(); ++c) {
+            const std::string &v = c < cells.size() ? cells[c] : "";
+            os << "| ";
+            if (c == 0) {
+                os << v << std::string(width[c] - v.size(), ' ');
+            } else {
+                os << std::string(width[c] - v.size(), ' ') << v;
+            }
+            os << ' ';
+        }
+        os << "|\n";
+    };
+
+    hline();
+    emit(headers_);
+    hline();
+    for (const auto &row : rows_) {
+        if (row.empty()) {
+            hline();
+        } else {
+            emit(row);
+        }
+    }
+    hline();
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ',';
+            os << cells[c];
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_) {
+        if (!row.empty())
+            emit(row);
+    }
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+} // namespace mcmgpu

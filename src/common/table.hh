@@ -1,0 +1,58 @@
+/**
+ * @file
+ * ASCII table / CSV emitters used by the benchmark harnesses to print
+ * paper-style rows.
+ */
+
+#ifndef MCMGPU_COMMON_TABLE_HH
+#define MCMGPU_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mcmgpu {
+
+/**
+ * A simple left/right-aligned column table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"Workload", "Speedup"});
+ *   t.addRow({"Stream", "1.42"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a data row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Insert a horizontal separator before the next row. */
+    void addSeparator();
+
+    /** Render with aligned columns (first column left, rest right). */
+    void print(std::ostream &os) const;
+
+    /** Render as comma-separated values. */
+    void printCsv(std::ostream &os) const;
+
+    size_t numRows() const { return rows_.size(); }
+
+    /** Format a double with @p precision decimals. */
+    static std::string fmt(double v, int precision = 3);
+
+    /** Format as a percentage string, e.g. "+22.8%". */
+    static std::string pct(double fraction, int precision = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_; // empty row == separator
+};
+
+} // namespace mcmgpu
+
+#endif // MCMGPU_COMMON_TABLE_HH

@@ -1,0 +1,45 @@
+#include "common/units.hh"
+
+#include <cstdio>
+
+namespace mcmgpu {
+
+std::string
+formatBytes(uint64_t bytes)
+{
+    char buf[64];
+    if (bytes >= GiB && bytes % GiB == 0) {
+        std::snprintf(buf, sizeof(buf), "%llu GB",
+                      static_cast<unsigned long long>(bytes / GiB));
+    } else if (bytes >= GiB) {
+        std::snprintf(buf, sizeof(buf), "%.1f GB",
+                      static_cast<double>(bytes) / static_cast<double>(GiB));
+    } else if (bytes >= MiB && bytes % MiB == 0) {
+        std::snprintf(buf, sizeof(buf), "%llu MB",
+                      static_cast<unsigned long long>(bytes / MiB));
+    } else if (bytes >= MiB) {
+        std::snprintf(buf, sizeof(buf), "%.1f MB",
+                      static_cast<double>(bytes) / static_cast<double>(MiB));
+    } else if (bytes >= KiB) {
+        std::snprintf(buf, sizeof(buf), "%llu KB",
+                      static_cast<unsigned long long>(bytes / KiB));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(bytes));
+    }
+    return buf;
+}
+
+std::string
+formatBandwidthGB(double gb_per_sec)
+{
+    char buf[64];
+    if (gb_per_sec >= 1000.0) {
+        std::snprintf(buf, sizeof(buf), "%.2f TB/s", gb_per_sec / 1000.0);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.0f GB/s", gb_per_sec);
+    }
+    return buf;
+}
+
+} // namespace mcmgpu

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Unit helpers: byte sizes, bandwidth conversions, and formatting.
+ *
+ * The simulator runs on a 1 GHz core clock, so 1 GB/s == 1 byte/cycle.
+ * All bandwidth-server arithmetic is done in bytes/cycle.
+ */
+
+#ifndef MCMGPU_COMMON_UNITS_HH
+#define MCMGPU_COMMON_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace mcmgpu {
+
+inline constexpr uint64_t KiB = 1024ull;
+inline constexpr uint64_t MiB = 1024ull * KiB;
+inline constexpr uint64_t GiB = 1024ull * MiB;
+
+/** Baseline GPU core clock (Table 3). */
+inline constexpr uint64_t kClockHz = 1'000'000'000ull;
+
+/**
+ * Convert a bandwidth expressed in GB/s into bytes per core cycle.
+ * At 1 GHz, n GB/s is exactly n bytes/cycle (decimal GB).
+ */
+constexpr double
+gbPerSecToBytesPerCycle(double gb_per_sec)
+{
+    return gb_per_sec * 1e9 / static_cast<double>(kClockHz);
+}
+
+/** Convert bytes/cycle back to GB/s for reporting. */
+constexpr double
+bytesPerCycleToGBPerSec(double bytes_per_cycle)
+{
+    return bytes_per_cycle * static_cast<double>(kClockHz) / 1e9;
+}
+
+/** Convert nanoseconds into core cycles (rounded to nearest). */
+constexpr Cycle
+nsToCycles(double ns)
+{
+    return static_cast<Cycle>(ns * static_cast<double>(kClockHz) / 1e9 + 0.5);
+}
+
+/** Pretty-print a byte count ("512 KB", "3.0 GB", ...). */
+std::string formatBytes(uint64_t bytes);
+
+/** Pretty-print a bandwidth in GB/s ("768 GB/s", "3.0 TB/s"). */
+std::string formatBandwidthGB(double gb_per_sec);
+
+} // namespace mcmgpu
+
+#endif // MCMGPU_COMMON_UNITS_HH

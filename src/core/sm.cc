@@ -1,0 +1,150 @@
+#include "core/sm.hh"
+
+#include "common/log.hh"
+
+namespace mcmgpu {
+
+Sm::Sm(SmId id, ModuleId module, const GpuConfig &cfg, SmContext &ctx)
+    : id_(id),
+      module_(module),
+      ctx_(ctx),
+      l1_(cfg.l1, "sm" + std::to_string(id) + ".l1", /*write_back=*/false),
+      max_warps_(cfg.max_warps_per_sm),
+      max_ctas_(cfg.max_ctas_per_sm),
+      issue_width_(cfg.sm_issue_width),
+      stats_("sm" + std::to_string(id)),
+      warp_insts_(stats_.add("warp_insts", "warp instructions executed")),
+      mem_ops_(stats_.add("mem_ops", "memory operations issued")),
+      store_ops_(stats_.add("store_ops", "store operations issued")),
+      ctas_run_(stats_.add("ctas_run", "CTAs executed to completion"))
+{
+    panic_if(issue_width_ == 0, "SM issue width must be positive");
+    max_outstanding_ = cfg.max_outstanding_per_warp;
+    if (max_outstanding_ == 0)
+        max_outstanding_ = 1;
+    fatal_if(max_outstanding_ > 8,
+             "max_outstanding_per_warp is capped at 8 (scoreboard "
+             "ring-buffer size)");
+}
+
+bool
+Sm::canAccept(const KernelDesc &kernel) const
+{
+    return resident_ctas_ < max_ctas_ &&
+           resident_warps_ + kernel.warps_per_cta <= max_warps_;
+}
+
+void
+Sm::launchCta(const KernelDesc &kernel, CtaId cta, Cycle now)
+{
+    panic_if(!canAccept(kernel), "sm", id_, ": CTA launched without a slot");
+    panic_if(!kernel.make_trace, "kernel '", kernel.name,
+             "' has no trace factory");
+
+    ++resident_ctas_;
+    resident_warps_ += kernel.warps_per_cta;
+    warps_left_[cta] = kernel.warps_per_cta;
+
+    EventQueue &eq = ctx_.eventQueue();
+    for (WarpId w = 0; w < kernel.warps_per_cta; ++w) {
+        auto run = std::make_shared<WarpRun>();
+        run->trace = kernel.make_trace(cta, w);
+        run->cta = cta;
+        eq.schedule(now, [this, run] { stepWarp(run); });
+    }
+}
+
+void
+Sm::stepWarp(const std::shared_ptr<WarpRun> &warp)
+{
+    EventQueue &eq = ctx_.eventQueue();
+    const Cycle now = eq.now();
+
+    WarpOp op;
+    if (!warp->trace->next(op)) {
+        // Drain the scoreboard before retiring: outstanding loads and
+        // posted stores must land inside the kernel's lifetime.
+        Cycle drain = now;
+        for (Cycle c : warp->inflight)
+            drain = std::max(drain, c);
+        if (drain > now) {
+            warp->inflight.fill(0);
+            eq.schedule(drain, [this, warp] { stepWarp(warp); });
+        } else {
+            warpRetired(warp->cta);
+        }
+        return;
+    }
+    ++warp_insts_;
+
+    // The warp's compute segment occupies the shared issue pipeline; a
+    // trailing memory instruction takes one extra issue slot.
+    Cycle occupancy =
+        (op.compute_cycles + issue_width_ - 1) / issue_width_ +
+        (op.has_mem ? 1 : 0);
+    if (occupancy == 0)
+        occupancy = 1;
+
+    Cycle start = std::max(now, issue_free_);
+    Cycle issued = start + occupancy;
+    issue_free_ = issued;
+
+    Cycle ready = issued;
+    if (op.has_mem) {
+        ++mem_ops_;
+        Cycle done = issued;
+        if (op.is_store) {
+            ++store_ops_;
+            // Write-through, no write-allocate: update the L1 copy if
+            // present, then post the store downstream; the scoreboard
+            // slot tracks its acceptance (finite store-buffer model).
+            l1_.lookup(op.addr, true, issued);
+            done = ctx_.memAccess(module_, op.addr, op.bytes, true,
+                                  issued);
+        } else {
+            CacheLookup res = l1_.lookup(op.addr, false, issued);
+            switch (res.outcome) {
+              case CacheOutcome::Hit:
+                done = issued + l1_.hitLatency();
+                break;
+              case CacheOutcome::HitPending:
+                done = std::max(res.ready, issued);
+                break;
+              case CacheOutcome::Miss:
+                done = ctx_.memAccess(module_, op.addr, l1_.lineBytes(),
+                                      false, issued);
+                l1_.fill(op.addr, false, done);
+                break;
+            }
+        }
+        // Scoreboarded in-order execution: the warp keeps issuing past
+        // outstanding memory ops and stalls only when it would exceed
+        // its scoreboard depth — i.e. it waits for the op issued
+        // max_outstanding_per_warp instructions ago.
+        uint32_t slot = warp->inflight_idx % max_outstanding_;
+        warp->inflight_idx++;
+        ready = std::max(issued, warp->inflight[slot]);
+        warp->inflight[slot] = done;
+    }
+
+    eq.schedule(ready, [this, warp] { stepWarp(warp); });
+}
+
+void
+Sm::warpRetired(CtaId cta)
+{
+    auto it = warps_left_.find(cta);
+    panic_if(it == warps_left_.end(), "sm", id_,
+             ": retired warp of unknown CTA ", cta);
+    panic_if(resident_warps_ == 0, "sm", id_, ": warp underflow");
+    --resident_warps_;
+    if (--it->second == 0) {
+        warps_left_.erase(it);
+        panic_if(resident_ctas_ == 0, "sm", id_, ": CTA underflow");
+        --resident_ctas_;
+        ++ctas_run_;
+        ctx_.ctaFinished(id_);
+    }
+}
+
+} // namespace mcmgpu

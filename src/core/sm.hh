@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Streaming Multiprocessor model.
+ *
+ * SMs are in-order processors exposing warp-level parallelism (section
+ * 4): up to 64 resident warps share a single issue pipeline modelled as
+ * a FIFO server, so memory latency of one warp overlaps with compute of
+ * the others exactly as on real hardware. Each SM has a private L1
+ * (write-through, no write-allocate, flushed at kernel boundaries under
+ * software coherence).
+ */
+
+#ifndef MCMGPU_CORE_SM_HH
+#define MCMGPU_CORE_SM_HH
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+
+#include "common/config.hh"
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "gpu/kernel.hh"
+#include "mem/cache.hh"
+
+namespace mcmgpu {
+
+/**
+ * Services an SM needs from the surrounding system. Implemented by
+ * GpuSystem; kept abstract so SMs are unit-testable in isolation.
+ */
+class SmContext
+{
+  public:
+    virtual ~SmContext() = default;
+
+    virtual EventQueue &eventQueue() = 0;
+
+    /**
+     * Resolve an L1 miss (load) or a write-through store issued by a SM
+     * on module @p src at time @p now.
+     * @return loads: cycle the data arrives; stores: acceptance cycle.
+     */
+    virtual Cycle memAccess(ModuleId src, Addr addr, uint32_t bytes,
+                            bool is_store, Cycle now) = 0;
+
+    /** A CTA retired on @p sm; the scheduler may refill the slot. */
+    virtual void ctaFinished(SmId sm) = 0;
+};
+
+/** One streaming multiprocessor. */
+class Sm
+{
+  public:
+    Sm(SmId id, ModuleId module, const GpuConfig &cfg, SmContext &ctx);
+
+    SmId id() const { return id_; }
+    ModuleId module() const { return module_; }
+
+    /** Can a CTA of @p kernel be launched right now? */
+    bool canAccept(const KernelDesc &kernel) const;
+
+    /** Launch CTA @p cta of @p kernel; its warps start at @p now. */
+    void launchCta(const KernelDesc &kernel, CtaId cta, Cycle now);
+
+    uint32_t residentCtas() const { return resident_ctas_; }
+    uint32_t residentWarps() const { return resident_warps_; }
+    bool idle() const { return resident_warps_ == 0; }
+
+    /** Software-coherence flush of the private L1. */
+    void flushL1() { l1_.invalidateAll(); }
+
+    Cache &l1() { return l1_; }
+    const Cache &l1() const { return l1_; }
+
+    uint64_t warpInstructions() const
+    { return static_cast<uint64_t>(warp_insts_.value()); }
+
+    stats::Group &statsGroup() { return stats_; }
+    const stats::Group &statsGroup() const { return stats_; }
+
+  private:
+    struct WarpRun
+    {
+        std::unique_ptr<WarpTrace> trace;
+        CtaId cta;
+        /** Completion times of the most recent memory ops, a circular
+         *  buffer of max_outstanding_per_warp entries: the warp stalls
+         *  only when it would exceed its scoreboard depth. */
+        std::array<Cycle, 8> inflight{};
+        uint32_t inflight_idx = 0;
+    };
+
+    /** Advance one warp by one operation; self-reschedules. */
+    void stepWarp(const std::shared_ptr<WarpRun> &warp);
+
+    void warpRetired(CtaId cta);
+
+    SmId id_;
+    ModuleId module_;
+    SmContext &ctx_;
+    Cache l1_;
+    uint32_t max_warps_;
+    uint32_t max_ctas_;
+    uint32_t issue_width_;
+    uint32_t max_outstanding_ = 4;
+
+    /** Next cycle the shared issue pipeline is free. */
+    Cycle issue_free_ = 0;
+
+    uint32_t resident_ctas_ = 0;
+    uint32_t resident_warps_ = 0;
+    std::unordered_map<CtaId, uint32_t> warps_left_; //!< per resident CTA
+
+    stats::Group stats_;
+    stats::Scalar &warp_insts_;
+    stats::Scalar &mem_ops_;
+    stats::Scalar &store_ops_;
+    stats::Scalar &ctas_run_;
+};
+
+} // namespace mcmgpu
+
+#endif // MCMGPU_CORE_SM_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The instruction-stream abstraction executed by SMs.
+ *
+ * A WarpTrace procedurally yields warp-granular operations: a segment of
+ * compute cycles optionally followed by one coalesced memory access.
+ * Workloads implement traces; the SM model consumes them. Traces must be
+ * deterministic so every machine configuration executes the identical
+ * stream (speedups then measure the machine, not the workload).
+ */
+
+#ifndef MCMGPU_CORE_WARP_TRACE_HH
+#define MCMGPU_CORE_WARP_TRACE_HH
+
+#include <memory>
+
+#include "common/types.hh"
+
+namespace mcmgpu {
+
+/** One warp-level operation. */
+struct WarpOp
+{
+    /** Cycles of SM issue pipeline the op's compute portion occupies. */
+    uint32_t compute_cycles = 0;
+
+    bool has_mem = false;  //!< op ends with a memory access
+    bool is_store = false; //!< the access is a store (posted)
+    Addr addr = 0;         //!< byte address of the coalesced access
+    uint32_t bytes = 128;  //!< payload size (<= one cache line)
+};
+
+/** Lazily generated stream of warp operations. */
+class WarpTrace
+{
+  public:
+    virtual ~WarpTrace() = default;
+
+    /**
+     * Produce the next operation.
+     * @return false when the warp has retired its last instruction.
+     */
+    virtual bool next(WarpOp &op) = 0;
+};
+
+} // namespace mcmgpu
+
+#endif // MCMGPU_CORE_WARP_TRACE_HH

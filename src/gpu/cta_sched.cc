@@ -1,0 +1,146 @@
+#include "gpu/cta_sched.hh"
+
+#include "common/log.hh"
+
+namespace mcmgpu {
+
+std::unique_ptr<CtaScheduler>
+CtaScheduler::create(CtaSchedPolicy policy, uint32_t num_modules)
+{
+    switch (policy) {
+      case CtaSchedPolicy::CentralizedRR:
+        return std::make_unique<CentralizedScheduler>();
+      case CtaSchedPolicy::DistributedBatch:
+        return std::make_unique<DistributedScheduler>(num_modules);
+      case CtaSchedPolicy::DynamicBatch:
+        return std::make_unique<DynamicScheduler>(num_modules);
+    }
+    panic("unknown CTA scheduling policy");
+}
+
+void
+CentralizedScheduler::beginKernel(uint32_t num_ctas)
+{
+    num_ctas_ = num_ctas;
+    next_ = 0;
+}
+
+std::optional<CtaId>
+CentralizedScheduler::nextFor(ModuleId)
+{
+    if (next_ >= num_ctas_)
+        return std::nullopt;
+    return next_++;
+}
+
+DistributedScheduler::DistributedScheduler(uint32_t num_modules)
+    : num_modules_(num_modules), next_(num_modules, 0)
+{
+    fatal_if(num_modules == 0, "distributed scheduler needs >= 1 module");
+}
+
+void
+DistributedScheduler::beginKernel(uint32_t num_ctas)
+{
+    num_ctas_ = num_ctas;
+    for (ModuleId m = 0; m < num_modules_; ++m)
+        next_[m] = rangeOf(m).first;
+}
+
+std::pair<uint32_t, uint32_t>
+DistributedScheduler::rangeOf(ModuleId module) const
+{
+    panic_if(module >= num_modules_, "module ", module, " out of range");
+    // Equal split with the remainder spread over the first modules, so
+    // ranges stay contiguous and cover every CTA exactly once.
+    const uint64_t n = num_ctas_;
+    uint32_t lo = static_cast<uint32_t>(n * module / num_modules_);
+    uint32_t hi = static_cast<uint32_t>(n * (module + 1) / num_modules_);
+    return {lo, hi};
+}
+
+std::optional<CtaId>
+DistributedScheduler::nextFor(ModuleId module)
+{
+    auto [lo, hi] = rangeOf(module);
+    (void)lo;
+    if (next_[module] >= hi)
+        return std::nullopt;
+    return next_[module]++;
+}
+
+uint32_t
+DistributedScheduler::remaining() const
+{
+    uint32_t rem = 0;
+    for (ModuleId m = 0; m < num_modules_; ++m) {
+        auto [lo, hi] = rangeOf(m);
+        (void)lo;
+        rem += hi - next_[m];
+    }
+    return rem;
+}
+
+DynamicScheduler::DynamicScheduler(uint32_t num_modules)
+    : num_modules_(num_modules), batch_(num_modules, Batch{0, 0})
+{
+    fatal_if(num_modules == 0, "dynamic scheduler needs >= 1 module");
+}
+
+void
+DynamicScheduler::beginKernel(uint32_t num_ctas)
+{
+    const uint64_t n = num_ctas;
+    for (ModuleId m = 0; m < num_modules_; ++m) {
+        batch_[m].next = static_cast<uint32_t>(n * m / num_modules_);
+        batch_[m].end = static_cast<uint32_t>(n * (m + 1) / num_modules_);
+    }
+    steals_ = 0;
+}
+
+bool
+DynamicScheduler::stealFor(ModuleId module)
+{
+    // Find the victim with the most remaining work.
+    ModuleId victim = module;
+    uint32_t best = 0;
+    for (ModuleId m = 0; m < num_modules_; ++m) {
+        if (m != module && batch_[m].left() > best) {
+            best = batch_[m].left();
+            victim = m;
+        }
+    }
+    if (victim == module || best < kMinSteal)
+        return false;
+
+    // Take the tail half of the victim's range; both halves stay
+    // contiguous, so CTA->page affinity degrades gracefully.
+    Batch &v = batch_[victim];
+    uint32_t split = v.next + (v.left() + 1) / 2;
+    batch_[module].next = split;
+    batch_[module].end = v.end;
+    v.end = split;
+    ++steals_;
+    return true;
+}
+
+std::optional<CtaId>
+DynamicScheduler::nextFor(ModuleId module)
+{
+    panic_if(module >= num_modules_, "module ", module, " out of range");
+    Batch &b = batch_[module];
+    if (b.next >= b.end && !stealFor(module))
+        return std::nullopt;
+    return batch_[module].next++;
+}
+
+uint32_t
+DynamicScheduler::remaining() const
+{
+    uint32_t rem = 0;
+    for (const Batch &b : batch_)
+        rem += b.left();
+    return rem;
+}
+
+} // namespace mcmgpu

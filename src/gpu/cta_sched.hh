@@ -1,0 +1,121 @@
+/**
+ * @file
+ * CTA-to-SM scheduling policies (paper sections 3.2 and 5.2).
+ *
+ * The centralized scheduler hands out CTAs globally in index order as
+ * SM slots free up, so consecutive CTAs land on SMs of different GPMs
+ * (Figure 8a). The distributed scheduler splits the grid into equal
+ * contiguous batches, one per module, so neighbouring CTAs share a GPM
+ * and its L1.5/memory partition (Figure 8b). The split is deterministic
+ * in the CTA index, which is what lets first-touch placement carry
+ * locality across kernel relaunches (Figure 12).
+ */
+
+#ifndef MCMGPU_GPU_CTA_SCHED_HH
+#define MCMGPU_GPU_CTA_SCHED_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace mcmgpu {
+
+/** Hands CTAs of the in-flight kernel to requesting modules. */
+class CtaScheduler
+{
+  public:
+    virtual ~CtaScheduler() = default;
+
+    /** Reset internal queues for a fresh grid of @p num_ctas CTAs. */
+    virtual void beginKernel(uint32_t num_ctas) = 0;
+
+    /**
+     * Next CTA for an SM residing on @p module, or nullopt when this
+     * module has no further work (distributed scheduling does not steal).
+     */
+    virtual std::optional<CtaId> nextFor(ModuleId module) = 0;
+
+    /** CTAs not yet handed out. */
+    virtual uint32_t remaining() const = 0;
+
+    static std::unique_ptr<CtaScheduler> create(CtaSchedPolicy policy,
+                                                uint32_t num_modules);
+};
+
+/** Global round-robin hand-out in CTA index order. */
+class CentralizedScheduler : public CtaScheduler
+{
+  public:
+    void beginKernel(uint32_t num_ctas) override;
+    std::optional<CtaId> nextFor(ModuleId module) override;
+    uint32_t remaining() const override { return num_ctas_ - next_; }
+
+  private:
+    uint32_t num_ctas_ = 0;
+    uint32_t next_ = 0;
+};
+
+/** Contiguous equal batches, one per module. */
+class DistributedScheduler : public CtaScheduler
+{
+  public:
+    explicit DistributedScheduler(uint32_t num_modules);
+
+    void beginKernel(uint32_t num_ctas) override;
+    std::optional<CtaId> nextFor(ModuleId module) override;
+    uint32_t remaining() const override;
+
+    /** Inclusive-exclusive CTA range owned by @p module (for tests). */
+    std::pair<uint32_t, uint32_t> rangeOf(ModuleId module) const;
+
+  private:
+    uint32_t num_modules_;
+    uint32_t num_ctas_ = 0;
+    std::vector<uint32_t> next_;  //!< per-module cursor
+};
+
+/**
+ * Distributed batches with contiguity-preserving work stealing: when a
+ * module drains its batch, it claims the tail half of the largest
+ * remaining batch. Contiguity is what preserves the inter-CTA locality
+ * that makes distributed scheduling worthwhile in the first place, so
+ * the stolen piece is itself a contiguous range. This is the dynamic
+ * CTA-scheduling mechanism the paper leaves to future work.
+ */
+class DynamicScheduler : public CtaScheduler
+{
+  public:
+    explicit DynamicScheduler(uint32_t num_modules);
+
+    void beginKernel(uint32_t num_ctas) override;
+    std::optional<CtaId> nextFor(ModuleId module) override;
+    uint32_t remaining() const override;
+
+    /** Number of steals performed in the current kernel (for tests). */
+    uint32_t steals() const { return steals_; }
+
+  private:
+    struct Batch
+    {
+        uint32_t next;
+        uint32_t end;
+        uint32_t left() const { return end - next; }
+    };
+
+    bool stealFor(ModuleId module);
+
+    uint32_t num_modules_;
+    std::vector<Batch> batch_;
+    uint32_t steals_ = 0;
+
+    /** Smallest remainder worth splitting; below this, stealing costs
+     *  more locality than it recovers. */
+    static constexpr uint32_t kMinSteal = 8;
+};
+
+} // namespace mcmgpu
+
+#endif // MCMGPU_GPU_CTA_SCHED_HH

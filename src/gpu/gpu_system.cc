@@ -1,0 +1,295 @@
+#include "gpu/gpu_system.hh"
+
+#include "common/log.hh"
+
+namespace mcmgpu {
+
+GpuSystem::GpuSystem(const GpuConfig &cfg)
+    : cfg_(cfg), page_table_(cfg)
+{
+    cfg_.validate();
+
+    fabric_ = Fabric::create(cfg_);
+
+    const uint32_t total_sms = cfg_.totalSms();
+    sms_.reserve(total_sms);
+    for (SmId s = 0; s < total_sms; ++s) {
+        sms_.push_back(
+            std::make_unique<Sm>(s, s / cfg_.sms_per_module, cfg_, *this));
+    }
+
+    CacheGeometry l15_geo = cfg_.l15;
+    l15_geo.size_bytes = cfg_.l15BytesPerModule();
+    for (ModuleId m = 0; m < cfg_.num_modules; ++m) {
+        l15_.push_back(std::make_unique<Cache>(
+            l15_geo, "gpm" + std::to_string(m) + ".l15",
+            /*write_back=*/false));
+    }
+
+    CacheGeometry l2_geo = cfg_.l2;
+    l2_geo.size_bytes = cfg_.l2BytesPerPartition();
+    const uint32_t total_parts = cfg_.totalPartitions();
+    for (PartitionId p = 0; p < total_parts; ++p) {
+        l2_.push_back(std::make_unique<Cache>(
+            l2_geo, "l2.part" + std::to_string(p), /*write_back=*/true));
+        dram_.push_back(std::make_unique<DramPartition>(
+            p, cfg_.channels_per_partition, cfg_.dramGbpsPerPartition(),
+            nsToCycles(cfg_.dram_latency_ns), cfg_.interleave_bytes));
+    }
+}
+
+void
+GpuSystem::ctaFinished(SmId sm)
+{
+    if (sink_)
+        sink_->onCtaFinished(sm);
+}
+
+void
+GpuSystem::flushKernelCaches()
+{
+    for (auto &sm : sms_)
+        sm->flushL1();
+    for (auto &c : l15_)
+        c->invalidateAll();
+}
+
+Cycle
+GpuSystem::accessHome(PartitionId p, Addr addr, uint32_t bytes,
+                      bool is_store, Cycle now)
+{
+    Cache &l2 = *l2_[p];
+    DramPartition &dram = *dram_[p];
+    const uint32_t line = cfg_.l2.line_bytes;
+
+    // Every L2-slice access moves data on the local die.
+    energy_.account(Domain::Chip, bytes);
+
+    CacheLookup res = l2.lookup(addr, is_store, now);
+    switch (res.outcome) {
+      case CacheOutcome::Hit:
+        return now + l2.hitLatency();
+
+      case CacheOutcome::HitPending:
+        // Merge into the in-flight fill (memory-side MSHR).
+        return std::max(res.ready, now + l2.hitLatency());
+
+      case CacheOutcome::Miss: {
+        Cycle t = now + l2.hitLatency();
+        const bool full_line_store = is_store && bytes >= line;
+        if (!full_line_store) {
+            // Loads and partial stores fetch the line from DRAM.
+            t = dram.read(addr, line, t);
+            energy_.account(Domain::Chip, line);
+        }
+        if (l2.enabled()) {
+            CacheVictim victim = l2.fill(addr, is_store, t);
+            if (victim.valid && victim.dirty) {
+                // Posted writeback of the dirty victim.
+                dram.write(victim.line_addr, line, t);
+                energy_.account(Domain::Chip, line);
+            }
+        } else if (is_store) {
+            // No L2 at all: stores go straight to DRAM.
+            dram.write(addr, bytes, t);
+            energy_.account(Domain::Chip, bytes);
+        }
+        return t;
+      }
+    }
+    panic("unreachable L2 outcome");
+}
+
+Cycle
+GpuSystem::memAccess(ModuleId src, Addr addr, uint32_t bytes, bool is_store,
+                     Cycle now)
+{
+    panic_if(src >= cfg_.num_modules, "memAccess from bad module ", src);
+
+    const PartitionId part = page_table_.partitionFor(addr, src);
+    const ModuleId home = page_table_.moduleOf(part);
+    const bool local = home == src;
+    const Domain link_domain =
+        cfg_.board_level_links ? Domain::Board : Domain::Package;
+
+    // --- GPM-side L1.5 (section 5.1): filters remote traffic ----------------
+    Cache &l15 = *l15_[src];
+    const bool l15_caches_this =
+        l15.enabled() && !is_store &&
+        (cfg_.l15_alloc == L15Alloc::All ||
+         (cfg_.l15_alloc == L15Alloc::RemoteOnly && !local));
+
+    Cycle t = now;
+
+    if (l15_caches_this) {
+        CacheLookup res = l15.lookup(addr, false, now);
+        if (res.outcome == CacheOutcome::Hit)
+            return now + l15.hitLatency();
+        if (res.outcome == CacheOutcome::HitPending)
+            return std::max(res.ready, now + l15.hitLatency());
+        // Miss: the serial tag check delays the request before it can
+        // head for the fabric — the added latency that makes the L1.5
+        // a net loss for low-reuse, latency-bound applications (the
+        // paper's DWT/NN regressions, section 5.4).
+        t = now + cfg_.l15_miss_penalty;
+    } else if (l15.enabled() && is_store &&
+               (cfg_.l15_alloc == L15Alloc::All ||
+                (cfg_.l15_alloc == L15Alloc::RemoteOnly && !local))) {
+        // Write-through, no write-allocate: keep a present line coherent
+        // but do not wait on it and do not allocate.
+        l15.lookup(addr, true, now);
+    }
+
+    // --- Request traversal ----------------------------------------------------
+    if (!local) {
+        const uint64_t req_bytes =
+            kHeaderBytes + (is_store ? bytes : 0u);
+        FabricTransfer tr = fabric_->send(src, home, req_bytes, t);
+        t = tr.arrival;
+        energy_.account(link_domain, req_bytes);
+    }
+
+    // --- Home memory partition ---------------------------------------------------
+    t = accessHome(part, addr, bytes, is_store, t);
+
+    if (is_store) {
+        // Stores are posted: the warp resumes once the home partition
+        // accepted the data; no response traverses the fabric.
+        return t;
+    }
+
+    // --- Response traversal -----------------------------------------------------
+    if (!local) {
+        const uint64_t resp_bytes = kHeaderBytes + bytes;
+        FabricTransfer tr = fabric_->send(home, src, resp_bytes, t);
+        t = tr.arrival;
+        energy_.account(link_domain, resp_bytes);
+    }
+
+    if (l15_caches_this)
+        l15.fill(addr, false, t);
+
+    return t;
+}
+
+uint64_t
+GpuSystem::dramReadBytes() const
+{
+    uint64_t sum = 0;
+    for (const auto &d : dram_)
+        sum += d->bytesRead();
+    return sum;
+}
+
+uint64_t
+GpuSystem::dramWriteBytes() const
+{
+    uint64_t sum = 0;
+    for (const auto &d : dram_)
+        sum += d->bytesWritten();
+    return sum;
+}
+
+uint64_t
+GpuSystem::totalWarpInstructions() const
+{
+    uint64_t sum = 0;
+    for (const auto &sm : sms_)
+        sum += sm->warpInstructions();
+    return sum;
+}
+
+namespace {
+
+double
+aggregateHitRate(double hits, double misses)
+{
+    double total = hits + misses;
+    return total > 0.0 ? hits / total : 0.0;
+}
+
+} // namespace
+
+void
+GpuSystem::dumpStats(std::ostream &os, bool per_sm) const
+{
+    os << "system.cycles " << eq_.now() << '\n';
+    os << "system.warp_insts " << totalWarpInstructions() << '\n';
+    os << "system.events " << eq_.executed() << '\n';
+    os << "fabric.injected_bytes " << fabric_->injectedBytes() << '\n';
+    os << "fabric.link_bytes " << fabric_->linkBytes() << '\n';
+
+    // Aggregate the per-SM groups into one summary line per stat.
+    if (per_sm) {
+        for (const auto &sm : sms_) {
+            sm->statsGroup().dump(os);
+            sm->l1().statsGroup().dump(os);
+        }
+    } else {
+        stats::Group agg("sm.total");
+        for (const auto &sm : sms_) {
+            for (const auto &s : sm->statsGroup().scalars()) {
+                if (!agg.find(s.name()))
+                    agg.add(s.name(), s.desc());
+            }
+        }
+        for (const auto &s : agg.scalars()) {
+            double sum = 0.0;
+            for (const auto &sm : sms_)
+                sum += sm->statsGroup().get(s.name());
+            os << agg.name() << '.' << s.name() << ' ' << sum << '\n';
+        }
+        os << "sm.l1.hit_rate " << l1HitRate() << '\n';
+    }
+
+    for (const auto &c : l15_)
+        c->statsGroup().dump(os);
+    for (const auto &c : l2_)
+        c->statsGroup().dump(os);
+    for (const auto &d : dram_)
+        d->statsGroup().dump(os);
+
+    os << "energy.chip_joules " << energy_.joulesIn(Domain::Chip) << '\n';
+    os << "energy.package_joules " << energy_.joulesIn(Domain::Package)
+       << '\n';
+    os << "energy.board_joules " << energy_.joulesIn(Domain::Board)
+       << '\n';
+}
+
+double
+GpuSystem::l1HitRate() const
+{
+    double hits = 0.0, misses = 0.0;
+    for (const auto &sm : sms_) {
+        const auto &g = sm->l1().statsGroup();
+        hits += g.get("hits") + g.get("hits_pending");
+        misses += g.get("misses");
+    }
+    return aggregateHitRate(hits, misses);
+}
+
+double
+GpuSystem::l15HitRate() const
+{
+    double hits = 0.0, misses = 0.0;
+    for (const auto &c : l15_) {
+        const auto &g = c->statsGroup();
+        hits += g.get("hits") + g.get("hits_pending");
+        misses += g.get("misses");
+    }
+    return aggregateHitRate(hits, misses);
+}
+
+double
+GpuSystem::l2HitRate() const
+{
+    double hits = 0.0, misses = 0.0;
+    for (const auto &c : l2_) {
+        const auto &g = c->statsGroup();
+        hits += g.get("hits") + g.get("hits_pending");
+        misses += g.get("misses");
+    }
+    return aggregateHitRate(hits, misses);
+}
+
+} // namespace mcmgpu

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The logical GPU: modules (GPMs or discrete GPUs) made of SMs with
+ * private L1s, an optional module-side L1.5, module crossbars joined by
+ * an inter-module fabric, memory-side L2 slices and DRAM partitions
+ * (Figures 3 and 5). One GpuSystem instance is one machine; the same
+ * class instantiates monolithic GPUs (one module, ideal fabric),
+ * MCM-GPUs (four modules on a ring) and multi-GPUs (two modules over a
+ * board link) purely from the GpuConfig.
+ */
+
+#ifndef MCMGPU_GPU_GPU_SYSTEM_HH
+#define MCMGPU_GPU_GPU_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/event_queue.hh"
+#include "core/sm.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/page_table.hh"
+#include "noc/energy.hh"
+#include "noc/ring.hh"
+
+namespace mcmgpu {
+
+/** Receiver of CTA-retirement notifications (the active kernel run). */
+class CtaSink
+{
+  public:
+    virtual ~CtaSink() = default;
+    virtual void onCtaFinished(SmId sm) = 0;
+};
+
+/** A complete logical GPU instance. */
+class GpuSystem : public SmContext
+{
+  public:
+    explicit GpuSystem(const GpuConfig &cfg);
+
+    // --- SmContext ---------------------------------------------------------
+    EventQueue &eventQueue() override { return eq_; }
+    Cycle memAccess(ModuleId src, Addr addr, uint32_t bytes, bool is_store,
+                    Cycle now) override;
+    void ctaFinished(SmId sm) override;
+
+    // --- Topology access -----------------------------------------------------
+    const GpuConfig &config() const { return cfg_; }
+    uint32_t numSms() const { return static_cast<uint32_t>(sms_.size()); }
+    Sm &sm(SmId id) { return *sms_.at(id); }
+    ModuleId moduleOfSm(SmId id) const
+    { return id / cfg_.sms_per_module; }
+
+    Cache &l15(ModuleId m) { return *l15_.at(m); }
+    Cache &l2(PartitionId p) { return *l2_.at(p); }
+    DramPartition &dram(PartitionId p) { return *dram_.at(p); }
+    PageTable &pageTable() { return page_table_; }
+    Fabric &fabric() { return *fabric_; }
+    EnergyModel &energy() { return energy_; }
+
+    /** Register/unregister the active kernel run. */
+    void setCtaSink(CtaSink *sink) { sink_ = sink; }
+
+    /**
+     * Software-coherence flush at a kernel boundary: every L1 and every
+     * L1.5 is invalidated exactly once (section 5.1.1).
+     */
+    void flushKernelCaches();
+
+    // --- Aggregate metrics --------------------------------------------------------
+    /** Payload bytes that crossed inter-module links. */
+    uint64_t interModuleBytes() const { return fabric_->injectedBytes(); }
+
+    uint64_t dramReadBytes() const;
+    uint64_t dramWriteBytes() const;
+    uint64_t totalWarpInstructions() const;
+    double l1HitRate() const;
+    double l15HitRate() const;
+    double l2HitRate() const;
+
+    /**
+     * Dump every component's statistics in gem5's "group.stat value"
+     * format. Per-SM groups are summarized (256 SMs of counters are
+     * rarely what you want) unless @p per_sm is set.
+     */
+    void dumpStats(std::ostream &os, bool per_sm = false) const;
+
+  private:
+    struct PathTiming
+    {
+        Cycle done;
+    };
+
+    /** Home-partition service: L2 slice then DRAM. */
+    Cycle accessHome(PartitionId p, Addr addr, uint32_t bytes,
+                     bool is_store, Cycle now);
+
+    GpuConfig cfg_;
+    EventQueue eq_;
+    PageTable page_table_;
+    std::unique_ptr<Fabric> fabric_;
+    EnergyModel energy_;
+
+    std::vector<std::unique_ptr<Sm>> sms_;
+    std::vector<std::unique_ptr<Cache>> l15_;  //!< one per module
+    std::vector<std::unique_ptr<Cache>> l2_;   //!< one per partition
+    std::vector<std::unique_ptr<DramPartition>> dram_;
+
+    CtaSink *sink_ = nullptr;
+
+    /** Request/response packet header size on the fabric, bytes. */
+    static constexpr uint32_t kHeaderBytes = 16;
+};
+
+} // namespace mcmgpu
+
+#endif // MCMGPU_GPU_GPU_SYSTEM_HH

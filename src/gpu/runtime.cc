@@ -1,0 +1,119 @@
+#include "gpu/runtime.hh"
+
+#include "common/log.hh"
+
+namespace mcmgpu {
+
+Runtime::Runtime(GpuSystem &gpu)
+    : gpu_(gpu),
+      sched_(CtaScheduler::create(gpu.config().cta_sched,
+                                  gpu.config().num_modules))
+{
+    gpu_.setCtaSink(this);
+}
+
+Runtime::~Runtime()
+{
+    gpu_.setCtaSink(nullptr);
+}
+
+bool
+Runtime::refill(SmId sm_id, Cycle now)
+{
+    Sm &sm = gpu_.sm(sm_id);
+    if (!sm.canAccept(*active_))
+        return false;
+    std::optional<CtaId> cta = sched_->nextFor(sm.module());
+    if (!cta)
+        return false;
+    sm.launchCta(*active_, *cta, now);
+    return true;
+}
+
+void
+Runtime::fillAllSms(Cycle now)
+{
+    // Visit SMs module-interleaved (GPM0.SM0, GPM1.SM0, ..., GPM0.SM1,
+    // ...), which under centralized scheduling spreads consecutive CTAs
+    // across modules exactly as in Figure 8(a). The hardware work
+    // distributor does not reset between kernel launches — it keeps
+    // handing work to SMs round-robin from wherever it stopped — so the
+    // visit origin rotates per kernel. This is what denies a
+    // centralized scheduler the cross-kernel CTA->GPM affinity that
+    // first-touch placement needs (Figure 12): FT applied alone ends up
+    // with pages pinned far from their next consumer.
+    const GpuConfig &cfg = gpu_.config();
+    const uint32_t per_module = cfg.sms_per_module;
+    const uint32_t total = gpu_.numSms();
+    const uint32_t origin = fill_origin_ % total;
+    fill_origin_ = (fill_origin_ + kFillOriginStep) % total;
+
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (uint32_t k = 0; k < total; ++k) {
+            // Flattened module-interleaved sequence, rotated by origin.
+            uint32_t j = (origin + k) % total;
+            ModuleId m = j % cfg.num_modules;
+            uint32_t slot = j / cfg.num_modules;
+            SmId sm = m * per_module + slot;
+            progress |= refill(sm, now);
+        }
+    }
+}
+
+void
+Runtime::runKernel(const KernelDesc &kernel)
+{
+    fatal_if(kernel.num_ctas == 0,
+             "kernel '", kernel.name, "' launches zero CTAs");
+    fatal_if(kernel.warps_per_cta == 0 ||
+             kernel.warps_per_cta > gpu_.config().max_warps_per_sm,
+             "kernel '", kernel.name, "': ", kernel.warps_per_cta,
+             " warps per CTA cannot fit on an SM");
+    panic_if(active_ != nullptr, "kernel launched while one is in flight");
+
+    active_ = &kernel;
+    sched_->beginKernel(kernel.num_ctas);
+
+    // Serial launch cost: driver work + grid setup on the front end.
+    EventQueue &eq = gpu_.eventQueue();
+    Cycle start = eq.now() + gpu_.config().kernel_launch_cycles;
+    if (start > eq.now())
+        eq.schedule(start, [] {});
+    eq.run(); // advance time to the launch point
+    fillAllSms(eq.now());
+
+    // Drain the machine: every scheduled warp event, CTA refill, and
+    // memory completion executes; an empty queue means the grid retired.
+    gpu_.eventQueue().run();
+
+    panic_if(sched_->remaining() != 0,
+             "kernel '", kernel.name, "' finished with ",
+             sched_->remaining(), " CTAs never scheduled");
+
+    active_ = nullptr;
+    ++kernels_executed_;
+
+    // Kernel-boundary synchronization: software coherence flushes the
+    // L1s and the GPM-side L1.5s exactly once (section 5.1.1).
+    gpu_.flushKernelCaches();
+}
+
+void
+Runtime::runAll(std::span<const KernelLaunch> launches)
+{
+    for (const KernelLaunch &launch : launches) {
+        for (uint32_t it = 0; it < launch.iterations; ++it)
+            runKernel(launch.kernel);
+    }
+}
+
+void
+Runtime::onCtaFinished(SmId sm)
+{
+    if (active_)
+        refill(sm, gpu_.eventQueue().now());
+}
+
+} // namespace mcmgpu

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Driver runtime presenting the whole package as a single logical GPU
+ * (section 3.1): accepts kernel launches, distributes CTAs through the
+ * configured scheduler, refills SM slots as CTAs retire, and performs
+ * the software-coherence flush at every kernel boundary. Programmers
+ * (the workload layer) never see modules.
+ */
+
+#ifndef MCMGPU_GPU_RUNTIME_HH
+#define MCMGPU_GPU_RUNTIME_HH
+
+#include <memory>
+#include <span>
+
+#include "gpu/cta_sched.hh"
+#include "gpu/gpu_system.hh"
+#include "gpu/kernel.hh"
+
+namespace mcmgpu {
+
+/** Executes kernel launches to completion on a GpuSystem. */
+class Runtime : public CtaSink
+{
+  public:
+    explicit Runtime(GpuSystem &gpu);
+    ~Runtime() override;
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    /**
+     * Run one kernel to completion (blocking in simulated time); caches
+     * participating in software coherence are flushed afterwards.
+     */
+    void runKernel(const KernelDesc &kernel);
+
+    /** Run a whole application: every launch, every iteration. */
+    void runAll(std::span<const KernelLaunch> launches);
+
+    /** Total kernel launches executed. */
+    uint32_t kernelsExecuted() const { return kernels_executed_; }
+
+    // --- CtaSink -----------------------------------------------------------
+    void onCtaFinished(SmId sm) override;
+
+  private:
+    /** Greedily fill free SM slots, visiting SMs module-interleaved. */
+    void fillAllSms(Cycle now);
+
+    /** Try to hand one more CTA to @p sm. */
+    bool refill(SmId sm, Cycle now);
+
+    GpuSystem &gpu_;
+    std::unique_ptr<CtaScheduler> sched_;
+    const KernelDesc *active_ = nullptr;
+    uint32_t kernels_executed_ = 0;
+
+    /** Work-distributor position; advances between kernel launches so
+     *  CTA->SM assignment is not repeated across launches (coprime step
+     *  keeps the module sequence rotating too). */
+    uint32_t fill_origin_ = 0;
+    static constexpr uint32_t kFillOriginStep = 97;
+};
+
+} // namespace mcmgpu
+
+#endif // MCMGPU_GPU_RUNTIME_HH

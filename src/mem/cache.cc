@@ -1,0 +1,171 @@
+#include "mem/cache.hh"
+
+#include "common/log.hh"
+
+namespace mcmgpu {
+
+Cache::Cache(const CacheGeometry &geo, const std::string &name,
+             bool write_back)
+    : geo_(geo),
+      write_back_(write_back),
+      stats_(name),
+      hits_(stats_.add("hits", "demand hits (fill complete)")),
+      misses_(stats_.add("misses", "demand misses")),
+      hits_pending_(stats_.add("hits_pending", "hits merged into a fill")),
+      evictions_dirty_(stats_.add("evictions_dirty",
+                                  "dirty victims written back")),
+      invalidations_(stats_.add("invalidations", "whole-cache flushes"))
+{
+    panic_if(geo_.line_bytes == 0 ||
+             (geo_.line_bytes & (geo_.line_bytes - 1)),
+             "cache '", name, "': line size must be a power of two");
+    line_mask_ = geo_.line_bytes - 1;
+    if (geo_.size_bytes > 0) {
+        num_sets_ = geo_.numSets();
+        panic_if(num_sets_ == 0, "cache '", name,
+                 "': capacity below one set (", geo_.size_bytes, " B)");
+        ways_.resize(static_cast<size_t>(num_sets_) * geo_.ways);
+    }
+}
+
+uint32_t
+Cache::setIndex(Addr line) const
+{
+    // Hash the line index a little so power-of-two strides do not camp on
+    // one set; cheap multiplicative scramble keeps this deterministic.
+    uint64_t idx = line / geo_.line_bytes;
+    idx ^= idx >> 17;
+    idx *= 0x9e3779b97f4a7c15ull;
+    return static_cast<uint32_t>((idx >> 32) % num_sets_);
+}
+
+void
+Cache::reapPending(Cycle now)
+{
+    // Bound the pending map: drop entries whose fill completed long ago.
+    // A countdown keeps the sweep amortized O(1) per lookup even when
+    // the map stays persistently large.
+    if (pending_.size() < 4096 || --reap_countdown_ > 0)
+        return;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->second <= now) {
+            it = pending_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    reap_countdown_ = static_cast<int64_t>(pending_.size()) + 4096;
+}
+
+CacheLookup
+Cache::lookup(Addr addr, bool is_store, Cycle now)
+{
+    if (!enabled()) {
+        ++misses_;
+        return {CacheOutcome::Miss, 0};
+    }
+
+    const Addr line = lineAddr(addr);
+    const uint32_t set = setIndex(line);
+    Way *base = &ways_[static_cast<size_t>(set) * geo_.ways];
+
+    for (uint32_t w = 0; w < geo_.ways; ++w) {
+        Way &way = base[w];
+        if (!way.valid || way.tag != line)
+            continue;
+        way.last_use = ++use_clock_;
+        if (is_store && write_back_)
+            way.dirty = true;
+
+        auto it = pending_.find(line);
+        if (it != pending_.end()) {
+            if (it->second > now) {
+                ++hits_pending_;
+                return {CacheOutcome::HitPending, it->second};
+            }
+            pending_.erase(it);
+        }
+        ++hits_;
+        return {CacheOutcome::Hit, now};
+    }
+
+    ++misses_;
+    reapPending(now);
+    return {CacheOutcome::Miss, 0};
+}
+
+CacheVictim
+Cache::fill(Addr addr, bool is_store, Cycle ready)
+{
+    CacheVictim victim;
+    if (!enabled())
+        return victim;
+
+    const Addr line = lineAddr(addr);
+    const uint32_t set = setIndex(line);
+    Way *base = &ways_[static_cast<size_t>(set) * geo_.ways];
+
+    // If the line is already present (e.g. racing fills), just refresh it.
+    Way *target = nullptr;
+    for (uint32_t w = 0; w < geo_.ways; ++w) {
+        if (base[w].valid && base[w].tag == line) {
+            target = &base[w];
+            break;
+        }
+    }
+
+    if (!target) {
+        // Choose an invalid way, else the LRU way.
+        Way *lru = &base[0];
+        for (uint32_t w = 0; w < geo_.ways; ++w) {
+            Way &way = base[w];
+            if (!way.valid) {
+                lru = &way;
+                break;
+            }
+            if (way.last_use < lru->last_use)
+                lru = &way;
+        }
+        if (lru->valid) {
+            victim.valid = true;
+            victim.dirty = lru->dirty;
+            victim.line_addr = lru->tag;
+            if (lru->dirty)
+                ++evictions_dirty_;
+            pending_.erase(lru->tag);
+        }
+        target = lru;
+    }
+
+    target->tag = line;
+    target->valid = true;
+    target->dirty = is_store && write_back_;
+    target->last_use = ++use_clock_;
+    pending_[line] = ready;
+    return victim;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &way : ways_) {
+        way.valid = false;
+        way.dirty = false;
+    }
+    pending_.clear();
+    if (enabled())
+        ++invalidations_;
+}
+
+uint64_t
+Cache::validLines() const
+{
+    uint64_t n = 0;
+    for (const auto &way : ways_) {
+        if (way.valid)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace mcmgpu

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Set-associative cache tag model with LRU replacement, dirty tracking,
+ * and hit-under-fill (MSHR-style merging of outstanding misses).
+ *
+ * Used for the per-SM L1, the GPM-side L1.5 (paper section 5.1) and the
+ * memory-side L2. Timing is supplied by the caller: lookup() classifies
+ * the access, the caller resolves the downstream path, then fill()
+ * installs the line with its arrival time so later accesses that race
+ * the fill observe the in-flight latency instead of re-fetching.
+ */
+
+#ifndef MCMGPU_MEM_CACHE_HH
+#define MCMGPU_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace mcmgpu {
+
+/** Outcome of a tag lookup. */
+enum class CacheOutcome
+{
+    Hit,        //!< line present and fill already complete
+    HitPending, //!< line present but still in flight; ready at `ready`
+    Miss,       //!< line absent
+};
+
+/** Result bundle for Cache::lookup(). */
+struct CacheLookup
+{
+    CacheOutcome outcome = CacheOutcome::Miss;
+    Cycle ready = 0; //!< valid for HitPending: when the line arrives
+};
+
+/** Victim description returned by Cache::fill(). */
+struct CacheVictim
+{
+    bool valid = false;
+    bool dirty = false;
+    Addr line_addr = 0;
+};
+
+/**
+ * Tag-state model of one cache level. A cache with zero capacity is
+ * "disabled": lookups always miss and fills are ignored, so callers can
+ * keep a uniform code path.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param geo        capacity/associativity/line/latency
+     * @param name       stats prefix
+     * @param write_back if true stores mark lines dirty and evictions of
+     *                   dirty lines must be written downstream; if false
+     *                   the cache is write-through (never holds dirt)
+     */
+    Cache(const CacheGeometry &geo, const std::string &name,
+          bool write_back);
+
+    bool enabled() const { return num_sets_ > 0; }
+    uint32_t lineBytes() const { return geo_.line_bytes; }
+    Cycle hitLatency() const { return geo_.hit_latency; }
+
+    /**
+     * Probe the tags for the line containing @p addr at time @p now and
+     * update replacement state on a hit. Stores on a write-back cache
+     * mark the line dirty.
+     */
+    CacheLookup lookup(Addr addr, bool is_store, Cycle now);
+
+    /**
+     * Install the line containing @p addr; it becomes usable at @p ready.
+     * @return victim information (caller writes back dirty victims).
+     */
+    CacheVictim fill(Addr addr, bool is_store, Cycle ready);
+
+    /** Drop every line (software-coherence flush at kernel boundaries). */
+    void invalidateAll();
+
+    /** Number of currently valid lines (for tests/occupancy checks). */
+    uint64_t validLines() const;
+
+    double
+    hitRate() const
+    {
+        double total = hits_.value() + misses_.value();
+        return total > 0.0 ? hits_.value() / total : 0.0;
+    }
+
+    stats::Group &statsGroup() { return stats_; }
+    const stats::Group &statsGroup() const { return stats_; }
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        uint64_t last_use = 0;
+    };
+
+    Addr lineAddr(Addr addr) const { return addr & ~line_mask_; }
+    uint32_t setIndex(Addr line) const;
+    void reapPending(Cycle now);
+
+    CacheGeometry geo_;
+    bool write_back_;
+    uint32_t num_sets_ = 0;
+    Addr line_mask_ = 0;
+    uint64_t use_clock_ = 0;
+    std::vector<Way> ways_; // num_sets * geo.ways, set-major
+
+    /** Lines installed but still in flight: line addr -> arrival cycle. */
+    std::unordered_map<Addr, Cycle> pending_;
+    int64_t reap_countdown_ = 4096;
+
+    stats::Group stats_;
+    stats::Scalar &hits_;
+    stats::Scalar &misses_;
+    stats::Scalar &hits_pending_;
+    stats::Scalar &evictions_dirty_;
+    stats::Scalar &invalidations_;
+};
+
+} // namespace mcmgpu
+
+#endif // MCMGPU_MEM_CACHE_HH

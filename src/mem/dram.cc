@@ -1,0 +1,64 @@
+#include "mem/dram.hh"
+
+#include "common/log.hh"
+#include "common/units.hh"
+
+namespace mcmgpu {
+
+DramPartition::DramPartition(PartitionId id, uint32_t num_channels,
+                             double total_gbps, Cycle latency_cycles,
+                             uint32_t interleave_bytes)
+    : total_gbps_(total_gbps),
+      latency_(latency_cycles),
+      interleave_bytes_(interleave_bytes),
+      stats_("dram.part" + std::to_string(id)),
+      bytes_read_(stats_.add("bytes_read", "bytes read from DRAM")),
+      bytes_written_(stats_.add("bytes_written", "bytes written to DRAM")),
+      reads_(stats_.add("reads", "read transactions")),
+      writes_(stats_.add("writes", "write transactions"))
+{
+    fatal_if(num_channels == 0, "DRAM partition needs >= 1 channel");
+    fatal_if(total_gbps <= 0.0, "DRAM partition needs positive bandwidth");
+    double per_channel = gbPerSecToBytesPerCycle(total_gbps) / num_channels;
+    channels_.reserve(num_channels);
+    for (uint32_t i = 0; i < num_channels; ++i)
+        channels_.emplace_back(per_channel);
+}
+
+BandwidthServer &
+DramPartition::channelFor(Addr addr)
+{
+    uint64_t blk = addr / interleave_bytes_;
+    // Scramble so power-of-two page strides spread over channels.
+    blk ^= blk >> 13;
+    blk *= 0x9e3779b97f4a7c15ull;
+    return channels_[(blk >> 32) % channels_.size()];
+}
+
+Cycle
+DramPartition::read(Addr addr, uint32_t bytes, Cycle now)
+{
+    ++reads_;
+    bytes_read_ += bytes;
+    Cycle served = channelFor(addr).acquire(now, bytes);
+    return served + latency_;
+}
+
+void
+DramPartition::write(Addr addr, uint32_t bytes, Cycle now)
+{
+    ++writes_;
+    bytes_written_ += bytes;
+    channelFor(addr).acquire(now, bytes);
+}
+
+double
+DramPartition::busyCycles() const
+{
+    double sum = 0.0;
+    for (const auto &ch : channels_)
+        sum += ch.busyCycles();
+    return sum;
+}
+
+} // namespace mcmgpu

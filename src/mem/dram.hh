@@ -1,0 +1,78 @@
+/**
+ * @file
+ * DRAM partition model: one local memory stack per GPM (or per slice of
+ * a monolithic die). Bandwidth is provided by a set of channels that
+ * addresses interleave across at a fine granularity; each channel is a
+ * FIFO bandwidth server, and every access pays the fixed DRAM latency
+ * (100 ns in Table 3).
+ */
+
+#ifndef MCMGPU_MEM_DRAM_HH
+#define MCMGPU_MEM_DRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "common/bw_server.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace mcmgpu {
+
+/** One memory partition (local DRAM of one module). */
+class DramPartition
+{
+  public:
+    /**
+     * @param id               partition id (stats naming)
+     * @param num_channels     independent channels inside this partition
+     * @param total_gbps       aggregate partition bandwidth in GB/s
+     * @param latency_cycles   fixed access latency
+     * @param interleave_bytes channel interleave granularity
+     */
+    DramPartition(PartitionId id, uint32_t num_channels, double total_gbps,
+                  Cycle latency_cycles, uint32_t interleave_bytes);
+
+    /**
+     * Read @p bytes at @p addr.
+     * @return the cycle the data is available.
+     */
+    Cycle read(Addr addr, uint32_t bytes, Cycle now);
+
+    /**
+     * Posted write of @p bytes at @p addr: consumes channel bandwidth but
+     * the caller does not wait for it.
+     */
+    void write(Addr addr, uint32_t bytes, Cycle now);
+
+    uint64_t bytesRead() const
+    { return static_cast<uint64_t>(bytes_read_.value()); }
+    uint64_t bytesWritten() const
+    { return static_cast<uint64_t>(bytes_written_.value()); }
+    uint64_t totalBytes() const { return bytesRead() + bytesWritten(); }
+
+    /** Aggregate channel busy time (for utilization reporting). */
+    double busyCycles() const;
+
+    double totalGbps() const { return total_gbps_; }
+    stats::Group &statsGroup() { return stats_; }
+    const stats::Group &statsGroup() const { return stats_; }
+
+  private:
+    BandwidthServer &channelFor(Addr addr);
+
+    double total_gbps_;
+    Cycle latency_;
+    uint32_t interleave_bytes_;
+    std::vector<BandwidthServer> channels_;
+
+    stats::Group stats_;
+    stats::Scalar &bytes_read_;
+    stats::Scalar &bytes_written_;
+    stats::Scalar &reads_;
+    stats::Scalar &writes_;
+};
+
+} // namespace mcmgpu
+
+#endif // MCMGPU_MEM_DRAM_HH

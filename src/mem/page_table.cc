@@ -1,0 +1,66 @@
+#include "mem/page_table.hh"
+
+#include "common/log.hh"
+
+namespace mcmgpu {
+
+PageTable::PageTable(const GpuConfig &cfg)
+    : cfg_(cfg),
+      total_partitions_(cfg.totalPartitions()),
+      pages_per_partition_(total_partitions_, 0)
+{
+}
+
+PartitionId
+PageTable::interleavedPartition(Addr addr) const
+{
+    uint64_t blk = addr / cfg_.interleave_bytes;
+    return static_cast<PartitionId>(blk % total_partitions_);
+}
+
+PartitionId
+PageTable::partitionFor(Addr addr, ModuleId toucher)
+{
+    switch (cfg_.page_policy) {
+      case PagePolicy::FineInterleave:
+        return interleavedPartition(addr);
+
+      case PagePolicy::RoundRobinPage:
+        return static_cast<PartitionId>((addr / cfg_.page_bytes) %
+                                        total_partitions_);
+
+      case PagePolicy::FirstTouch: {
+        const uint64_t page = addr / cfg_.page_bytes;
+        auto it = page_home_.find(page);
+        if (it != page_home_.end())
+            return it->second;
+        panic_if(toucher >= cfg_.num_modules,
+                 "first touch from invalid module ", toucher);
+        // Pin the page to one of the toucher's local partitions; when a
+        // module has several, spread consecutive pages across them so
+        // channel-level parallelism within the module is preserved.
+        PartitionId local = toucher * cfg_.partitions_per_module +
+            static_cast<PartitionId>(page % cfg_.partitions_per_module);
+        page_home_.emplace(page, local);
+        ++pages_per_partition_[local];
+        return local;
+      }
+    }
+    panic("unknown page policy");
+}
+
+uint64_t
+PageTable::pagesOn(PartitionId p) const
+{
+    panic_if(p >= total_partitions_, "partition ", p, " out of range");
+    return pages_per_partition_[p];
+}
+
+void
+PageTable::reset()
+{
+    page_home_.clear();
+    std::fill(pages_per_partition_.begin(), pages_per_partition_.end(), 0);
+}
+
+} // namespace mcmgpu

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Driver-level page placement (paper section 5.3).
+ *
+ * Maps a global address to its home memory partition under one of three
+ * policies:
+ *  - FineInterleave: 256B blocks round-robin across all partitions
+ *    (the baseline; maximizes channel utilization, 1/P locality).
+ *  - FirstTouch: a page is pinned to the partition local to the module
+ *    that touches it first; inside a partition, channel interleave stays
+ *    fine-grained (handled by DramPartition).
+ *  - RoundRobinPage: whole pages round-robin across partitions (a
+ *    comparison policy that performed "very low and inconsistent" in the
+ *    paper's multi-GPU exploration).
+ *
+ * Implemented as a software page table extending GPU driver
+ * functionality; transparent to the OS and the programmer.
+ */
+
+#ifndef MCMGPU_MEM_PAGE_TABLE_HH
+#define MCMGPU_MEM_PAGE_TABLE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace mcmgpu {
+
+/** Page-placement engine; one instance per logical GPU. */
+class PageTable
+{
+  public:
+    /**
+     * @param cfg machine description (policy, page size, interleave,
+     *            partition topology)
+     */
+    explicit PageTable(const GpuConfig &cfg);
+
+    /**
+     * Resolve the home partition of @p addr for an access issued by
+     * @p toucher. Under FirstTouch an unmapped page is allocated to one
+     * of the toucher's local partitions as a side effect.
+     */
+    PartitionId partitionFor(Addr addr, ModuleId toucher);
+
+    /** Home module of a partition. */
+    ModuleId
+    moduleOf(PartitionId p) const
+    {
+        return p / cfg_.partitions_per_module;
+    }
+
+    /** Number of pages currently pinned to @p p (FirstTouch only). */
+    uint64_t pagesOn(PartitionId p) const;
+
+    /** Total pages mapped by first touch. */
+    uint64_t pagesMapped() const { return page_home_.size(); }
+
+    /** Forget all first-touch mappings (fresh application run). */
+    void reset();
+
+  private:
+    PartitionId interleavedPartition(Addr addr) const;
+
+    const GpuConfig cfg_;
+    uint32_t total_partitions_;
+    std::unordered_map<uint64_t, PartitionId> page_home_;
+    std::vector<uint64_t> pages_per_partition_;
+};
+
+} // namespace mcmgpu
+
+#endif // MCMGPU_MEM_PAGE_TABLE_HH

@@ -1,0 +1,50 @@
+#include "noc/energy.hh"
+
+#include "common/log.hh"
+
+namespace mcmgpu {
+
+const EnergyDomain kEnergyDomains[4] = {
+    {"Chip", "10s TB/s", 0.080, "Low"},
+    {"Package", "1.5 TB/s", 0.5, "Medium"},
+    {"Board", "256 GB/s", 10.0, "High"},
+    {"System", "12.5 GB/s", 250.0, "Very High"},
+};
+
+void
+EnergyModel::account(Domain d, uint64_t bytes)
+{
+    bytes_[static_cast<int>(d)] += bytes;
+}
+
+uint64_t
+EnergyModel::bytesIn(Domain d) const
+{
+    return bytes_[static_cast<int>(d)];
+}
+
+double
+EnergyModel::joulesIn(Domain d) const
+{
+    const double pj_per_bit = kEnergyDomains[static_cast<int>(d)].pj_per_bit;
+    return static_cast<double>(bytes_[static_cast<int>(d)]) * 8.0 *
+           pj_per_bit * 1e-12;
+}
+
+double
+EnergyModel::totalJoules() const
+{
+    double sum = 0.0;
+    for (int d = 0; d < 4; ++d)
+        sum += joulesIn(static_cast<Domain>(d));
+    return sum;
+}
+
+void
+EnergyModel::reset()
+{
+    for (auto &b : bytes_)
+        b = 0;
+}
+
+} // namespace mcmgpu

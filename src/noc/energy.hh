@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Data-movement energy accounting based on Table 2 of the paper:
+ *
+ *   domain    bandwidth   energy/bit
+ *   chip      10s TB/s    80 fJ/b
+ *   package   1.5 TB/s    0.5 pJ/b
+ *   board     256 GB/s    10 pJ/b
+ *   system    12.5 GB/s   250 pJ/b
+ *
+ * The GPU system reports how many bytes moved in each domain; this
+ * module converts that into joules and supports the efficiency
+ * discussion of section 6.2.
+ */
+
+#ifndef MCMGPU_NOC_ENERGY_HH
+#define MCMGPU_NOC_ENERGY_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mcmgpu {
+
+/** Table 2 constants. */
+struct EnergyDomain
+{
+    const char *name;
+    const char *bandwidth;  //!< representative bandwidth (display only)
+    double pj_per_bit;      //!< signaling energy
+    const char *overhead;   //!< qualitative integration overhead
+};
+
+/** The four integration tiers of Table 2, in order. */
+extern const EnergyDomain kEnergyDomains[4];
+
+/** Indices into kEnergyDomains. */
+enum class Domain { Chip = 0, Package = 1, Board = 2, System = 3 };
+
+/** Accumulates byte movement per domain and converts to energy. */
+class EnergyModel
+{
+  public:
+    /** Record @p bytes moved within @p d. */
+    void account(Domain d, uint64_t bytes);
+
+    uint64_t bytesIn(Domain d) const;
+
+    /** Energy spent in one domain, joules. */
+    double joulesIn(Domain d) const;
+
+    /** Total data-movement energy, joules. */
+    double totalJoules() const;
+
+    void reset();
+
+  private:
+    uint64_t bytes_[4] = {0, 0, 0, 0};
+};
+
+} // namespace mcmgpu
+
+#endif // MCMGPU_NOC_ENERGY_HH

@@ -1,0 +1,4 @@
+// Link is header-only; this translation unit exists so the component has
+// a home for future out-of-line additions and keeps the build layout
+// uniform (one .cc per module).
+#include "noc/link.hh"

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A point-to-point interconnect link: a bandwidth server plus a fixed
+ * per-hop latency. Models one direction of an on-package GRS link
+ * (section 2.3) or an on-board link (section 6.1).
+ */
+
+#ifndef MCMGPU_NOC_LINK_HH
+#define MCMGPU_NOC_LINK_HH
+
+#include <string>
+
+#include "common/bw_server.hh"
+#include "common/types.hh"
+#include "common/units.hh"
+
+namespace mcmgpu {
+
+/** One directional link. */
+class Link
+{
+  public:
+    Link() = default;
+
+    /**
+     * @param gbps        bandwidth in GB/s
+     * @param hop_cycles  traversal latency (serdes + wire + router)
+     */
+    Link(double gbps, Cycle hop_cycles)
+        : server_(gbPerSecToBytesPerCycle(gbps)), hop_cycles_(hop_cycles)
+    {
+    }
+
+    /**
+     * Send @p bytes entering the link at @p now.
+     * @return arrival time at the far end.
+     */
+    Cycle
+    traverse(Cycle now, uint64_t bytes)
+    {
+        return server_.acquire(now, bytes) + hop_cycles_;
+    }
+
+    uint64_t bytesCarried() const { return server_.bytesServed(); }
+    double busyCycles() const { return server_.busyCycles(); }
+    Cycle hopCycles() const { return hop_cycles_; }
+    double rateBytesPerCycle() const { return server_.rateBytesPerCycle(); }
+
+  private:
+    BandwidthServer server_{1.0};
+    Cycle hop_cycles_ = 0;
+};
+
+} // namespace mcmgpu
+
+#endif // MCMGPU_NOC_LINK_HH

@@ -1,0 +1,222 @@
+#include "noc/ring.hh"
+
+#include "common/log.hh"
+
+namespace mcmgpu {
+
+std::unique_ptr<Fabric>
+Fabric::create(const GpuConfig &cfg)
+{
+    switch (cfg.fabric) {
+      case FabricKind::Ideal:
+        return std::make_unique<IdealFabric>();
+      case FabricKind::Ring:
+        if (cfg.num_modules == 1)
+            return std::make_unique<IdealFabric>();
+        return std::make_unique<RingFabric>(cfg.num_modules, cfg.link_gbps,
+                                            cfg.link_hop_cycles);
+      case FabricKind::Mesh:
+        if (cfg.num_modules == 1)
+            return std::make_unique<IdealFabric>();
+        return std::make_unique<MeshFabric>(cfg.num_modules, cfg.link_gbps,
+                                            cfg.link_hop_cycles);
+      case FabricKind::Ports:
+        if (cfg.num_modules == 1)
+            return std::make_unique<IdealFabric>();
+        return std::make_unique<PortsFabric>(cfg.num_modules, cfg.link_gbps,
+                                             cfg.link_hop_cycles);
+    }
+    panic("unknown fabric kind");
+}
+
+RingFabric::RingFabric(uint32_t nodes, double gbps, Cycle hop_cycles)
+    : nodes_(nodes)
+{
+    fatal_if(nodes < 2, "a ring needs at least two stops");
+    fatal_if(gbps <= 0.0, "ring segments need positive bandwidth");
+    // The configured link bandwidth is the aggregate of one physical
+    // link (the paper's "768 GB/s per link"); each direction gets half.
+    const double per_direction = gbps / 2.0;
+    cw_.reserve(nodes);
+    ccw_.reserve(nodes);
+    for (uint32_t i = 0; i < nodes; ++i) {
+        cw_.emplace_back(per_direction, hop_cycles);
+        ccw_.emplace_back(per_direction, hop_cycles);
+    }
+}
+
+uint32_t
+RingFabric::routeHops(ModuleId src, ModuleId dst) const
+{
+    uint32_t fwd = (dst + nodes_ - src) % nodes_;
+    uint32_t bwd = nodes_ - fwd;
+    return std::min(fwd, bwd);
+}
+
+FabricTransfer
+RingFabric::send(ModuleId src, ModuleId dst, uint64_t bytes, Cycle now)
+{
+    panic_if(src >= nodes_ || dst >= nodes_,
+             "ring stop out of range: ", src, " -> ", dst);
+    if (src == dst)
+        return {now, 0};
+
+    injected_ += bytes;
+
+    const uint32_t fwd = (dst + nodes_ - src) % nodes_;
+    const uint32_t bwd = nodes_ - fwd;
+
+    // Two-node rings have exactly one physical link pair; always use the
+    // "clockwise" direction so bandwidth is not double-counted.
+    bool clockwise;
+    if (nodes_ == 2) {
+        clockwise = true;
+    } else if (fwd < bwd) {
+        clockwise = true;
+    } else if (bwd < fwd) {
+        clockwise = false;
+    } else {
+        // Equal distance: alternate deterministically to balance load.
+        clockwise = (route_toggle_++ & 1) == 0;
+    }
+
+    uint32_t hops = clockwise ? fwd : bwd;
+    Cycle t = now;
+    uint32_t at = src;
+    for (uint32_t h = 0; h < hops; ++h) {
+        if (clockwise) {
+            t = cw_[at].traverse(t, bytes);
+            at = (at + 1) % nodes_;
+        } else {
+            t = ccw_[at].traverse(t, bytes);
+            at = (at + nodes_ - 1) % nodes_;
+        }
+    }
+    return {t, hops};
+}
+
+uint64_t
+RingFabric::linkBytes() const
+{
+    uint64_t sum = 0;
+    for (const auto &l : cw_)
+        sum += l.bytesCarried();
+    for (const auto &l : ccw_)
+        sum += l.bytesCarried();
+    return sum;
+}
+
+MeshFabric::MeshFabric(uint32_t nodes, double gbps, Cycle hop_cycles)
+    : nodes_(nodes)
+{
+    fatal_if(nodes < 2, "a mesh needs at least two nodes");
+    fatal_if(gbps <= 0.0, "mesh links need positive bandwidth");
+
+    // Most-square full grid (2x2 for four GPMs; a prime count
+    // degenerates to a line). A full grid keeps XY routing total.
+    rows_ = 1;
+    for (uint32_t d = 1; d * d <= nodes; ++d) {
+        if (nodes % d == 0)
+            rows_ = d;
+    }
+    cols_ = nodes / rows_;
+
+    const double per_direction = gbps / 2.0;
+    link_of_.assign(static_cast<size_t>(nodes) * nodes, -1);
+    for (uint32_t a = 0; a < nodes; ++a) {
+        uint32_t ax = a % cols_, ay = a / cols_;
+        for (uint32_t b = 0; b < nodes; ++b) {
+            uint32_t bx = b % cols_, by = b / cols_;
+            uint32_t dist = (ax > bx ? ax - bx : bx - ax) +
+                            (ay > by ? ay - by : by - ay);
+            if (dist == 1) {
+                link_of_[static_cast<size_t>(a) * nodes + b] =
+                    static_cast<int32_t>(links_.size());
+                links_.emplace_back(per_direction, hop_cycles);
+            }
+        }
+    }
+}
+
+size_t
+MeshFabric::linkIndex(uint32_t a, uint32_t b) const
+{
+    int32_t idx = link_of_[static_cast<size_t>(a) * nodes_ + b];
+    panic_if(idx < 0, "mesh nodes ", a, " and ", b, " are not adjacent");
+    return static_cast<size_t>(idx);
+}
+
+FabricTransfer
+MeshFabric::send(ModuleId src, ModuleId dst, uint64_t bytes, Cycle now)
+{
+    panic_if(src >= nodes_ || dst >= nodes_,
+             "mesh node out of range: ", src, " -> ", dst);
+    if (src == dst)
+        return {now, 0};
+    injected_ += bytes;
+
+    // Dimension-ordered routing: X first, then Y.
+    uint32_t at = src;
+    Cycle t = now;
+    uint32_t hops = 0;
+    auto step = [&](uint32_t next) {
+        t = links_[linkIndex(at, next)].traverse(t, bytes);
+        at = next;
+        ++hops;
+    };
+    while (at % cols_ != dst % cols_)
+        step(at % cols_ < dst % cols_ ? at + 1 : at - 1);
+    while (at / cols_ != dst / cols_)
+        step(at / cols_ < dst / cols_ ? at + cols_ : at - cols_);
+    return {t, hops};
+}
+
+uint64_t
+MeshFabric::linkBytes() const
+{
+    uint64_t sum = 0;
+    for (const Link &l : links_)
+        sum += l.bytesCarried();
+    return sum;
+}
+
+PortsFabric::PortsFabric(uint32_t nodes, double gbps, Cycle hop_cycles)
+{
+    fatal_if(nodes < 2, "a port fabric needs at least two modules");
+    fatal_if(gbps <= 0.0, "ports need positive bandwidth");
+    egress_.reserve(nodes);
+    ingress_.reserve(nodes);
+    // As for the ring, the configured bandwidth is one link's aggregate:
+    // each simplex port direction gets half.
+    const double per_direction = gbps / 2.0;
+    for (uint32_t i = 0; i < nodes; ++i) {
+        // Split the hop latency across the two port traversals so one
+        // send costs exactly hop_cycles of latency end to end.
+        egress_.emplace_back(per_direction, hop_cycles / 2);
+        ingress_.emplace_back(per_direction, hop_cycles - hop_cycles / 2);
+    }
+}
+
+FabricTransfer
+PortsFabric::send(ModuleId src, ModuleId dst, uint64_t bytes, Cycle now)
+{
+    panic_if(src >= egress_.size() || dst >= ingress_.size(),
+             "port fabric module out of range: ", src, " -> ", dst);
+    if (src == dst)
+        return {now, 0};
+    injected_ += bytes;
+    Cycle t = egress_[src].traverse(now, bytes);
+    t = ingress_[dst].traverse(t, bytes);
+    return {t, 1};
+}
+
+uint64_t
+PortsFabric::linkBytes() const
+{
+    uint64_t sum = 0;
+    for (const auto &l : egress_)
+        sum += l.bytesCarried();
+    return sum; // ingress carries the same bytes; count each message once
+}
+
+} // namespace mcmgpu

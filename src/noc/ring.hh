@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Inter-module fabrics.
+ *
+ * The paper's basic MCM-GPU connects GPM crossbars into "a modular
+ * on-package ring or mesh" (section 3.2); the analytical sizing of
+ * section 3.3.1 abstracts the fabric as per-GPM ingress/egress port
+ * bandwidth. We provide both, plus an ideal fabric for monolithic dies:
+ *
+ *  - RingFabric:  bidirectional ring, shortest-path routing, 32-cycle
+ *                 hops, per-segment-per-direction bandwidth.
+ *  - PortsFabric: one egress + one ingress server per module.
+ *  - IdealFabric: zero latency, infinite bandwidth (on-chip crossbar).
+ */
+
+#ifndef MCMGPU_NOC_RING_HH
+#define MCMGPU_NOC_RING_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "noc/link.hh"
+
+namespace mcmgpu {
+
+/** Result of pushing a message through a fabric. */
+struct FabricTransfer
+{
+    Cycle arrival = 0;  //!< when the last byte reaches the destination
+    uint32_t hops = 0;  //!< number of link traversals
+};
+
+/** Abstract inter-module interconnect. */
+class Fabric
+{
+  public:
+    virtual ~Fabric() = default;
+
+    /**
+     * Move @p bytes from module @p src to module @p dst starting at
+     * @p now. src == dst is a no-op returning now.
+     */
+    virtual FabricTransfer send(ModuleId src, ModuleId dst,
+                                uint64_t bytes, Cycle now) = 0;
+
+    /** Total bytes that crossed inter-module links (hops weighted). */
+    virtual uint64_t linkBytes() const = 0;
+
+    /**
+     * Total payload bytes injected into the fabric (each message counted
+     * once, regardless of path length). This is the "inter-GPM
+     * bandwidth" metric of Figures 7/10/14.
+     */
+    virtual uint64_t injectedBytes() const = 0;
+
+    /** Factory from a machine description. */
+    static std::unique_ptr<Fabric> create(const GpuConfig &cfg);
+};
+
+/** Bidirectional ring with shortest-path routing. */
+class RingFabric : public Fabric
+{
+  public:
+    /**
+     * @param nodes       number of ring stops (modules)
+     * @param gbps        bandwidth per segment per direction, GB/s
+     * @param hop_cycles  latency per hop
+     */
+    RingFabric(uint32_t nodes, double gbps, Cycle hop_cycles);
+
+    FabricTransfer send(ModuleId src, ModuleId dst, uint64_t bytes,
+                        Cycle now) override;
+    uint64_t linkBytes() const override;
+    uint64_t injectedBytes() const override { return injected_; }
+
+    /** Hop count of the route chosen from src to dst (for tests). */
+    uint32_t routeHops(ModuleId src, ModuleId dst) const;
+
+  private:
+    uint32_t nodes_;
+    std::vector<Link> cw_;  //!< cw_[i]: i -> (i+1) % nodes
+    std::vector<Link> ccw_; //!< ccw_[i]: i -> (i-1+nodes) % nodes
+    uint64_t injected_ = 0;
+    uint64_t route_toggle_ = 0; //!< balances equal-distance routes
+};
+
+/**
+ * 2D mesh with dimension-ordered (XY) routing; nodes are arranged in
+ * the most-square grid that fits the module count. Each mesh edge is a
+ * pair of directional links sized like ring segments. For four modules
+ * this is the 2x2 grid of Figure 1's package layout.
+ */
+class MeshFabric : public Fabric
+{
+  public:
+    MeshFabric(uint32_t nodes, double gbps, Cycle hop_cycles);
+
+    FabricTransfer send(ModuleId src, ModuleId dst, uint64_t bytes,
+                        Cycle now) override;
+    uint64_t linkBytes() const override;
+    uint64_t injectedBytes() const override { return injected_; }
+
+    uint32_t cols() const { return cols_; }
+    uint32_t rows() const { return rows_; }
+
+  private:
+    /** Directional link index between adjacent nodes a -> b. */
+    size_t linkIndex(uint32_t a, uint32_t b) const;
+
+    uint32_t cols_ = 1;
+    uint32_t rows_ = 1;
+    uint32_t nodes_;
+    /** Links keyed by (from * nodes + to) for adjacent pairs. */
+    std::vector<Link> links_;
+    std::vector<int32_t> link_of_; //!< -1 when not adjacent
+    uint64_t injected_ = 0;
+};
+
+/** Per-module ingress/egress port model (analytical abstraction). */
+class PortsFabric : public Fabric
+{
+  public:
+    PortsFabric(uint32_t nodes, double gbps, Cycle hop_cycles);
+
+    FabricTransfer send(ModuleId src, ModuleId dst, uint64_t bytes,
+                        Cycle now) override;
+    uint64_t linkBytes() const override;
+    uint64_t injectedBytes() const override { return injected_; }
+
+  private:
+    std::vector<Link> egress_;
+    std::vector<Link> ingress_;
+    uint64_t injected_ = 0;
+};
+
+/** The on-chip case: no inter-module cost at all. */
+class IdealFabric : public Fabric
+{
+  public:
+    FabricTransfer
+    send(ModuleId, ModuleId, uint64_t, Cycle now) override
+    {
+        return {now, 0};
+    }
+
+    uint64_t linkBytes() const override { return 0; }
+    uint64_t injectedBytes() const override { return 0; }
+};
+
+} // namespace mcmgpu
+
+#endif // MCMGPU_NOC_RING_HH

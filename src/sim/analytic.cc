@@ -1,0 +1,63 @@
+#include "sim/analytic.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace mcmgpu {
+namespace analytic {
+
+double
+LinkSizingModel::l2SupplyGbps() const
+{
+    fatal_if(l2_hit_rate < 0.0 || l2_hit_rate >= 1.0,
+             "L2 hit rate must be in [0, 1), got ", l2_hit_rate);
+    return partitionGbps() / (1.0 - l2_hit_rate);
+}
+
+double
+LinkSizingModel::remoteEgressPerModuleGbps() const
+{
+    fatal_if(num_modules == 0, "need at least one module");
+    const double remote_share =
+        static_cast<double>(num_modules - 1) / num_modules;
+    return l2SupplyGbps() * remote_share;
+}
+
+double
+LinkSizingModel::meanRingHops() const
+{
+    fatal_if(num_modules == 0, "need at least one module");
+    if (num_modules < 2)
+        return 0.0;
+    uint64_t hop_sum = 0;
+    for (uint32_t d = 1; d < num_modules; ++d)
+        hop_sum += std::min(d, num_modules - d);
+    return static_cast<double>(hop_sum) /
+           static_cast<double>(num_modules - 1);
+}
+
+double
+LinkSizingModel::requiredLinkGbps() const
+{
+    // A module's link carries its own remote requests out and remote
+    // modules' consumption of its partition in — each equal to
+    // s * (P-1)/P — and on a ring every transfer additionally occupies
+    // meanRingHops() segments. With P=4 and h=50% this lands exactly on
+    // the paper's conclusion: link bandwidth must match the aggregate
+    // DRAM bandwidth, 4b = 3 TB/s.
+    return 2.0 * remoteEgressPerModuleGbps() * meanRingHops();
+}
+
+double
+LinkSizingModel::dramUtilizationAt(double link_gbps) const
+{
+    fatal_if(link_gbps < 0.0, "negative link bandwidth");
+    const double need = requiredLinkGbps();
+    if (need <= 0.0)
+        return 1.0;
+    return std::min(1.0, link_gbps / need);
+}
+
+} // namespace analytic
+} // namespace mcmgpu

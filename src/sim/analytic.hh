@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The closed-form inter-GPM bandwidth sizing model of section 3.3.1.
+ *
+ * With P modules, per-partition DRAM bandwidth b, and memory-side L2
+ * hit rate h, each L2 partition supplies s = b / (1 - h) units of
+ * bandwidth to the SMs. Under a statistically uniform (fine-interleaved)
+ * address distribution, a fraction (P-1)/P of that supply is consumed
+ * by remote modules; summing both directions over the package yields
+ * the paper's conclusion that link bandwidth equal to the aggregate
+ * DRAM bandwidth (4b = 3 TB/s in the baseline) is needed for full DRAM
+ * utilization, and anything above it buys nothing.
+ */
+
+#ifndef MCMGPU_SIM_ANALYTIC_HH
+#define MCMGPU_SIM_ANALYTIC_HH
+
+#include <cstdint>
+
+namespace mcmgpu {
+namespace analytic {
+
+/** Inputs of the sizing model. */
+struct LinkSizingModel
+{
+    double dram_total_gbps = 3072.0;
+    double l2_hit_rate = 0.5;
+    uint32_t num_modules = 4;
+
+    /** DRAM bandwidth b of one local partition. */
+    double partitionGbps() const
+    { return dram_total_gbps / num_modules; }
+
+    /** Bandwidth s supplied by one L2 partition toward the SMs. */
+    double l2SupplyGbps() const;
+
+    /** Remote share of one partition's supply: s * (P-1)/P. */
+    double remoteEgressPerModuleGbps() const;
+
+    /**
+     * Mean shortest-path hop count on a bidirectional ring of
+     * num_modules stops (4/3 for the 4-GPM package): remote traffic
+     * occupies this many link segments on average, so ring links must
+     * be oversized by the same factor.
+     */
+    double meanRingHops() const;
+
+    /**
+     * Per-module link bandwidth (one direction) at which the fabric
+     * stops constraining DRAM utilization — the paper's "4b" rule.
+     */
+    double requiredLinkGbps() const;
+
+    /**
+     * Fraction of peak DRAM utilization achievable when the per-module
+     * link bandwidth is @p link_gbps (1.0 when the link is sufficient).
+     */
+    double dramUtilizationAt(double link_gbps) const;
+};
+
+} // namespace analytic
+} // namespace mcmgpu
+
+#endif // MCMGPU_SIM_ANALYTIC_HH

@@ -1,0 +1,237 @@
+#include "sim/experiment.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/log.hh"
+#include "common/summary.hh"
+#include "sim/simulator.hh"
+
+namespace mcmgpu {
+namespace experiment {
+
+namespace {
+
+bool progress_enabled = true;
+
+/** Bump when the timing model changes to invalidate stale caches. */
+constexpr int kModelVersion = 1;
+
+std::string cache_dir = [] {
+    const char *env = std::getenv("MCMGPU_CACHE_DIR");
+    return std::string(env ? env : ".mcmgpu_cache");
+}();
+
+uint64_t
+fnv1a(const std::string &s)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string
+cachePath(const std::string &key)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "/v%d-%016llx.run", kModelVersion,
+                  static_cast<unsigned long long>(fnv1a(key)));
+    return cache_dir + buf;
+}
+
+bool
+loadCached(const std::string &key, RunResult &r)
+{
+    if (cache_dir.empty())
+        return false;
+    std::ifstream in(cachePath(key));
+    if (!in)
+        return false;
+    std::string stored_key;
+    if (!std::getline(in, stored_key) || stored_key != key)
+        return false; // hash collision or truncated file
+    in >> r.workload >> r.config >> r.cycles >> r.warp_instructions >>
+        r.kernels >> r.inter_module_bytes >> r.dram_read_bytes >>
+        r.dram_write_bytes >> r.l1_hit_rate >> r.l15_hit_rate >>
+        r.l2_hit_rate >> r.energy_chip_j >> r.energy_link_j >>
+        r.link_domain_bytes;
+    return static_cast<bool>(in);
+}
+
+void
+storeCached(const std::string &key, const RunResult &r)
+{
+    if (cache_dir.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(cache_dir, ec);
+    if (ec)
+        return;
+    std::ofstream out(cachePath(key));
+    if (!out)
+        return;
+    out.precision(17);
+    out << key << '\n'
+        << r.workload << ' ' << r.config << ' ' << r.cycles << ' '
+        << r.warp_instructions << ' ' << r.kernels << ' '
+        << r.inter_module_bytes << ' ' << r.dram_read_bytes << ' '
+        << r.dram_write_bytes << ' ' << r.l1_hit_rate << ' '
+        << r.l15_hit_rate << ' ' << r.l2_hit_rate << ' '
+        << r.energy_chip_j << ' ' << r.energy_link_j << ' '
+        << r.link_domain_bytes << '\n';
+}
+
+} // namespace
+
+void
+setProgress(bool enabled)
+{
+    progress_enabled = enabled;
+}
+
+void
+setCacheDir(std::string dir)
+{
+    cache_dir = std::move(dir);
+}
+
+std::string
+workloadKey(const workloads::Workload &w)
+{
+    std::ostringstream os;
+    os << w.abbr << '/' << w.footprint_bytes << '/' << w.launches.size();
+    bool cacheable = true;
+    for (const KernelLaunch &l : w.launches) {
+        os << '/' << l.kernel.signature << '@' << l.iterations;
+        if (l.kernel.signature.empty())
+            cacheable = false;
+    }
+    // Kernels without a signature (hand-written traces) cannot be
+    // fingerprinted; poison the key so the disk cache is bypassed.
+    if (!cacheable)
+        os << "/<uncacheable>";
+    return os.str();
+}
+
+std::string
+configKey(const GpuConfig &cfg)
+{
+    std::ostringstream os;
+    os << cfg.num_modules << '/' << cfg.sms_per_module << '/'
+       << cfg.partitions_per_module << '/' << cfg.max_warps_per_sm << '/'
+       << cfg.max_ctas_per_sm << '/' << cfg.sm_issue_width << ','
+       << cfg.max_outstanding_per_warp << '/'
+       << cfg.l1.size_bytes << ',' << cfg.l1.ways << ','
+       << cfg.l1.hit_latency << '/' << cfg.l15_total_bytes << ','
+       << static_cast<int>(cfg.l15_alloc) << ',' << cfg.l15.ways << ','
+       << cfg.l15.hit_latency << ',' << cfg.l15_miss_penalty << '/'
+       << cfg.l2.size_bytes << ','
+       << cfg.l2.ways << ',' << cfg.l2.hit_latency << '/'
+       << cfg.dram_total_gbps << ',' << cfg.dram_latency_ns << ','
+       << cfg.channels_per_partition << '/'
+       << static_cast<int>(cfg.fabric) << ',' << cfg.link_gbps << ','
+       << cfg.link_hop_cycles << ',' << cfg.board_level_links << '/'
+       << static_cast<int>(cfg.page_policy) << ',' << cfg.page_bytes << ','
+       << cfg.interleave_bytes << '/'
+       << static_cast<int>(cfg.cta_sched) << ','
+       << cfg.kernel_launch_cycles;
+    return os.str();
+}
+
+const RunResult &
+run(const GpuConfig &cfg, const workloads::Workload &w)
+{
+    static std::map<std::string, RunResult> memo;
+    const std::string key = configKey(cfg) + "##" + workloadKey(w);
+    auto it = memo.find(key);
+    if (it != memo.end())
+        return it->second;
+
+    const bool cacheable = key.find("<uncacheable>") == std::string::npos;
+    RunResult r;
+    if (cacheable && loadCached(key, r)) {
+        // Names are display-only; refresh them in case presets renamed.
+        r.config = cfg.name;
+        return memo.emplace(key, std::move(r)).first->second;
+    }
+
+    if (progress_enabled) {
+        std::fprintf(stderr, "  [sim] %-10s on %-28s ...", w.abbr.c_str(),
+                     cfg.name.c_str());
+        std::fflush(stderr);
+    }
+    r = Simulator::run(cfg, w);
+    if (progress_enabled) {
+        std::fprintf(stderr, " %llu cycles\n",
+                     static_cast<unsigned long long>(r.cycles));
+    }
+    if (cacheable)
+        storeCached(key, r);
+    return memo.emplace(key, std::move(r)).first->second;
+}
+
+std::vector<RunResult>
+runMany(const GpuConfig &cfg,
+        std::span<const workloads::Workload *const> ws)
+{
+    std::vector<RunResult> out;
+    out.reserve(ws.size());
+    for (const workloads::Workload *w : ws)
+        out.push_back(run(cfg, *w));
+    return out;
+}
+
+std::vector<double>
+speedups(std::span<const RunResult> test, std::span<const RunResult> base)
+{
+    panic_if(test.size() != base.size(),
+             "speedups(): mismatched result sets");
+    std::vector<double> out;
+    out.reserve(test.size());
+    for (size_t i = 0; i < test.size(); ++i) {
+        panic_if(test[i].workload != base[i].workload,
+                 "speedups(): pairing mismatch at index ", i);
+        out.push_back(test[i].speedupOver(base[i]));
+    }
+    return out;
+}
+
+double
+geomeanSpeedup(const GpuConfig &cfg, const GpuConfig &base,
+               std::span<const workloads::Workload *const> ws)
+{
+    std::vector<RunResult> t = runMany(cfg, ws);
+    std::vector<RunResult> b = runMany(base, ws);
+    std::vector<double> s = speedups(t, b);
+    return geomean(s);
+}
+
+std::vector<const workloads::Workload *>
+everyWorkload()
+{
+    std::vector<const workloads::Workload *> out;
+    for (const workloads::Workload &w : workloads::allWorkloads())
+        out.push_back(&w);
+    return out;
+}
+
+std::vector<const workloads::Workload *>
+highParallelismWorkloads()
+{
+    std::vector<const workloads::Workload *> out;
+    for (const workloads::Workload &w : workloads::allWorkloads()) {
+        if (w.category != workloads::Category::LimitedParallelism)
+            out.push_back(&w);
+    }
+    return out;
+}
+
+} // namespace experiment
+} // namespace mcmgpu

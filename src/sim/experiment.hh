@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Experiment harness shared by the benchmark binaries: memoized runs
+ * (a baseline is reused across every column of a figure), category
+ * aggregation, and speedup reporting in the paper's style.
+ */
+
+#ifndef MCMGPU_SIM_EXPERIMENT_HH
+#define MCMGPU_SIM_EXPERIMENT_HH
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "sim/results.hh"
+#include "workloads/registry.hh"
+
+namespace mcmgpu {
+namespace experiment {
+
+/**
+ * A stable serialization of every timing-relevant config field; two
+ * configs with equal keys simulate identically.
+ */
+std::string configKey(const GpuConfig &cfg);
+
+/** Toggle per-run progress lines on stderr (off in unit tests). */
+void setProgress(bool enabled);
+
+/**
+ * A fingerprint of a workload's launch structure; combined with
+ * configKey() it identifies a simulation outcome for caching.
+ */
+std::string workloadKey(const workloads::Workload &w);
+
+/**
+ * Directory for the cross-process result cache. Defaults to
+ * ".mcmgpu_cache" under the current directory; set to "" to disable.
+ * Also honours the MCMGPU_CACHE_DIR environment variable.
+ */
+void setCacheDir(std::string dir);
+
+/** Run @p w on @p cfg, memoized per process. */
+const RunResult &run(const GpuConfig &cfg, const workloads::Workload &w);
+
+/** Run a set of workloads; results in input order. */
+std::vector<RunResult> runMany(
+    const GpuConfig &cfg,
+    std::span<const workloads::Workload *const> ws);
+
+/** Per-workload speedups of @p test over @p base (paired by order). */
+std::vector<double> speedups(std::span<const RunResult> test,
+                             std::span<const RunResult> base);
+
+/** Geometric-mean speedup of @p cfg over @p base across @p ws. */
+double geomeanSpeedup(const GpuConfig &cfg, const GpuConfig &base,
+                      std::span<const workloads::Workload *const> ws);
+
+/** Pointers to every registered workload (all 48). */
+std::vector<const workloads::Workload *> everyWorkload();
+
+/** Pointers to the high-parallelism workloads (M- plus C-intensive). */
+std::vector<const workloads::Workload *> highParallelismWorkloads();
+
+} // namespace experiment
+} // namespace mcmgpu
+
+#endif // MCMGPU_SIM_EXPERIMENT_HH

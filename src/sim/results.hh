@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Metrics collected from one (machine, workload) simulation.
+ */
+
+#ifndef MCMGPU_SIM_RESULTS_HH
+#define MCMGPU_SIM_RESULTS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace mcmgpu {
+
+/** Outcome of one complete application run on one machine. */
+struct RunResult
+{
+    std::string workload;
+    std::string config;
+
+    Cycle cycles = 0;               //!< application completion time
+    uint64_t warp_instructions = 0;
+    uint32_t kernels = 0;
+
+    uint64_t inter_module_bytes = 0; //!< payload injected on the fabric
+    uint64_t dram_read_bytes = 0;
+    uint64_t dram_write_bytes = 0;
+
+    double l1_hit_rate = 0.0;
+    double l15_hit_rate = 0.0;
+    double l2_hit_rate = 0.0;
+
+    double energy_chip_j = 0.0;
+    double energy_link_j = 0.0;   //!< package or board, per machine kind
+    uint64_t link_domain_bytes = 0;
+
+    /** Warp instructions per cycle over the whole run. */
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(warp_instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /**
+     * Average inter-module bandwidth in TB/s (the y-axis of Figures 7,
+     * 10 and 14). At 1 GHz, bytes/cycle == GB/s.
+     */
+    double
+    interModuleTBps() const
+    {
+        return cycles ? static_cast<double>(inter_module_bytes) /
+                            static_cast<double>(cycles) / 1000.0
+                      : 0.0;
+    }
+
+    /** Performance of this run relative to @p baseline (higher=faster). */
+    double
+    speedupOver(const RunResult &baseline) const
+    {
+        return cycles ? static_cast<double>(baseline.cycles) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+} // namespace mcmgpu
+
+#endif // MCMGPU_SIM_RESULTS_HH

@@ -1,0 +1,36 @@
+#include "sim/simulator.hh"
+
+#include "gpu/gpu_system.hh"
+#include "gpu/runtime.hh"
+
+namespace mcmgpu {
+
+RunResult
+Simulator::run(const GpuConfig &cfg, const workloads::Workload &workload)
+{
+    GpuSystem gpu(cfg);
+    Runtime rt(gpu);
+
+    rt.runAll(workload.launches);
+
+    RunResult r;
+    r.workload = workload.abbr;
+    r.config = cfg.name;
+    r.cycles = gpu.eventQueue().now();
+    r.warp_instructions = gpu.totalWarpInstructions();
+    r.kernels = rt.kernelsExecuted();
+    r.inter_module_bytes = gpu.interModuleBytes();
+    r.dram_read_bytes = gpu.dramReadBytes();
+    r.dram_write_bytes = gpu.dramWriteBytes();
+    r.l1_hit_rate = gpu.l1HitRate();
+    r.l15_hit_rate = gpu.l15HitRate();
+    r.l2_hit_rate = gpu.l2HitRate();
+    r.energy_chip_j = gpu.energy().joulesIn(Domain::Chip);
+    const Domain link_domain =
+        cfg.board_level_links ? Domain::Board : Domain::Package;
+    r.energy_link_j = gpu.energy().joulesIn(link_domain);
+    r.link_domain_bytes = gpu.energy().bytesIn(link_domain);
+    return r;
+}
+
+} // namespace mcmgpu

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Top-level entry point: instantiate a machine from a GpuConfig, run a
+ * workload on it, and harvest a RunResult.
+ */
+
+#ifndef MCMGPU_SIM_SIMULATOR_HH
+#define MCMGPU_SIM_SIMULATOR_HH
+
+#include "common/config.hh"
+#include "sim/results.hh"
+#include "workloads/workload.hh"
+
+namespace mcmgpu {
+
+/** Stateless façade over GpuSystem + Runtime. */
+class Simulator
+{
+  public:
+    /**
+     * Simulate @p workload to completion on a fresh machine described
+     * by @p cfg.
+     */
+    static RunResult run(const GpuConfig &cfg,
+                         const workloads::Workload &workload);
+};
+
+} // namespace mcmgpu
+
+#endif // MCMGPU_SIM_SIMULATOR_HH

@@ -1,0 +1,54 @@
+#include "workloads/registry.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace mcmgpu {
+namespace workloads {
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> suite = [] {
+        std::vector<Workload> all;
+        buildHpcSuite(all);
+        buildGraphSuite(all);
+        buildComputeSuite(all);
+        buildLimitedSuite(all);
+
+        // Stable order: memory-intensive first (Table 4 order is kept
+        // within the builders), then compute-intensive, then limited.
+        std::stable_sort(all.begin(), all.end(),
+                         [](const Workload &a, const Workload &b) {
+                             return static_cast<int>(a.category) <
+                                    static_cast<int>(b.category);
+                         });
+        return all;
+    }();
+    return suite;
+}
+
+std::vector<const Workload *>
+byCategory(Category c)
+{
+    std::vector<const Workload *> out;
+    for (const Workload &w : allWorkloads()) {
+        if (w.category == c)
+            out.push_back(&w);
+    }
+    return out;
+}
+
+const Workload *
+findByAbbr(const std::string &abbr)
+{
+    for (const Workload &w : allWorkloads()) {
+        if (w.abbr == abbr)
+            return &w;
+    }
+    return nullptr;
+}
+
+} // namespace workloads
+} // namespace mcmgpu

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The 48-application benchmark suite (section 4).
+ *
+ * The paper draws from CORAL, Lonestar, Rodinia, and NVIDIA in-house
+ * CUDA benchmarks: 17 memory-intensive high-parallelism applications
+ * (named with footprints in Table 4), plus compute-intensive and
+ * limited-parallelism groups making 33 high-parallelism and 15
+ * limited-parallelism applications in total. This registry exposes the
+ * synthetic counterparts.
+ */
+
+#ifndef MCMGPU_WORKLOADS_REGISTRY_HH
+#define MCMGPU_WORKLOADS_REGISTRY_HH
+
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace mcmgpu {
+namespace workloads {
+
+/** All 48 applications, built once, in stable order (M, C, Limited). */
+const std::vector<Workload> &allWorkloads();
+
+/** Pointers to the members of @p c, preserving registry order. */
+std::vector<const Workload *> byCategory(Category c);
+
+/** Find one application by its paper abbreviation; nullptr if absent. */
+const Workload *findByAbbr(const std::string &abbr);
+
+// Suite builders, one per source group (defined in suite_*.cc).
+void buildHpcSuite(std::vector<Workload> &out);
+void buildGraphSuite(std::vector<Workload> &out);
+void buildComputeSuite(std::vector<Workload> &out);
+void buildLimitedSuite(std::vector<Workload> &out);
+
+} // namespace workloads
+} // namespace mcmgpu
+
+#endif // MCMGPU_WORKLOADS_REGISTRY_HH

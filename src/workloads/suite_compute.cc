@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Compute-intensive, high-parallelism applications (the second slice of
+ * the paper's 33 scalable workloads). These are throughput-bound on SM
+ * issue rather than on DRAM, so they scale with SM count (Figure 2) and
+ * show only mild sensitivity to inter-GPM bandwidth (Figure 4) — with
+ * the exceptions the paper calls out: SP is effectively
+ * bandwidth-hungry and gains 4.4x from the locality optimizations, and
+ * Streamcluster regresses when the write-back L2 shrinks (section 5.4).
+ */
+
+#include "workloads/registry.hh"
+
+#include "common/units.hh"
+
+namespace mcmgpu {
+namespace workloads {
+
+namespace {
+
+KernelSpec
+spec(std::string name, uint32_t ctas, uint32_t warps, uint32_t items,
+     uint32_t compute, std::vector<ArrayRef> arrays,
+     std::vector<AccessSpec> accesses, uint64_t seed)
+{
+    KernelSpec k;
+    k.name = std::move(name);
+    k.num_ctas = ctas;
+    k.warps_per_cta = warps;
+    k.items_per_warp = items;
+    k.compute_per_item = compute;
+    k.arrays = std::move(arrays);
+    k.accesses = std::move(accesses);
+    k.seed = seed;
+    return k;
+}
+
+/** Dense GEMM tile kernel: stream A, broadcast B tiles, write C. */
+Workload
+makeSgemm()
+{
+    WorkloadBuilder b("Dense matrix multiply", "SGEMM",
+                      Category::ComputeIntensive);
+    ArrayRef a{b.alloc(8 * MiB), 8 * MiB};
+    ArrayRef bm{b.alloc(8 * MiB), 8 * MiB};
+    ArrayRef c{b.alloc(8 * MiB), 8 * MiB};
+    b.launch(spec("gemm", 4096, 4, 8, 28, {a, bm, c},
+                  {part(0), bcast(1), part(2, true)}, 41),
+             2);
+    return b.build();
+}
+
+/** Scalar pentadiagonal solver: large fields, moderate compute. */
+Workload
+makeSp()
+{
+    WorkloadBuilder b("Scalar Penta-diagonal solver", "SP",
+                      Category::ComputeIntensive);
+    ArrayRef fields{b.alloc(32 * MiB), 32 * MiB};
+    ArrayRef out{b.alloc(16 * MiB), 16 * MiB};
+    b.launch(spec("sp_sweep", 4096, 4, 12, 8, {fields, out},
+                  {part(0), part(1, true)}, 42),
+             2);
+    return b.build();
+}
+
+Workload
+makeBackprop()
+{
+    WorkloadBuilder b("Neural net training", "Backprop",
+                      Category::ComputeIntensive);
+    ArrayRef in{b.alloc(8 * MiB), 8 * MiB};
+    ArrayRef w{b.alloc(4 * MiB), 4 * MiB};
+    ArrayRef delta{b.alloc(8 * MiB), 8 * MiB};
+    b.launch(spec("backprop", 4096, 4, 8, 36, {in, w, delta},
+                  {part(0), bcast(1), part(2, true)}, 43),
+             2);
+    return b.build();
+}
+
+Workload
+makeHotspot()
+{
+    WorkloadBuilder b("Thermal simulation", "Hotspot",
+                      Category::ComputeIntensive);
+    ArrayRef grid{b.alloc(8 * MiB), 8 * MiB};
+    ArrayRef out{b.alloc(8 * MiB), 8 * MiB};
+    b.launch(spec("hotspot", 4096, 4, 6, 32, {grid, out},
+                  {part(0), halo(0, 1), halo(0, -1), part(1, true)}, 44),
+             2);
+    return b.build();
+}
+
+Workload
+makeLavaMd()
+{
+    WorkloadBuilder b("Particle potential (LavaMD)", "LavaMD",
+                      Category::ComputeIntensive);
+    ArrayRef pos{b.alloc(8 * MiB), 8 * MiB};
+    ArrayRef force{b.alloc(8 * MiB), 8 * MiB};
+    b.launch(spec("lavamd", 4096, 4, 6, 48, {pos, force},
+                  {part(0), gatherLocal(0, 1 * MiB), part(1, true)}, 45),
+             2);
+    return b.build();
+}
+
+Workload
+makePathfinder()
+{
+    WorkloadBuilder b("Dynamic programming path", "Pathfinder",
+                      Category::ComputeIntensive);
+    ArrayRef grid{b.alloc(8 * MiB), 8 * MiB};
+    ArrayRef out{b.alloc(8 * MiB), 8 * MiB};
+    b.launch(spec("pathfinder", 4096, 4, 8, 24, {grid, out},
+                  {part(0), halo(0, 1), part(1, true)}, 46),
+             1);
+    return b.build();
+}
+
+Workload
+makeFft()
+{
+    WorkloadBuilder b("Fast Fourier Transform", "FFT",
+                      Category::ComputeIntensive);
+    ArrayRef data{b.alloc(16 * MiB), 16 * MiB};
+    b.launch(spec("fft_stage", 4096, 4, 8, 48, {data},
+                  {part(0), halo(0, 256), part(0, true)}, 47),
+             2);
+    return b.build();
+}
+
+Workload
+makeNbody()
+{
+    WorkloadBuilder b("N-body simulation", "Nbody",
+                      Category::ComputeIntensive);
+    ArrayRef pos{b.alloc(4 * MiB), 4 * MiB};
+    ArrayRef force{b.alloc(4 * MiB), 4 * MiB};
+    // All-pairs tiles: every CTA streams the whole position array.
+    b.launch(spec("nbody", 4096, 4, 6, 56, {pos, force},
+                  {part(0), bcast(0), part(1, true)}, 48),
+             2);
+    return b.build();
+}
+
+Workload
+makeHistogram()
+{
+    WorkloadBuilder b("Histogram", "Histogram",
+                      Category::ComputeIntensive);
+    ArrayRef in{b.alloc(16 * MiB), 16 * MiB};
+    ArrayRef bins{b.alloc(1 * MiB), 1 * MiB};
+    AccessSpec scatter = gather(1, 32);
+    scatter.store = true;
+    b.launch(spec("histogram", 4096, 4, 8, 24, {in, bins},
+                  {part(0), scatter}, 49),
+             2);
+    return b.build();
+}
+
+Workload
+makeReduction()
+{
+    WorkloadBuilder b("Parallel reduction", "Reduction",
+                      Category::ComputeIntensive);
+    ArrayRef in{b.alloc(32 * MiB), 32 * MiB};
+    ArrayRef out{b.alloc(2 * MiB), 2 * MiB};
+    AccessSpec emit = part(1, true, 32);
+    emit.prob = 0.1; // only the tree root of each tile writes
+    b.launch(spec("reduce", 4096, 4, 12, 24, {in, out},
+                  {part(0), emit}, 50),
+             2);
+    return b.build();
+}
+
+Workload
+makeMonteCarlo()
+{
+    WorkloadBuilder b("Monte Carlo pricing", "MonteCarlo",
+                      Category::ComputeIntensive);
+    ArrayRef table{b.alloc(4 * MiB), 4 * MiB};
+    ArrayRef out{b.alloc(4 * MiB), 4 * MiB};
+    b.launch(spec("mc_paths", 4096, 4, 8, 40, {table, out},
+                  {gather(0, 64), part(1, true, 64)}, 51),
+             1);
+    return b.build();
+}
+
+Workload
+makeBlackScholes()
+{
+    WorkloadBuilder b("Black-Scholes options", "BlackScholes",
+                      Category::ComputeIntensive);
+    ArrayRef opts{b.alloc(16 * MiB), 16 * MiB};
+    ArrayRef out{b.alloc(16 * MiB), 16 * MiB};
+    b.launch(spec("bs", 4096, 4, 8, 36, {opts, out},
+                  {part(0), part(1, true)}, 52),
+             2);
+    return b.build();
+}
+
+Workload
+makeRaytrace()
+{
+    WorkloadBuilder b("Ray tracing", "Raytrace",
+                      Category::ComputeIntensive);
+    ArrayRef bvh{b.alloc(8 * MiB), 8 * MiB};
+    ArrayRef tris{b.alloc(8 * MiB), 8 * MiB};
+    ArrayRef fb{b.alloc(4 * MiB), 4 * MiB};
+    b.launch(spec("trace", 4096, 4, 6, 44, {bvh, tris, fb},
+                  {gather(0, 64), gather(1, 64), part(2, true, 64)}, 53),
+             1);
+    return b.build();
+}
+
+Workload
+makeDct()
+{
+    WorkloadBuilder b("DCT 8x8 blocks", "DCT8x8",
+                      Category::ComputeIntensive);
+    ArrayRef img{b.alloc(8 * MiB), 8 * MiB};
+    ArrayRef out{b.alloc(8 * MiB), 8 * MiB};
+    b.launch(spec("dct", 4096, 4, 8, 30, {img, out},
+                  {part(0), part(1, true)}, 54),
+             2);
+    return b.build();
+}
+
+Workload
+makeStreamcluster()
+{
+    WorkloadBuilder b("Online clustering", "Streamcluster",
+                      Category::ComputeIntensive);
+    ArrayRef points{b.alloc(12 * MiB), 12 * MiB};
+    ArrayRef medians{b.alloc(2 * MiB), 2 * MiB};
+    ArrayRef out{b.alloc(12 * MiB), 12 * MiB};
+    // Partial-line writes make this kernel lean hard on the write-back
+    // L2: shrinking it (the 16MB-L1.5 configuration) inflates DRAM
+    // write traffic, the regression the paper reports (-25.3%).
+    b.launch(spec("cluster", 4096, 4, 6, 16, {points, medians, out},
+                  {part(0), bcast(1), part(2, true, 64)}, 55),
+             3);
+    return b.build();
+}
+
+Workload
+makeGaussian()
+{
+    WorkloadBuilder b("Gaussian elimination", "Gaussian",
+                      Category::ComputeIntensive);
+    ArrayRef mat{b.alloc(8 * MiB), 8 * MiB};
+    b.launch(spec("eliminate", 4096, 4, 6, 40, {mat},
+                  {part(0), halo(0, 64), part(0, true)}, 56),
+             2);
+    return b.build();
+}
+
+} // namespace
+
+void
+buildComputeSuite(std::vector<Workload> &out)
+{
+    out.push_back(makeSgemm());
+    out.push_back(makeSp());
+    out.push_back(makeBackprop());
+    out.push_back(makeHotspot());
+    out.push_back(makeLavaMd());
+    out.push_back(makePathfinder());
+    out.push_back(makeFft());
+    out.push_back(makeNbody());
+    out.push_back(makeHistogram());
+    out.push_back(makeReduction());
+    out.push_back(makeMonteCarlo());
+    out.push_back(makeBlackScholes());
+    out.push_back(makeRaytrace());
+    out.push_back(makeDct());
+    out.push_back(makeStreamcluster());
+    out.push_back(makeGaussian());
+}
+
+} // namespace workloads
+} // namespace mcmgpu

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Memory-intensive, high-parallelism HPC applications (Table 4, minus
+ * the Lonestar graph codes which live in suite_graph.cc). Synthetic
+ * counterparts of the CORAL / Rodinia / in-house workloads: each keeps
+ * the access structure that matters to the paper's optimizations
+ * (stencil halos, CTA-partitioned streams, neighbour-list gathers,
+ * broadcast coefficient tables) at a footprint scaled to simulation
+ * speed while staying well above the 16MB on-package cache budget
+ * whenever the original exceeded it.
+ */
+
+#include "workloads/registry.hh"
+
+#include "common/units.hh"
+
+namespace mcmgpu {
+namespace workloads {
+
+namespace {
+
+/** Shorthand for assembling a KernelSpec. */
+KernelSpec
+spec(std::string name, uint32_t ctas, uint32_t warps, uint32_t items,
+     uint32_t compute, std::vector<ArrayRef> arrays,
+     std::vector<AccessSpec> accesses, uint64_t seed)
+{
+    KernelSpec k;
+    k.name = std::move(name);
+    k.num_ctas = ctas;
+    k.warps_per_cta = warps;
+    k.items_per_warp = items;
+    k.compute_per_item = compute;
+    k.arrays = std::move(arrays);
+    k.accesses = std::move(accesses);
+    k.seed = seed;
+    return k;
+}
+
+Workload
+makeAmg()
+{
+    WorkloadBuilder b("Algebraic multigrid solver", "AMG",
+                      Category::MemoryIntensive);
+    b.paperFootprintMB(5430);
+    ArrayRef mat{b.alloc(24 * MiB), 24 * MiB};
+    ArrayRef x{b.alloc(8 * MiB), 8 * MiB};
+    ArrayRef tmp{b.alloc(8 * MiB), 8 * MiB};
+    // V-cycle smoother: row-partitioned matrix walk with an indirect
+    // read of the solution vector through the sparse column indices.
+    b.launch(spec("amg_smooth", 2048, 4, 24, 2, {mat, x, tmp},
+                  {part(0), gatherLocal(1, 2 * MiB), part(2, true)}, 11),
+             2);
+    return b.build();
+}
+
+Workload
+makeNnConv()
+{
+    WorkloadBuilder b("Neural Network Convolution", "NN-Conv",
+                      Category::MemoryIntensive);
+    b.paperFootprintMB(496);
+    ArrayRef in{b.alloc(16 * MiB), 16 * MiB};
+    ArrayRef weights{b.alloc(4 * MiB), 4 * MiB};
+    ArrayRef out{b.alloc(16 * MiB), 16 * MiB};
+    // im2col-style streaming with filter overlap plus broadcast weights.
+    b.launch(spec("conv_fwd", 2048, 4, 16, 4, {in, weights, out},
+                  {part(0), halo(0, 1), bcast(1), part(2, true)}, 12),
+             2);
+    return b.build();
+}
+
+Workload
+makeCfd()
+{
+    WorkloadBuilder b("CFD Euler3D", "CFD", Category::MemoryIntensive);
+    b.paperFootprintMB(25);
+    ArrayRef cells{b.alloc(24 * MiB), 24 * MiB};
+    ArrayRef faces{b.alloc(12 * MiB), 12 * MiB};
+    ArrayRef flux{b.alloc(8 * MiB), 8 * MiB};
+    // Unstructured mesh: cell-centred reads plus neighbour gathers.
+    b.launch(spec("euler_step", 2048, 4, 12, 4, {cells, faces, flux},
+                  {part(0), gatherLocal(0, 1 * MiB), halo(1, 2),
+                   part(2, true)}, 13),
+             2);
+    return b.build();
+}
+
+Workload
+makeComd()
+{
+    WorkloadBuilder b("Classic Molecular Dynamics", "CoMD",
+                      Category::MemoryIntensive);
+    b.paperFootprintMB(385);
+    ArrayRef pos{b.alloc(12 * MiB), 12 * MiB};
+    ArrayRef force{b.alloc(12 * MiB), 12 * MiB};
+    // Cell-list force kernel: each atom reads neighbours within a
+    // spatial window around its own cell.
+    b.launch(spec("force", 2048, 8, 6, 6, {pos, force},
+                  {part(0), gatherLocal(0, 768 * KiB),
+                   gatherLocal(0, 768 * KiB), part(1, true)}, 14),
+             2);
+    return b.build();
+}
+
+Workload
+makeKmeans()
+{
+    WorkloadBuilder b("Kmeans clustering", "Kmeans",
+                      Category::MemoryIntensive);
+    b.paperFootprintMB(216);
+    ArrayRef points{b.alloc(32 * MiB), 32 * MiB};
+    ArrayRef centroids{b.alloc(1 * MiB), 1 * MiB};
+    ArrayRef assign{b.alloc(4 * MiB), 4 * MiB};
+    // Assignment step: stream the points, broadcast the centroids.
+    b.launch(spec("assign", 2048, 4, 24, 4, {points, centroids, assign},
+                  {part(0), bcast(1), part(2, true, 32)}, 15),
+             2);
+    return b.build();
+}
+
+Workload
+makeLulesh(const char *name, const char *abbr, uint64_t paper_mb,
+           uint64_t elem_mb, uint32_t ctas, int32_t row_halo,
+           uint32_t iters, uint64_t seed)
+{
+    WorkloadBuilder b(name, abbr, Category::MemoryIntensive);
+    b.paperFootprintMB(paper_mb);
+    ArrayRef nodes{b.alloc(elem_mb * MiB), elem_mb * MiB};
+    ArrayRef out{b.alloc(elem_mb * MiB), elem_mb * MiB};
+    // Lagrangian hydro stencil: nearest-neighbour halos in one
+    // dimension plus a row-distance halo standing in for the 3D mesh.
+    b.launch(spec("calc_forces", ctas, 4, 16, 4, {nodes, out},
+                  {part(0), halo(0, 1), halo(0, -1), halo(0, row_halo),
+                   part(1, true)}, seed),
+             iters);
+    return b.build();
+}
+
+Workload
+makeLulesh3()
+{
+    WorkloadBuilder b("Lulesh unstructured", "Lulesh3",
+                      Category::MemoryIntensive);
+    b.paperFootprintMB(203);
+    ArrayRef mesh{b.alloc(24 * MiB), 24 * MiB};
+    ArrayRef out{b.alloc(8 * MiB), 8 * MiB};
+    b.launch(spec("calc_unstruct", 2048, 4, 12, 4, {mesh, out},
+                  {gatherLocal(0, 1536 * KiB), gatherLocal(0, 1536 * KiB),
+                   part(1, true)}, 18),
+             2);
+    return b.build();
+}
+
+Workload
+makeMiniAmr()
+{
+    WorkloadBuilder b("Adaptive Mesh Refinement", "MiniAMR",
+                      Category::MemoryIntensive);
+    b.paperFootprintMB(5407);
+    ArrayRef blocks{b.alloc(32 * MiB), 32 * MiB};
+    ArrayRef out{b.alloc(8 * MiB), 8 * MiB};
+    b.launch(spec("stencil", 2048, 4, 16, 3, {blocks, out},
+                  {part(0), halo(0, 4), halo(0, -4), part(1, true)}, 19),
+             2);
+    return b.build();
+}
+
+Workload
+makeMnCtct()
+{
+    WorkloadBuilder b("Mini Contact Solid Mechanics", "MnCtct",
+                      Category::MemoryIntensive);
+    b.paperFootprintMB(251);
+    ArrayRef mesh{b.alloc(16 * MiB), 16 * MiB};
+    ArrayRef contact{b.alloc(8 * MiB), 8 * MiB};
+    b.launch(spec("contact_search", 2048, 4, 16, 5, {mesh, contact},
+                  {part(0), gatherLocal(0, 2 * MiB),
+                   part(1, true, 64)}, 20),
+             2);
+    return b.build();
+}
+
+Workload
+makeNekbone(const char *name, const char *abbr, uint64_t paper_mb,
+            uint64_t elem_mb, uint32_t ctas, uint32_t iters,
+            uint64_t seed)
+{
+    WorkloadBuilder b(name, abbr, Category::MemoryIntensive);
+    b.paperFootprintMB(paper_mb);
+    ArrayRef elems{b.alloc(elem_mb * MiB), elem_mb * MiB};
+    ArrayRef op{b.alloc(1 * MiB), 1 * MiB};
+    ArrayRef out{b.alloc(elem_mb * MiB / 2), elem_mb * MiB / 2};
+    // Spectral-element matrix-vector product: broadcast operator matrix
+    // applied to partitioned element data with face exchanges.
+    b.launch(spec("ax", ctas, 4, 20, 8, {elems, op, out},
+                  {part(0), bcast(1), halo(0, 2), part(2, true)}, seed),
+             iters);
+    return b.build();
+}
+
+Workload
+makeSrad()
+{
+    WorkloadBuilder b("SRAD (v2)", "Srad-v2", Category::MemoryIntensive);
+    b.paperFootprintMB(96);
+    ArrayRef img{b.alloc(16 * MiB), 16 * MiB};
+    ArrayRef out{b.alloc(16 * MiB), 16 * MiB};
+    // 2D diffusion stencil: east/west are adjacent lines, north/south
+    // are a full image row away (128 lines), crossing CTA chunks.
+    b.launch(spec("srad", 2048, 4, 16, 3, {img, out},
+                  {part(0), halo(0, 1), halo(0, -1), halo(0, 128),
+                   part(1, true)}, 23),
+             2);
+    return b.build();
+}
+
+Workload
+makeStream()
+{
+    WorkloadBuilder b("Stream Triad", "Stream",
+                      Category::MemoryIntensive);
+    b.paperFootprintMB(3072);
+    ArrayRef a{b.alloc(32 * MiB), 32 * MiB};
+    ArrayRef bb{b.alloc(32 * MiB), 32 * MiB};
+    ArrayRef c{b.alloc(32 * MiB), 32 * MiB};
+    // a[i] = b[i] + scalar * c[i]: pure bandwidth, zero reuse.
+    b.launch(spec("triad", 4096, 4, 12, 3, {a, bb, c},
+                  {part(1), part(2), part(0, true)}, 24),
+             2);
+    return b.build();
+}
+
+} // namespace
+
+void
+buildHpcSuite(std::vector<Workload> &out)
+{
+    out.push_back(makeAmg());
+    out.push_back(makeNnConv());
+    out.push_back(makeCfd());
+    out.push_back(makeComd());
+    out.push_back(makeKmeans());
+    out.push_back(makeLulesh("Lulesh (size 150)", "Lulesh1", 1891, 16,
+                             2048, 64, 2, 16));
+    out.push_back(makeLulesh("Lulesh (size 190)", "Lulesh2", 4309, 24,
+                             3072, 96, 2, 17));
+    out.push_back(makeLulesh3());
+    out.push_back(makeMiniAmr());
+    out.push_back(makeMnCtct());
+    out.push_back(makeNekbone("Nekbone solver (size 18)", "Nekbone1",
+                              1746, 24, 2048, 2, 21));
+    out.push_back(makeNekbone("Nekbone solver (size 12)", "Nekbone2",
+                              287, 20, 1024, 2, 22));
+    out.push_back(makeSrad());
+    out.push_back(makeStream());
+}
+
+} // namespace workloads
+} // namespace mcmgpu

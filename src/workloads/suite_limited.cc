@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Limited-parallelism applications (15 of 48, section 2.1): grids too
+ * small to fill a 256-SM GPU, so their Figure 2 scaling plateaus
+ * around 64-128 SMs. Working sets are comparatively small (the paper
+ * notes the GPM-side L1.5 "is able to capture the relatively small
+ * working sets of the limited-parallelism GPU applications", +3.5%),
+ * with two deliberate exceptions: DWT and NN gather over large,
+ * low-reuse footprints, so the L1.5's added lookup latency makes them
+ * the paper's regression cases (up to -14.6%).
+ */
+
+#include "workloads/registry.hh"
+
+#include "common/units.hh"
+
+namespace mcmgpu {
+namespace workloads {
+
+namespace {
+
+KernelSpec
+spec(std::string name, uint32_t ctas, uint32_t warps, uint32_t items,
+     uint32_t compute, std::vector<ArrayRef> arrays,
+     std::vector<AccessSpec> accesses, uint64_t seed)
+{
+    KernelSpec k;
+    k.name = std::move(name);
+    k.num_ctas = ctas;
+    k.warps_per_cta = warps;
+    k.items_per_warp = items;
+    k.compute_per_item = compute;
+    k.arrays = std::move(arrays);
+    k.accesses = std::move(accesses);
+    k.seed = seed;
+    return k;
+}
+
+Workload
+makeDwt()
+{
+    WorkloadBuilder b("Discrete Wavelet Transform", "DWT",
+                      Category::LimitedParallelism);
+    ArrayRef img{b.alloc(24 * MiB), 24 * MiB};
+    ArrayRef out{b.alloc(1 * MiB), 1 * MiB};
+    // Single pass of low-reuse strided gathers over a large image: the
+    // L1.5 cannot hold the remote working set, so its lookup latency
+    // is pure cost (paper regression case).
+    AccessSpec emit = part(1, true, 64);
+    emit.prob = 0.25; // sparse coefficient writes
+    b.launch(spec("dwt", 192, 8, 24, 6, {img, out},
+                  {gather(0), gather(0), emit}, 61),
+             1);
+    return b.build();
+}
+
+Workload
+makeNn()
+{
+    WorkloadBuilder b("Nearest Neighbor", "NN",
+                      Category::LimitedParallelism);
+    ArrayRef records{b.alloc(24 * MiB), 24 * MiB};
+    ArrayRef out{b.alloc(512 * KiB), 512 * KiB};
+    // One scan over a large record set: no reuse for any cache level
+    // (the paper's second L1.5 regression case).
+    b.launch(spec("nn", 128, 8, 36, 4, {records, out},
+                  {gather(0), part(1, true, 32)}, 62),
+             1);
+    return b.build();
+}
+
+Workload
+makeBtree()
+{
+    WorkloadBuilder b("B+ tree search", "BTree",
+                      Category::LimitedParallelism);
+    ArrayRef tree{b.alloc(1536 * KiB), 1536 * KiB};
+    ArrayRef out{b.alloc(512 * KiB), 512 * KiB};
+    // Dependent node reads per query: the top tree levels stay hot in
+    // the private L1s, only the leaf read touches the full tree.
+    ArrayRef hot{tree.base, 96 * KiB};
+    b.launch(spec("btree", 224, 16, 24, 20, {tree, out, hot},
+                  {gather(2, 64), gather(2, 64), gather(0, 64),
+                   part(1, true, 32)}, 63),
+             2);
+    return b.build();
+}
+
+Workload
+makeHeartwall()
+{
+    WorkloadBuilder b("Heart wall tracking", "Heartwall",
+                      Category::LimitedParallelism);
+    ArrayRef frames{b.alloc(2 * MiB), 2 * MiB};
+    ArrayRef out{b.alloc(1 * MiB), 1 * MiB};
+    b.launch(spec("track", 192, 16, 16, 36, {frames, out},
+                  {part(0), gatherLocal(0, 1 * MiB), part(1, true, 64)},
+                  64),
+             2);
+    return b.build();
+}
+
+Workload
+makeParticlefilter()
+{
+    WorkloadBuilder b("Particle filter", "Particlefilter",
+                      Category::LimitedParallelism);
+    ArrayRef particles{b.alloc(1536 * KiB), 1536 * KiB};
+    ArrayRef weights{b.alloc(1 * MiB), 1 * MiB};
+    b.launch(spec("resample", 224, 16, 12, 36, {particles, weights},
+                  {part(0), gather(1, 64), part(0, true)}, 65),
+             2);
+    return b.build();
+}
+
+Workload
+makeMyocyte()
+{
+    WorkloadBuilder b("Cardiac myocyte ODE", "Myocyte",
+                      Category::LimitedParallelism);
+    ArrayRef state{b.alloc(1536 * KiB), 1536 * KiB};
+    b.launch(spec("ode_step", 128, 8, 32, 80, {state},
+                  {part(0), part(0, true)}, 66),
+             2);
+    return b.build();
+}
+
+Workload
+makeLeukocyte()
+{
+    WorkloadBuilder b("Leukocyte tracking", "Leukocyte",
+                      Category::LimitedParallelism);
+    ArrayRef img{b.alloc(1536 * KiB), 1536 * KiB};
+    ArrayRef out{b.alloc(512 * KiB), 512 * KiB};
+    b.launch(spec("detect", 160, 16, 16, 40, {img, out},
+                  {gatherLocal(0, 1 * MiB), part(1, true, 64)}, 67),
+             2);
+    return b.build();
+}
+
+Workload
+makeMummer()
+{
+    WorkloadBuilder b("DNA sequence alignment", "MUMmer",
+                      Category::LimitedParallelism);
+    ArrayRef ref{b.alloc(1536 * KiB), 1536 * KiB};
+    ArrayRef out{b.alloc(1 * MiB), 1 * MiB};
+    // Suffix-tree walks over a reference that fits the on-package
+    // caches; queries revisit the same high levels of the tree.
+    b.launch(spec("align", 192, 16, 16, 30, {ref, out},
+                  {gather(0, 64), gather(0, 64), part(1, true, 32)}, 68),
+             2);
+    return b.build();
+}
+
+Workload
+makeDijkstra()
+{
+    WorkloadBuilder b("Single-source Dijkstra", "Dijkstra",
+                      Category::LimitedParallelism);
+    ArrayRef adj{b.alloc(1536 * KiB), 1536 * KiB};
+    ArrayRef dist{b.alloc(512 * KiB), 512 * KiB};
+    b.launch(spec("relax", 160, 16, 20, 24, {adj, dist},
+                  {gather(0), part(1, true, 32)}, 69),
+             2);
+    return b.build();
+}
+
+Workload
+makeQsort()
+{
+    WorkloadBuilder b("GPU quicksort", "QSort",
+                      Category::LimitedParallelism);
+    ArrayRef data{b.alloc(2 * MiB), 2 * MiB};
+    b.launch(spec("partition", 224, 16, 12, 28, {data},
+                  {part(0), gather(0, 64), part(0, true)}, 70),
+             2);
+    return b.build();
+}
+
+Workload
+makeXsbench()
+{
+    WorkloadBuilder b("Monte Carlo neutronics", "XSBench",
+                      Category::LimitedParallelism);
+    ArrayRef xs{b.alloc(2 * MiB), 2 * MiB};
+    ArrayRef out{b.alloc(1 * MiB), 1 * MiB};
+    // Unionized-grid lookups concentrate on the hot low-energy bands:
+    // a table slice small enough that the remote-only L1.5 absorbs
+    // nearly all link traffic (one of the paper's biggest winners).
+    ArrayRef hot{xs.base, 1 * MiB};
+    b.launch(spec("xs_lookup", 224, 16, 20, 8, {xs, out, hot},
+                  {gather(2, 64, 0.75), gather(0, 64, 0.25),
+                   gather(2, 64, 0.75), part(1, true, 32)}, 71),
+             2);
+    return b.build();
+}
+
+Workload
+makeCholesky()
+{
+    WorkloadBuilder b("Cholesky factorization", "Cholesky",
+                      Category::LimitedParallelism);
+    ArrayRef mat{b.alloc(2 * MiB), 2 * MiB};
+    b.launch(spec("factor", 256, 8, 16, 48, {mat},
+                  {part(0), gather(0), part(0, true)}, 72),
+             2);
+    return b.build();
+}
+
+Workload
+makeLud()
+{
+    WorkloadBuilder b("LU decomposition", "LUD",
+                      Category::LimitedParallelism);
+    ArrayRef mat{b.alloc(2 * MiB), 2 * MiB};
+    b.launch(spec("lud", 192, 8, 20, 36, {mat},
+                  {part(0), gather(0), part(0, true)}, 73),
+             2);
+    return b.build();
+}
+
+Workload
+makeHotspot3d()
+{
+    WorkloadBuilder b("3D thermal simulation", "Hotspot3D",
+                      Category::LimitedParallelism);
+    ArrayRef grid{b.alloc(4 * MiB), 4 * MiB};
+    ArrayRef out{b.alloc(4 * MiB), 4 * MiB};
+    b.launch(spec("hotspot3d", 224, 16, 10, 40, {grid, out},
+                  {part(0), halo(0, 1), halo(0, 128), part(1, true)}, 74),
+             2);
+    return b.build();
+}
+
+Workload
+makeTsp()
+{
+    WorkloadBuilder b("Traveling salesman 2-opt", "TSP",
+                      Category::LimitedParallelism);
+    ArrayRef dist{b.alloc(1 * MiB), 1 * MiB};
+    ArrayRef tour{b.alloc(512 * KiB), 512 * KiB};
+    // 2-opt moves re-evaluate the same small distance matrix heavily
+    // within one improvement sweep.
+    b.launch(spec("two_opt", 96, 8, 64, 40, {dist, tour},
+                  {gather(0, 64), part(1, true, 32)}, 75),
+             1);
+    return b.build();
+}
+
+} // namespace
+
+void
+buildLimitedSuite(std::vector<Workload> &out)
+{
+    out.push_back(makeDwt());
+    out.push_back(makeNn());
+    out.push_back(makeBtree());
+    out.push_back(makeHeartwall());
+    out.push_back(makeParticlefilter());
+    out.push_back(makeMyocyte());
+    out.push_back(makeLeukocyte());
+    out.push_back(makeMummer());
+    out.push_back(makeDijkstra());
+    out.push_back(makeQsort());
+    out.push_back(makeXsbench());
+    out.push_back(makeCholesky());
+    out.push_back(makeLud());
+    out.push_back(makeHotspot3d());
+    out.push_back(makeTsp());
+}
+
+} // namespace workloads
+} // namespace mcmgpu

@@ -1,0 +1,74 @@
+#include "workloads/workload.hh"
+
+#include "common/log.hh"
+#include "common/units.hh"
+
+namespace mcmgpu {
+namespace workloads {
+
+const char *
+categoryName(Category c)
+{
+    switch (c) {
+      case Category::MemoryIntensive:
+        return "M-Intensive";
+      case Category::ComputeIntensive:
+        return "C-Intensive";
+      case Category::LimitedParallelism:
+        return "Lim-Parallel";
+    }
+    panic("unknown category");
+}
+
+namespace {
+/** Applications allocate from a fixed heap base, like a GPU VA space. */
+constexpr Addr kHeapBase = 0x1000'0000ull;
+constexpr uint64_t kAllocAlign = 64 * KiB;
+} // namespace
+
+WorkloadBuilder::WorkloadBuilder(std::string name, std::string abbr,
+                                 Category cat)
+    : next_base_(kHeapBase)
+{
+    w_.name = std::move(name);
+    w_.abbr = std::move(abbr);
+    w_.category = cat;
+}
+
+Addr
+WorkloadBuilder::alloc(uint64_t bytes)
+{
+    fatal_if(bytes == 0, "workload '", w_.abbr, "': zero-byte allocation");
+    Addr base = next_base_;
+    uint64_t aligned = (bytes + kAllocAlign - 1) / kAllocAlign * kAllocAlign;
+    next_base_ += aligned;
+    w_.footprint_bytes += aligned;
+    return base;
+}
+
+WorkloadBuilder &
+WorkloadBuilder::paperFootprintMB(uint64_t mb)
+{
+    w_.paper_footprint_mb = mb;
+    return *this;
+}
+
+WorkloadBuilder &
+WorkloadBuilder::launch(KernelSpec spec, uint32_t iterations)
+{
+    fatal_if(iterations == 0, "workload '", w_.abbr,
+             "': kernel launched zero times");
+    w_.launches.push_back({makeKernel(std::move(spec)), iterations});
+    return *this;
+}
+
+Workload
+WorkloadBuilder::build()
+{
+    fatal_if(w_.launches.empty(),
+             "workload '", w_.abbr, "' has no kernels");
+    return std::move(w_);
+}
+
+} // namespace workloads
+} // namespace mcmgpu

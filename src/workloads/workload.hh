@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Workload representation and builder.
+ *
+ * A workload is an application: a named sequence of kernel launches
+ * over a set of global-memory allocations, classified as in section 4
+ * of the paper (memory-intensive / compute-intensive /
+ * limited-parallelism).
+ */
+
+#ifndef MCMGPU_WORKLOADS_WORKLOAD_HH
+#define MCMGPU_WORKLOADS_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "gpu/kernel.hh"
+#include "workloads/patterns.hh"
+
+namespace mcmgpu {
+namespace workloads {
+
+/** Paper section 4 application categories. */
+enum class Category
+{
+    MemoryIntensive,
+    ComputeIntensive,
+    LimitedParallelism,
+};
+
+/** Human-readable category name ("M-Intensive", ...). */
+const char *categoryName(Category c);
+
+/** One synthetic application. */
+struct Workload
+{
+    std::string name;          //!< full name ("Stream Triad")
+    std::string abbr;          //!< paper abbreviation ("Stream")
+    Category category = Category::MemoryIntensive;
+    uint64_t footprint_bytes = 0;   //!< simulated memory footprint
+    uint64_t paper_footprint_mb = 0; //!< Table 4 figure (0 if unlisted)
+    std::vector<KernelLaunch> launches;
+};
+
+/**
+ * Fluent construction helper. Allocations are page-aligned and bump the
+ * footprint; launch() converts a KernelSpec into a launchable kernel.
+ */
+class WorkloadBuilder
+{
+  public:
+    WorkloadBuilder(std::string name, std::string abbr, Category cat);
+
+    /** Allocate @p bytes of global memory; returns its base address. */
+    Addr alloc(uint64_t bytes);
+
+    /** Record the footprint the paper reports in Table 4. */
+    WorkloadBuilder &paperFootprintMB(uint64_t mb);
+
+    /** Add @p iterations launches of the kernel described by @p spec. */
+    WorkloadBuilder &launch(KernelSpec spec, uint32_t iterations = 1);
+
+    /** Finalize; the builder must not be reused afterwards. */
+    Workload build();
+
+  private:
+    Workload w_;
+    Addr next_base_;
+};
+
+} // namespace workloads
+} // namespace mcmgpu
+
+#endif // MCMGPU_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the section 3.3.1 analytical link-sizing model,
+ * anchored to the paper's worked example.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/analytic.hh"
+
+namespace mcmgpu {
+namespace analytic {
+namespace {
+
+TEST(Analytic, PaperWorkedExample)
+{
+    LinkSizingModel m; // P=4, 3072 GB/s, h=0.5
+    EXPECT_DOUBLE_EQ(m.partitionGbps(), 768.0);          // b
+    EXPECT_DOUBLE_EQ(m.l2SupplyGbps(), 1536.0);          // 2b
+    EXPECT_DOUBLE_EQ(m.remoteEgressPerModuleGbps(), 1152.0); // 1.5b
+    // With the 4/3 mean-hop ring transit factor: exactly 4b = 3 TB/s.
+    EXPECT_DOUBLE_EQ(m.requiredLinkGbps(), 3072.0);
+}
+
+TEST(Analytic, MeanRingHops)
+{
+    LinkSizingModel m;
+    m.num_modules = 2;
+    EXPECT_DOUBLE_EQ(m.meanRingHops(), 1.0);
+    m.num_modules = 4;
+    EXPECT_DOUBLE_EQ(m.meanRingHops(), 4.0 / 3.0);
+    m.num_modules = 8;
+    EXPECT_DOUBLE_EQ(m.meanRingHops(), (1 + 2 + 3 + 4 + 3 + 2 + 1) / 7.0);
+    m.num_modules = 1;
+    EXPECT_DOUBLE_EQ(m.meanRingHops(), 0.0);
+}
+
+TEST(Analytic, UtilizationSaturatesAtOne)
+{
+    LinkSizingModel m;
+    EXPECT_DOUBLE_EQ(m.dramUtilizationAt(6144.0), 1.0);
+    EXPECT_DOUBLE_EQ(m.dramUtilizationAt(3072.0), 1.0);
+    EXPECT_NEAR(m.dramUtilizationAt(1536.0), 0.5, 1e-12);
+    EXPECT_NEAR(m.dramUtilizationAt(768.0), 0.25, 1e-12);
+    EXPECT_NEAR(m.dramUtilizationAt(384.0), 0.125, 1e-12);
+}
+
+TEST(Analytic, HigherHitRateNeedsMoreLink)
+{
+    // Counter-intuitive but correct: a better memory-side L2 supplies
+    // more bandwidth to the SMs, most of which is remote.
+    LinkSizingModel lo, hi;
+    lo.l2_hit_rate = 0.3;
+    hi.l2_hit_rate = 0.7;
+    EXPECT_GT(hi.requiredLinkGbps(), lo.requiredLinkGbps());
+}
+
+TEST(Analytic, SingleModuleNeedsNoLink)
+{
+    LinkSizingModel m;
+    m.num_modules = 1;
+    EXPECT_DOUBLE_EQ(m.remoteEgressPerModuleGbps(), 0.0);
+    EXPECT_DOUBLE_EQ(m.requiredLinkGbps(), 0.0);
+    EXPECT_DOUBLE_EQ(m.dramUtilizationAt(0.0), 1.0);
+}
+
+TEST(Analytic, InvalidInputsRejected)
+{
+    LinkSizingModel m;
+    m.l2_hit_rate = 1.0;
+    EXPECT_ANY_THROW(m.l2SupplyGbps());
+    m.l2_hit_rate = -0.1;
+    EXPECT_ANY_THROW(m.l2SupplyGbps());
+    m.l2_hit_rate = 0.5;
+    EXPECT_ANY_THROW(m.dramUtilizationAt(-1.0));
+}
+
+class AnalyticModuleSweep : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(AnalyticModuleSweep, RemoteShareGrowsWithModules)
+{
+    LinkSizingModel m;
+    m.num_modules = GetParam();
+    const double remote_share =
+        static_cast<double>(GetParam() - 1) / GetParam();
+    EXPECT_NEAR(m.remoteEgressPerModuleGbps(),
+                m.l2SupplyGbps() * remote_share, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(ModuleCounts, AnalyticModuleSweep,
+                         ::testing::Values(2u, 3u, 4u, 6u, 8u));
+
+} // namespace
+} // namespace analytic
+} // namespace mcmgpu

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests for the foundation utilities: stats groups, table
+ * rendering, summary math, unit conversions, RNG determinism, and the
+ * logging error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/summary.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+
+namespace mcmgpu {
+namespace {
+
+// --- stats -----------------------------------------------------------------
+
+TEST(Stats, CountersAccumulate)
+{
+    stats::Group g("grp");
+    stats::Scalar &a = g.add("a", "first");
+    stats::Scalar &b = g.add("b");
+    a += 2.5;
+    ++a;
+    b.set(7.0);
+    EXPECT_DOUBLE_EQ(g.get("a"), 3.5);
+    EXPECT_DOUBLE_EQ(g.get("b"), 7.0);
+    EXPECT_DOUBLE_EQ(g.get("missing"), 0.0);
+}
+
+TEST(Stats, ReferencesStayValidAsGroupGrows)
+{
+    stats::Group g("grp");
+    stats::Scalar &first = g.add("s0");
+    for (int i = 1; i < 100; ++i)
+        g.add("s" + std::to_string(i));
+    first += 42.0;
+    EXPECT_DOUBLE_EQ(g.get("s0"), 42.0);
+}
+
+TEST(Stats, DuplicateNamePanics)
+{
+    stats::Group g("grp");
+    g.add("x");
+    EXPECT_ANY_THROW(g.add("x"));
+}
+
+TEST(Stats, ResetAllZeroes)
+{
+    stats::Group g("grp");
+    g.add("x") += 5.0;
+    g.resetAll();
+    EXPECT_DOUBLE_EQ(g.get("x"), 0.0);
+}
+
+TEST(Stats, DumpFormat)
+{
+    stats::Group g("cache");
+    g.add("hits", "number of hits") += 3;
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "cache.hits 3  # number of hits\n");
+}
+
+// --- table -----------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"Name", "Value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("| alpha |     1 |"), std::string::npos) << s;
+    EXPECT_NE(s.find("| b     |    22 |"), std::string::npos) << s;
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    t.addSeparator();
+    t.addRow({"3", "4"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, RowArityEnforced)
+{
+    Table t({"a", "b"});
+    EXPECT_ANY_THROW(t.addRow({"only-one"}));
+    EXPECT_ANY_THROW(Table({}));
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::fmt(2.0, 0), "2");
+    EXPECT_EQ(Table::pct(0.228), "+22.8%");
+    EXPECT_EQ(Table::pct(-0.047), "-4.7%");
+}
+
+// --- summary ----------------------------------------------------------------
+
+TEST(Summary, Geomean)
+{
+    std::vector<double> v{1.0, 4.0};
+    EXPECT_DOUBLE_EQ(geomean(v), 2.0);
+    EXPECT_DOUBLE_EQ(geomean(std::vector<double>{}), 0.0);
+    EXPECT_ANY_THROW(geomean(std::vector<double>{1.0, 0.0}));
+    EXPECT_ANY_THROW(geomean(std::vector<double>{-1.0}));
+}
+
+TEST(Summary, MeanAndRatiosAndSort)
+{
+    std::vector<double> a{2.0, 4.0}, b{1.0, 2.0};
+    EXPECT_DOUBLE_EQ(mean(a), 3.0);
+    auto r = ratios(a, b);
+    EXPECT_EQ(r, (std::vector<double>{2.0, 2.0}));
+    EXPECT_ANY_THROW(ratios(a, std::vector<double>{1.0}));
+    EXPECT_ANY_THROW(ratios(a, std::vector<double>{1.0, 0.0}));
+    auto s = sortedAscending(std::vector<double>{3.0, 1.0, 2.0});
+    EXPECT_EQ(s, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+// --- units -----------------------------------------------------------------
+
+TEST(Units, BandwidthConversions)
+{
+    // At 1 GHz, n GB/s == n bytes/cycle.
+    EXPECT_DOUBLE_EQ(gbPerSecToBytesPerCycle(768.0), 768.0);
+    EXPECT_DOUBLE_EQ(bytesPerCycleToGBPerSec(3072.0), 3072.0);
+    EXPECT_EQ(nsToCycles(100.0), 100u);
+    EXPECT_EQ(nsToCycles(0.0), 0u);
+}
+
+TEST(Units, ByteFormatting)
+{
+    EXPECT_EQ(formatBytes(128), "128 B");
+    EXPECT_EQ(formatBytes(128 * KiB), "128 KB");
+    EXPECT_EQ(formatBytes(16 * MiB), "16 MB");
+    EXPECT_EQ(formatBytes(3 * GiB), "3 GB");
+    EXPECT_EQ(formatBandwidthGB(768.0), "768 GB/s");
+    EXPECT_EQ(formatBandwidthGB(3072.0), "3.07 TB/s");
+}
+
+// --- rng --------------------------------------------------------------------
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(5), b(5), c(6);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(11);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, UniformCoversUnitInterval)
+{
+    Rng r(13);
+    double lo = 1.0, hi = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        lo = std::min(lo, u);
+        hi = std::max(hi, u);
+    }
+    EXPECT_LT(lo, 0.01);
+    EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng r(17);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits, 3000, 200);
+}
+
+TEST(Rng, SplitmixSpreadsSmallSeeds)
+{
+    EXPECT_NE(splitmix64(1), splitmix64(2));
+    EXPECT_NE(splitmix64(0), 0u);
+}
+
+// --- log --------------------------------------------------------------------
+
+TEST(Log, PanicAndFatalThrow)
+{
+    setQuietLogging(true);
+    EXPECT_THROW(panic("boom ", 42), std::logic_error);
+    EXPECT_THROW(fatal("user error"), std::runtime_error);
+    EXPECT_THROW(panic_if(true, "cond"), std::logic_error);
+    EXPECT_NO_THROW(panic_if(false, "cond"));
+    EXPECT_THROW(fatal_if(1 == 1, "cond"), std::runtime_error);
+    EXPECT_NO_THROW(fatal_if(false, "cond"));
+}
+
+TEST(Log, QuietToggle)
+{
+    setQuietLogging(true);
+    EXPECT_TRUE(quietLogging());
+    setQuietLogging(false);
+    EXPECT_FALSE(quietLogging());
+    setQuietLogging(true);
+}
+
+// --- energy constants are exercised in test_gpu_system / bench --------------
+
+} // namespace
+} // namespace mcmgpu

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit and property tests for the CTA schedulers (sections 3.2 / 5.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gpu/cta_sched.hh"
+
+namespace mcmgpu {
+namespace {
+
+TEST(CentralizedScheduler, HandsOutInIndexOrder)
+{
+    CentralizedScheduler s;
+    s.beginKernel(6);
+    EXPECT_EQ(s.nextFor(3).value(), 0u);
+    EXPECT_EQ(s.nextFor(0).value(), 1u);
+    EXPECT_EQ(s.nextFor(2).value(), 2u);
+    EXPECT_EQ(s.remaining(), 3u);
+}
+
+TEST(CentralizedScheduler, ExhaustsExactly)
+{
+    CentralizedScheduler s;
+    s.beginKernel(4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(s.nextFor(0).has_value());
+    EXPECT_FALSE(s.nextFor(0).has_value());
+    EXPECT_EQ(s.remaining(), 0u);
+}
+
+TEST(CentralizedScheduler, BeginKernelResets)
+{
+    CentralizedScheduler s;
+    s.beginKernel(2);
+    s.nextFor(0);
+    s.beginKernel(3);
+    EXPECT_EQ(s.remaining(), 3u);
+    EXPECT_EQ(s.nextFor(1).value(), 0u);
+}
+
+TEST(DistributedScheduler, ContiguousEqualRanges)
+{
+    DistributedScheduler s(4);
+    s.beginKernel(16);
+    EXPECT_EQ(s.rangeOf(0), std::make_pair(0u, 4u));
+    EXPECT_EQ(s.rangeOf(1), std::make_pair(4u, 8u));
+    EXPECT_EQ(s.rangeOf(2), std::make_pair(8u, 12u));
+    EXPECT_EQ(s.rangeOf(3), std::make_pair(12u, 16u));
+}
+
+TEST(DistributedScheduler, ModuleOnlyDrawsFromItsRange)
+{
+    DistributedScheduler s(4);
+    s.beginKernel(16);
+    for (CtaId expect = 8; expect < 12; ++expect)
+        EXPECT_EQ(s.nextFor(2).value(), expect);
+    EXPECT_FALSE(s.nextFor(2).has_value())
+        << "no work stealing across modules";
+    EXPECT_EQ(s.remaining(), 12u);
+}
+
+TEST(DistributedScheduler, RemainderSpreadContiguously)
+{
+    DistributedScheduler s(4);
+    s.beginKernel(10);
+    uint32_t covered = 0;
+    uint32_t prev_hi = 0;
+    for (ModuleId m = 0; m < 4; ++m) {
+        auto [lo, hi] = s.rangeOf(m);
+        EXPECT_EQ(lo, prev_hi) << "ranges must be contiguous";
+        EXPECT_GE(hi, lo);
+        EXPECT_LE(hi - lo, 3u);
+        covered += hi - lo;
+        prev_hi = hi;
+    }
+    EXPECT_EQ(covered, 10u);
+}
+
+TEST(DistributedScheduler, FewerCtasThanModules)
+{
+    DistributedScheduler s(4);
+    s.beginKernel(2);
+    int with_work = 0;
+    for (ModuleId m = 0; m < 4; ++m) {
+        if (s.nextFor(m).has_value())
+            ++with_work;
+    }
+    EXPECT_EQ(with_work, 2);
+}
+
+TEST(CtaSchedulerFactory, CreatesRequestedPolicy)
+{
+    auto c = CtaScheduler::create(CtaSchedPolicy::CentralizedRR, 4);
+    auto d = CtaScheduler::create(CtaSchedPolicy::DistributedBatch, 4);
+    c->beginKernel(8);
+    d->beginKernel(8);
+    // Centralized: module 3 gets CTA 0. Distributed: module 3's first
+    // CTA is from its own range (6).
+    EXPECT_EQ(c->nextFor(3).value(), 0u);
+    EXPECT_EQ(d->nextFor(3).value(), 6u);
+}
+
+/** Property: both policies hand out each CTA exactly once. */
+class SchedulerCoverage
+    : public ::testing::TestWithParam<std::tuple<CtaSchedPolicy, uint32_t,
+                                                 uint32_t>>
+{
+};
+
+TEST_P(SchedulerCoverage, EveryCtaExactlyOnce)
+{
+    auto [policy, modules, ctas] = GetParam();
+    auto s = CtaScheduler::create(policy, modules);
+    s->beginKernel(ctas);
+
+    std::set<CtaId> seen;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (ModuleId m = 0; m < modules; ++m) {
+            if (auto c = s->nextFor(m)) {
+                EXPECT_TRUE(seen.insert(*c).second)
+                    << "CTA " << *c << " handed out twice";
+                progress = true;
+            }
+        }
+    }
+    EXPECT_EQ(seen.size(), ctas);
+    EXPECT_EQ(s->remaining(), 0u);
+    if (!seen.empty()) {
+        EXPECT_EQ(*seen.begin(), 0u);
+        EXPECT_EQ(*seen.rbegin(), ctas - 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndShapes, SchedulerCoverage,
+    ::testing::Combine(::testing::Values(CtaSchedPolicy::CentralizedRR,
+                                         CtaSchedPolicy::DistributedBatch),
+                       ::testing::Values(1u, 2u, 4u, 8u),
+                       ::testing::Values(1u, 7u, 64u, 1000u)));
+
+} // namespace
+} // namespace mcmgpu

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the Table 2 energy model and the experiment disk
+ * cache (round-trip fidelity).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/log.hh"
+#include "common/units.hh"
+#include "noc/energy.hh"
+#include "sim/experiment.hh"
+
+namespace mcmgpu {
+namespace {
+
+TEST(EnergyModel, Table2Constants)
+{
+    EXPECT_STREQ(kEnergyDomains[0].name, "Chip");
+    EXPECT_DOUBLE_EQ(kEnergyDomains[0].pj_per_bit, 0.080);
+    EXPECT_STREQ(kEnergyDomains[1].name, "Package");
+    EXPECT_DOUBLE_EQ(kEnergyDomains[1].pj_per_bit, 0.5);
+    EXPECT_STREQ(kEnergyDomains[2].name, "Board");
+    EXPECT_DOUBLE_EQ(kEnergyDomains[2].pj_per_bit, 10.0);
+    EXPECT_STREQ(kEnergyDomains[3].name, "System");
+    EXPECT_DOUBLE_EQ(kEnergyDomains[3].pj_per_bit, 250.0);
+}
+
+TEST(EnergyModel, JoulesFromBytes)
+{
+    EnergyModel m;
+    m.account(Domain::Package, 1'000'000); // 1 MB over GRS links
+    // 1e6 bytes * 8 bits * 0.5 pJ = 4e-6 J.
+    EXPECT_NEAR(m.joulesIn(Domain::Package), 4e-6, 1e-12);
+    EXPECT_DOUBLE_EQ(m.joulesIn(Domain::Board), 0.0);
+    EXPECT_NEAR(m.totalJoules(), 4e-6, 1e-12);
+}
+
+TEST(EnergyModel, BoardIsTwentyTimesPackage)
+{
+    EnergyModel a, b;
+    a.account(Domain::Package, 1 << 20);
+    b.account(Domain::Board, 1 << 20);
+    EXPECT_NEAR(b.totalJoules() / a.totalJoules(), 20.0, 1e-9);
+}
+
+TEST(EnergyModel, AccumulatesAndResets)
+{
+    EnergyModel m;
+    m.account(Domain::Chip, 100);
+    m.account(Domain::Chip, 50);
+    EXPECT_EQ(m.bytesIn(Domain::Chip), 150u);
+    m.reset();
+    EXPECT_EQ(m.bytesIn(Domain::Chip), 0u);
+    EXPECT_DOUBLE_EQ(m.totalJoules(), 0.0);
+}
+
+TEST(ExperimentCache, RoundTripsResultsAcrossProcessLifetimes)
+{
+    setQuietLogging(true);
+    experiment::setProgress(false);
+
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "mcmgpu_cache_test")
+            .string();
+    std::filesystem::remove_all(dir);
+    experiment::setCacheDir(dir);
+
+    const workloads::Workload *w = workloads::findByAbbr("Myocyte");
+    ASSERT_NE(w, nullptr);
+    GpuConfig cfg = configs::monolithic(32);
+    const RunResult &fresh = experiment::run(cfg, *w);
+
+    // The cache file exists and decodes to the identical result.
+    ASSERT_FALSE(std::filesystem::is_empty(dir));
+    // Simulate a new process by re-reading through a second config
+    // object with a different display name (same timing key).
+    GpuConfig renamed = configs::monolithic(32).withName("other-name");
+    const RunResult &again = experiment::run(renamed, *w);
+    EXPECT_EQ(fresh.cycles, again.cycles);
+    EXPECT_EQ(fresh.inter_module_bytes, again.inter_module_bytes);
+    EXPECT_DOUBLE_EQ(fresh.l2_hit_rate, again.l2_hit_rate);
+
+    experiment::setCacheDir("");
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace mcmgpu

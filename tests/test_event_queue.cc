@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the deterministic discrete-event engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/event_queue.hh"
+
+namespace mcmgpu {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtTimeZero)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 10)
+            eq.schedule(eq.now() + 7, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(fired, 10);
+    EXPECT_EQ(eq.now(), 63u);
+}
+
+TEST(EventQueue, RunHonoursLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    EXPECT_FALSE(eq.run(50)) << "limit hit: queue not drained";
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_ANY_THROW(eq.schedule(50, [] {}));
+}
+
+TEST(EventQueue, SchedulingAtNowIsAllowed)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] {
+        eq.schedule(eq.now(), [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, ResetRewindsTime)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    eq.step();
+    eq.reset();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, ExecutedCounter)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(static_cast<Cycle>(i), [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 5u);
+}
+
+TEST(EventQueue, LargeFanOutIsStable)
+{
+    EventQueue eq;
+    uint64_t sum = 0;
+    for (Cycle t = 0; t < 10000; ++t)
+        eq.schedule(t ^ 0x2a5, [&sum, t] { sum += t; });
+    eq.run();
+    EXPECT_EQ(sum, 9999ull * 10000ull / 2ull);
+}
+
+} // namespace
+} // namespace mcmgpu

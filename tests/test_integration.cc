@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Integration tests: whole-machine invariants that tie the paper's
+ * architecture story together. These run complete simulations on small
+ * synthetic applications (fast) plus a few spot checks on real suite
+ * members.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "common/units.hh"
+#include "sim/simulator.hh"
+#include "workloads/registry.hh"
+
+namespace mcmgpu {
+namespace {
+
+using workloads::AccessSpec;
+using workloads::ArrayRef;
+using workloads::Category;
+using workloads::KernelSpec;
+using workloads::Workload;
+using workloads::WorkloadBuilder;
+
+class IntegrationTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuietLogging(true); }
+
+    /** A small partitioned-stream application (FT/DS-friendly). */
+    static Workload
+    stream(uint32_t ctas = 512, uint32_t iters = 2)
+    {
+        WorkloadBuilder b("istream", "istream",
+                          Category::MemoryIntensive);
+        ArrayRef in{b.alloc(8 * MiB), 8 * MiB};
+        ArrayRef out{b.alloc(8 * MiB), 8 * MiB};
+        KernelSpec k;
+        k.name = "istream";
+        k.num_ctas = ctas;
+        k.warps_per_cta = 4;
+        k.items_per_warp = 8;
+        k.compute_per_item = 2;
+        k.arrays = {in, out};
+        k.accesses = {workloads::part(0), workloads::part(1, true)};
+        k.seed = 3;
+        b.launch(k, iters);
+        return b.build();
+    }
+
+    /** A shared-table application (L1.5-friendly). */
+    static Workload
+    tableReader()
+    {
+        WorkloadBuilder b("itable", "itable", Category::MemoryIntensive);
+        ArrayRef table{b.alloc(2 * MiB), 2 * MiB};
+        ArrayRef out{b.alloc(4 * MiB), 4 * MiB};
+        KernelSpec k;
+        k.name = "itable";
+        k.num_ctas = 1024;
+        k.warps_per_cta = 4;
+        k.items_per_warp = 12;
+        k.compute_per_item = 2;
+        k.arrays = {table, out};
+        k.accesses = {workloads::gather(0, 64),
+                      workloads::part(1, true, 64)};
+        k.seed = 4;
+        b.launch(k, 2);
+        return b.build();
+    }
+};
+
+TEST_F(IntegrationTest, MonolithicNeverSlowerThanMcmBasic)
+{
+    for (const Workload &w : {stream(), tableReader()}) {
+        RunResult mcm = Simulator::run(configs::mcmBasic(), w);
+        RunResult mono =
+            Simulator::run(configs::monolithicUnbuildable(), w);
+        EXPECT_LE(mono.cycles, mcm.cycles) << w.abbr;
+    }
+}
+
+TEST_F(IntegrationTest, FtPlusDsLocalizesPartitionedStreams)
+{
+    Workload w = stream();
+    RunResult base = Simulator::run(configs::mcmBasic(), w);
+    RunResult opt = Simulator::run(configs::mcmOptimized(), w);
+    EXPECT_LT(opt.inter_module_bytes, base.inter_module_bytes / 10)
+        << "partitioned streams should nearly stop crossing GPMs";
+    EXPECT_LE(opt.cycles, base.cycles);
+}
+
+TEST_F(IntegrationTest, L15CutsTrafficForSharedTables)
+{
+    Workload w = tableReader();
+    RunResult base = Simulator::run(configs::mcmBasic(), w);
+    RunResult l15 = Simulator::run(
+        configs::mcmWithL15(16 * MiB, L15Alloc::RemoteOnly), w);
+    EXPECT_LT(l15.inter_module_bytes, base.inter_module_bytes)
+        << "remote-only L1.5 must absorb repeated remote table reads";
+}
+
+TEST_F(IntegrationTest, LinkBandwidthMonotonicity)
+{
+    Workload w = stream(2048, 2);
+    Cycle prev = kCycleMax;
+    for (double gbps : {384.0, 768.0, 1536.0, 3072.0}) {
+        RunResult r = Simulator::run(configs::mcmBasic(gbps), w);
+        EXPECT_LE(r.cycles, prev) << gbps;
+        prev = r.cycles;
+    }
+}
+
+TEST_F(IntegrationTest, WorkIsConservedAcrossMachines)
+{
+    Workload w = stream();
+    RunResult a = Simulator::run(configs::mcmBasic(), w);
+    RunResult b = Simulator::run(configs::mcmOptimized(), w);
+    RunResult c = Simulator::run(configs::monolithicUnbuildable(), w);
+    EXPECT_EQ(a.warp_instructions, b.warp_instructions);
+    EXPECT_EQ(a.warp_instructions, c.warp_instructions);
+    EXPECT_EQ(a.kernels, 2u);
+}
+
+TEST_F(IntegrationTest, EnergyAccountingConsistent)
+{
+    Workload w = stream();
+    RunResult r = Simulator::run(configs::mcmBasic(), w);
+    EXPECT_GT(r.energy_chip_j, 0.0);
+    EXPECT_GT(r.energy_link_j, 0.0);
+    // Package energy = link bytes * 8 bits * 0.5 pJ.
+    double expect =
+        static_cast<double>(r.link_domain_bytes) * 8.0 * 0.5e-12;
+    EXPECT_NEAR(r.energy_link_j, expect, expect * 1e-9);
+    // Fabric payload is a lower bound on the energy-accounted bytes
+    // (headers ride along).
+    EXPECT_GE(r.link_domain_bytes, r.inter_module_bytes);
+}
+
+TEST_F(IntegrationTest, DramTrafficBoundedBelowByFootprintTouch)
+{
+    // A cold streaming pass must read at least the touched bytes once.
+    Workload w = stream(512, 1);
+    RunResult r = Simulator::run(configs::mcmBasic(), w);
+    // 512 CTAs x 4 warps x 8 items = 16384 distinct input lines.
+    EXPECT_GE(r.dram_read_bytes, 16384u * 128u);
+}
+
+TEST_F(IntegrationTest, MultiGpuSlowerThanMcmOnSharedTables)
+{
+    // Board links are 6x thinner than GPM links; irregular sharing
+    // must hurt the multi-GPU more (the section 6.1 result).
+    Workload w = tableReader();
+    RunResult mcm = Simulator::run(configs::mcmOptimized(), w);
+    RunResult mgpu = Simulator::run(configs::multiGpuOptimized(), w);
+    EXPECT_LT(mcm.cycles, mgpu.cycles);
+}
+
+TEST_F(IntegrationTest, DeterministicAcrossIndependentMachines)
+{
+    Workload w = tableReader();
+    RunResult a = Simulator::run(configs::mcmOptimized(), w);
+    RunResult b = Simulator::run(configs::mcmOptimized(), w);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.inter_module_bytes, b.inter_module_bytes);
+    EXPECT_EQ(a.dram_read_bytes, b.dram_read_bytes);
+}
+
+TEST_F(IntegrationTest, SuiteSpotChecksMatchPaperQualitatively)
+{
+    // Full-suite numbers are validated by the benches; here we pin the
+    // qualitative per-app behaviours the paper calls out, on the real
+    // suite members (kept to a handful for test runtime).
+    const workloads::Workload *sssp = workloads::findByAbbr("SSSP");
+    ASSERT_NE(sssp, nullptr);
+    RunResult base = Simulator::run(configs::mcmBasic(), *sssp);
+    RunResult opt = Simulator::run(configs::mcmOptimized(), *sssp);
+    EXPECT_GT(opt.speedupOver(base), 1.2) << "SSSP is a big winner";
+    EXPECT_LT(opt.inter_module_bytes, base.inter_module_bytes);
+
+    const workloads::Workload *dwt = workloads::findByAbbr("DWT");
+    ASSERT_NE(dwt, nullptr);
+    RunResult dwt_base = Simulator::run(configs::mcmBasic(), *dwt);
+    RunResult dwt_opt = Simulator::run(configs::mcmOptimized(), *dwt);
+    EXPECT_LT(dwt_opt.speedupOver(dwt_base), 1.05)
+        << "DWT must not profit (paper: it regresses)";
+}
+
+TEST_F(IntegrationTest, LimitedParallelismPlateaus)
+{
+    const workloads::Workload *myo = workloads::findByAbbr("Myocyte");
+    ASSERT_NE(myo, nullptr);
+    RunResult at128 = Simulator::run(configs::monolithic(128), *myo);
+    RunResult at256 = Simulator::run(configs::monolithic(256), *myo);
+    EXPECT_LT(at128.cycles / double(at256.cycles), 1.1)
+        << "no meaningful gain beyond the plateau";
+}
+
+} // namespace
+} // namespace mcmgpu

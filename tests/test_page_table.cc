@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit and property tests for the page-placement engine (section 5.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/config.hh"
+#include "common/units.hh"
+#include "mem/page_table.hh"
+
+namespace mcmgpu {
+namespace {
+
+GpuConfig
+mcm(PagePolicy policy)
+{
+    GpuConfig c = configs::mcmBasic();
+    c.page_policy = policy;
+    return c;
+}
+
+TEST(PageTable, FineInterleaveIsStateless)
+{
+    PageTable pt(mcm(PagePolicy::FineInterleave));
+    // 256B blocks round-robin over 4 partitions, regardless of toucher.
+    for (Addr a = 0; a < 16 * KiB; a += 256) {
+        PartitionId p0 = pt.partitionFor(a, 0);
+        PartitionId p3 = pt.partitionFor(a, 3);
+        EXPECT_EQ(p0, p3);
+        EXPECT_EQ(p0, (a / 256) % 4);
+    }
+    EXPECT_EQ(pt.pagesMapped(), 0u);
+}
+
+TEST(PageTable, FineInterleaveSpreadsWithinAPage)
+{
+    PageTable pt(mcm(PagePolicy::FineInterleave));
+    std::map<PartitionId, int> hist;
+    for (Addr a = 0; a < 4 * KiB; a += 256)
+        hist[pt.partitionFor(a, 0)]++;
+    EXPECT_EQ(hist.size(), 4u) << "one page spans every partition";
+    for (auto [p, n] : hist)
+        EXPECT_EQ(n, 4);
+}
+
+TEST(PageTable, FirstTouchPinsWholePage)
+{
+    PageTable pt(mcm(PagePolicy::FirstTouch));
+    PartitionId home = pt.partitionFor(0x10000, 2);
+    EXPECT_EQ(pt.moduleOf(home), 2u);
+    // Every block of the page, from any module, resolves to the pin.
+    for (Addr a = 0x10000; a < 0x10000 + 4 * KiB; a += 256) {
+        for (ModuleId m = 0; m < 4; ++m)
+            EXPECT_EQ(pt.partitionFor(a, m), home);
+    }
+    EXPECT_EQ(pt.pagesMapped(), 1u);
+    EXPECT_EQ(pt.pagesOn(home), 1u);
+}
+
+TEST(PageTable, FirstTouchDistinctPagesIndependent)
+{
+    PageTable pt(mcm(PagePolicy::FirstTouch));
+    PartitionId a = pt.partitionFor(0 * 4096, 0);
+    PartitionId b = pt.partitionFor(1 * 4096, 1);
+    PartitionId c = pt.partitionFor(2 * 4096, 2);
+    EXPECT_EQ(pt.moduleOf(a), 0u);
+    EXPECT_EQ(pt.moduleOf(b), 1u);
+    EXPECT_EQ(pt.moduleOf(c), 2u);
+    EXPECT_EQ(pt.pagesMapped(), 3u);
+}
+
+TEST(PageTable, FirstTouchSpreadsOverLocalPartitions)
+{
+    // Multi-GPU: 2 modules x 4 partitions; consecutive pages touched by
+    // module 0 must spread over partitions 0..3 (channel parallelism).
+    GpuConfig c = configs::multiGpuBaseline();
+    c.page_policy = PagePolicy::FirstTouch;
+    PageTable pt(c);
+    std::map<PartitionId, int> hist;
+    for (uint64_t page = 0; page < 64; ++page)
+        hist[pt.partitionFor(page * c.page_bytes, 0)]++;
+    EXPECT_EQ(hist.size(), 4u);
+    for (auto [p, n] : hist) {
+        EXPECT_EQ(pt.moduleOf(p), 0u);
+        EXPECT_EQ(n, 16);
+    }
+}
+
+TEST(PageTable, RoundRobinPagePolicy)
+{
+    PageTable pt(mcm(PagePolicy::RoundRobinPage));
+    for (uint64_t page = 0; page < 16; ++page) {
+        Addr a = page * 4096 + 128; // arbitrary offset inside the page
+        EXPECT_EQ(pt.partitionFor(a, 3), page % 4);
+    }
+}
+
+TEST(PageTable, ResetForgetsPins)
+{
+    PageTable pt(mcm(PagePolicy::FirstTouch));
+    pt.partitionFor(0x4000, 1);
+    pt.reset();
+    EXPECT_EQ(pt.pagesMapped(), 0u);
+    PartitionId p = pt.partitionFor(0x4000, 3);
+    EXPECT_EQ(pt.moduleOf(p), 3u) << "re-pinned by the new toucher";
+}
+
+TEST(PageTable, InvalidToucherPanics)
+{
+    PageTable pt(mcm(PagePolicy::FirstTouch));
+    EXPECT_ANY_THROW(pt.partitionFor(0x1000, 99));
+}
+
+TEST(PageTable, OutOfRangePartitionQueryPanics)
+{
+    PageTable pt(mcm(PagePolicy::FirstTouch));
+    EXPECT_ANY_THROW(pt.pagesOn(17));
+}
+
+/** Property: every policy returns partitions in range and is stable. */
+class PagePolicySweep : public ::testing::TestWithParam<PagePolicy>
+{
+};
+
+TEST_P(PagePolicySweep, InRangeAndStable)
+{
+    PageTable pt(mcm(GetParam()));
+    for (Addr a = 0; a < 1 * MiB; a += 1024) {
+        ModuleId toucher = (a / 4096) % 4;
+        PartitionId p1 = pt.partitionFor(a, toucher);
+        PartitionId p2 = pt.partitionFor(a, (toucher + 1) % 4);
+        EXPECT_LT(p1, 4u);
+        EXPECT_EQ(p1, p2) << "mapping must be stable after first touch";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PagePolicySweep,
+                         ::testing::Values(PagePolicy::FineInterleave,
+                                           PagePolicy::FirstTouch,
+                                           PagePolicy::RoundRobinPage));
+
+} // namespace
+} // namespace mcmgpu

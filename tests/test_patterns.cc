@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Unit and property tests for the procedural workload generator: the
+ * structural guarantees every synthetic kernel provides (determinism,
+ * chunk containment, halo reach, broadcast equality) are exactly what
+ * the paper's optimizations exploit, so they must hold by construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/units.hh"
+#include "workloads/patterns.hh"
+
+namespace mcmgpu {
+namespace workloads {
+namespace {
+
+std::shared_ptr<KernelSpec>
+baseSpec()
+{
+    auto k = std::make_shared<KernelSpec>();
+    k->name = "t";
+    k->num_ctas = 64;
+    k->warps_per_cta = 4;
+    k->items_per_warp = 16;
+    k->compute_per_item = 3;
+    k->arrays = {{0x1000'0000, 8 * MiB}, {0x2000'0000, 1 * MiB}};
+    k->seed = 99;
+    return k;
+}
+
+std::vector<WarpOp>
+drain(PatternTrace &t)
+{
+    std::vector<WarpOp> ops;
+    WarpOp op;
+    while (t.next(op))
+        ops.push_back(op);
+    return ops;
+}
+
+TEST(PatternTrace, DeterministicReplay)
+{
+    auto k = baseSpec();
+    k->accesses = {part(0), gather(0, 64), gatherLocal(1, 64 * KiB)};
+    PatternTrace a(k, 7, 2);
+    PatternTrace b(k, 7, 2);
+    auto ops_a = drain(a);
+    auto ops_b = drain(b);
+    ASSERT_EQ(ops_a.size(), ops_b.size());
+    for (size_t i = 0; i < ops_a.size(); ++i) {
+        EXPECT_EQ(ops_a[i].addr, ops_b[i].addr) << i;
+        EXPECT_EQ(ops_a[i].is_store, ops_b[i].is_store) << i;
+        EXPECT_EQ(ops_a[i].compute_cycles, ops_b[i].compute_cycles) << i;
+    }
+}
+
+TEST(PatternTrace, DifferentWarpsDiffer)
+{
+    auto k = baseSpec();
+    k->accesses = {gather(0)};
+    auto ops0 = drain(*std::make_unique<PatternTrace>(k, 3, 0));
+    auto ops1 = drain(*std::make_unique<PatternTrace>(k, 3, 1));
+    int differing = 0;
+    for (size_t i = 0; i < ops0.size(); ++i) {
+        if (ops0[i].addr != ops1[i].addr)
+            ++differing;
+    }
+    EXPECT_GT(differing, 0);
+}
+
+TEST(PatternTrace, OpCountMatchesSpec)
+{
+    auto k = baseSpec();
+    k->accesses = {part(0), part(1, true)};
+    PatternTrace t(k, 0, 0);
+    auto ops = drain(t);
+    EXPECT_EQ(ops.size(), k->items_per_warp * k->accesses.size());
+}
+
+TEST(PatternTrace, ComputeAttachedOncePerItem)
+{
+    auto k = baseSpec();
+    k->accesses = {part(0), part(0), part(1, true)};
+    PatternTrace t(k, 0, 0);
+    auto ops = drain(t);
+    uint32_t total_compute = 0;
+    for (const WarpOp &op : ops)
+        total_compute += op.compute_cycles;
+    EXPECT_EQ(total_compute, k->items_per_warp * k->compute_per_item);
+}
+
+TEST(PatternTrace, PartitionedStaysInOwnChunk)
+{
+    auto k = baseSpec();
+    k->accesses = {part(0)};
+    const uint64_t arr_lines = 8 * MiB / kLine;
+    const uint64_t chunk_lines = arr_lines / k->num_ctas;
+    for (CtaId cta : {0u, 17u, 63u}) {
+        for (WarpId w = 0; w < 4; ++w) {
+            PatternTrace t(k, cta, w);
+            for (const WarpOp &op : drain(t)) {
+                uint64_t line = (op.addr - 0x1000'0000) / kLine;
+                EXPECT_GE(line, cta * chunk_lines);
+                EXPECT_LT(line, (cta + 1) * chunk_lines);
+            }
+        }
+    }
+}
+
+TEST(PatternTrace, HaloShiftsByConfiguredLines)
+{
+    auto k = baseSpec();
+    k->accesses = {part(0), halo(0, 5)};
+    PatternTrace t(k, 9, 1);
+    WarpOp base_op, halo_op;
+    ASSERT_TRUE(t.next(base_op));
+    ASSERT_TRUE(t.next(halo_op));
+    const uint64_t arr_bytes = 8 * MiB;
+    uint64_t shifted =
+        (base_op.addr - 0x1000'0000 + 5 * kLine) % arr_bytes;
+    EXPECT_EQ(halo_op.addr - 0x1000'0000, shifted);
+}
+
+TEST(PatternTrace, HaloCanCrossIntoNeighbourChunk)
+{
+    auto k = baseSpec();
+    k->num_ctas = 8;
+    k->items_per_warp = 64;
+    k->accesses = {halo(0, 9000)}; // beyond one whole chunk
+    const uint64_t chunk_lines = (8 * MiB / kLine) / 8;
+    bool crossed = false;
+    PatternTrace t(k, 1, 0);
+    for (const WarpOp &op : drain(t)) {
+        uint64_t line = (op.addr - 0x1000'0000) / kLine;
+        if (line / chunk_lines != 1)
+            crossed = true;
+    }
+    EXPECT_TRUE(crossed);
+}
+
+TEST(PatternTrace, GatherCoversWholeArray)
+{
+    auto k = baseSpec();
+    k->items_per_warp = 4096;
+    k->accesses = {gather(1)}; // 1 MiB array = 8192 lines
+    PatternTrace t(k, 0, 0);
+    std::set<uint64_t> quartiles;
+    for (const WarpOp &op : drain(t)) {
+        uint64_t off = op.addr - 0x2000'0000;
+        ASSERT_LT(off, 1 * MiB);
+        quartiles.insert(off / (256 * KiB));
+    }
+    EXPECT_EQ(quartiles.size(), 4u) << "gather must reach all quartiles";
+}
+
+TEST(PatternTrace, GatherLocalStaysNearChunk)
+{
+    auto k = baseSpec();
+    k->num_ctas = 8;
+    k->items_per_warp = 256;
+    k->accesses = {gatherLocal(0, 128 * KiB)};
+    const uint64_t chunk = 8 * MiB / 8;
+    PatternTrace t(k, 4, 0);
+    for (const WarpOp &op : drain(t)) {
+        uint64_t off = op.addr - 0x1000'0000;
+        int64_t center = 4 * static_cast<int64_t>(chunk);
+        int64_t dist = std::abs(static_cast<int64_t>(off) - center);
+        EXPECT_LE(dist, static_cast<int64_t>(128 * KiB));
+    }
+}
+
+TEST(PatternTrace, BroadcastIdenticalAcrossCtas)
+{
+    auto k = baseSpec();
+    k->accesses = {bcast(1)};
+    auto a = drain(*std::make_unique<PatternTrace>(k, 0, 2));
+    auto b = drain(*std::make_unique<PatternTrace>(k, 55, 2));
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].addr, b[i].addr);
+}
+
+TEST(PatternTrace, ProbabilityThinsAccesses)
+{
+    auto k = baseSpec();
+    k->items_per_warp = 2000;
+    k->accesses = {gather(0, 64, 0.25)};
+    PatternTrace t(k, 0, 0);
+    size_t mem_ops = 0;
+    for (const WarpOp &op : drain(t)) {
+        if (op.has_mem)
+            ++mem_ops;
+    }
+    EXPECT_NEAR(static_cast<double>(mem_ops), 500.0, 100.0);
+}
+
+TEST(PatternTrace, PureComputeKernel)
+{
+    auto k = baseSpec();
+    k->accesses.clear();
+    PatternTrace t(k, 0, 0);
+    auto ops = drain(t);
+    EXPECT_EQ(ops.size(), k->items_per_warp);
+    for (const WarpOp &op : ops) {
+        EXPECT_FALSE(op.has_mem);
+        EXPECT_EQ(op.compute_cycles, k->compute_per_item);
+    }
+}
+
+TEST(MakeKernel, ValidatesSpec)
+{
+    KernelSpec bad;
+    bad.name = "bad";
+    bad.num_ctas = 0;
+    bad.items_per_warp = 4;
+    EXPECT_ANY_THROW(makeKernel(bad));
+
+    bad.num_ctas = 4;
+    bad.items_per_warp = 0;
+    EXPECT_ANY_THROW(makeKernel(bad));
+
+    bad.items_per_warp = 4;
+    bad.arrays = {{0, 1 * MiB}};
+    bad.accesses = {part(0, false, 256)}; // payload > line
+    EXPECT_ANY_THROW(makeKernel(bad));
+}
+
+TEST(MakeKernel, SignatureReflectsEveryParameter)
+{
+    auto k = *baseSpec();
+    k.accesses = {part(0)};
+    std::string sig0 = makeKernel(k).signature;
+
+    KernelSpec k2 = k;
+    k2.seed += 1;
+    EXPECT_NE(makeKernel(k2).signature, sig0);
+
+    KernelSpec k3 = k;
+    k3.accesses[0].bytes = 64;
+    EXPECT_NE(makeKernel(k3).signature, sig0);
+
+    KernelSpec k4 = k;
+    k4.arrays[0].bytes *= 2;
+    EXPECT_NE(makeKernel(k4).signature, sig0);
+
+    EXPECT_EQ(makeKernel(k).signature, sig0);
+}
+
+TEST(MakeKernel, FactoryProducesIndependentTraces)
+{
+    auto k = *baseSpec();
+    k.accesses = {part(0)};
+    KernelDesc d = makeKernel(k);
+    auto t1 = d.make_trace(0, 0);
+    auto t2 = d.make_trace(0, 0);
+    WarpOp a, b;
+    EXPECT_TRUE(t1->next(a));
+    EXPECT_TRUE(t1->next(a));
+    EXPECT_TRUE(t2->next(b)); // t2 starts from the beginning
+    PatternTrace fresh(std::make_shared<KernelSpec>(k), 0, 0);
+    WarpOp first;
+    fresh.next(first);
+    EXPECT_EQ(b.addr, first.addr);
+}
+
+/** Property: addresses always fall inside the referenced array. */
+class PatternBounds : public ::testing::TestWithParam<AccessKind>
+{
+};
+
+TEST_P(PatternBounds, AddressesInBounds)
+{
+    auto k = baseSpec();
+    AccessSpec a;
+    a.array = 0;
+    a.kind = GetParam();
+    a.halo_lines = -7;
+    a.window_bytes = 64 * KiB;
+    k->accesses = {a};
+    k->items_per_warp = 200;
+    for (CtaId cta : {0u, 31u, 63u}) {
+        PatternTrace t(k, cta, 3);
+        for (const WarpOp &op : drain(t)) {
+            EXPECT_GE(op.addr, 0x1000'0000u);
+            EXPECT_LT(op.addr, 0x1000'0000u + 8 * MiB);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, PatternBounds,
+                         ::testing::Values(AccessKind::Partitioned,
+                                           AccessKind::Halo,
+                                           AccessKind::Gather,
+                                           AccessKind::GatherLocal,
+                                           AccessKind::Broadcast));
+
+} // namespace
+} // namespace workloads
+} // namespace mcmgpu

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for the 48-application suite: census, Table 4 roster,
+ * footprints, category structure, and launchability of every entry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/log.hh"
+#include "common/units.hh"
+#include "sim/simulator.hh"
+#include "workloads/registry.hh"
+
+namespace mcmgpu {
+namespace workloads {
+namespace {
+
+TEST(Registry, FortyEightApplications)
+{
+    EXPECT_EQ(allWorkloads().size(), 48u);
+}
+
+TEST(Registry, CategoryCensusMatchesPaper)
+{
+    // Section 4: 33 high-parallelism (17 memory-intensive) + 15
+    // limited-parallelism.
+    EXPECT_EQ(byCategory(Category::MemoryIntensive).size(), 17u);
+    EXPECT_EQ(byCategory(Category::ComputeIntensive).size(), 16u);
+    EXPECT_EQ(byCategory(Category::LimitedParallelism).size(), 15u);
+}
+
+TEST(Registry, Table4RosterComplete)
+{
+    const char *table4[] = {"AMG",      "NN-Conv",  "BFS",     "CFD",
+                            "CoMD",     "Kmeans",   "Lulesh1", "Lulesh2",
+                            "Lulesh3",  "MiniAMR",  "MnCtct",  "MST",
+                            "Nekbone1", "Nekbone2", "Srad-v2", "SSSP",
+                            "Stream"};
+    for (const char *abbr : table4) {
+        const Workload *w = findByAbbr(abbr);
+        ASSERT_NE(w, nullptr) << abbr;
+        EXPECT_EQ(w->category, Category::MemoryIntensive) << abbr;
+        EXPECT_GT(w->paper_footprint_mb, 0u)
+            << abbr << " must carry its Table 4 footprint";
+    }
+}
+
+TEST(Registry, Table4FootprintsMatchPaper)
+{
+    // Spot-check the published numbers.
+    EXPECT_EQ(findByAbbr("AMG")->paper_footprint_mb, 5430u);
+    EXPECT_EQ(findByAbbr("Stream")->paper_footprint_mb, 3072u);
+    EXPECT_EQ(findByAbbr("BFS")->paper_footprint_mb, 37u);
+    EXPECT_EQ(findByAbbr("CFD")->paper_footprint_mb, 25u);
+    EXPECT_EQ(findByAbbr("Lulesh2")->paper_footprint_mb, 4309u);
+    EXPECT_EQ(findByAbbr("MiniAMR")->paper_footprint_mb, 5407u);
+}
+
+TEST(Registry, PaperCalloutsPresent)
+{
+    // Workloads the paper names outside Table 4.
+    for (const char *abbr : {"SP", "XSBench", "DWT", "NN",
+                             "Streamcluster"}) {
+        EXPECT_NE(findByAbbr(abbr), nullptr) << abbr;
+    }
+    EXPECT_EQ(findByAbbr("SP")->category, Category::ComputeIntensive);
+    EXPECT_EQ(findByAbbr("XSBench")->category,
+              Category::LimitedParallelism);
+    EXPECT_EQ(findByAbbr("DWT")->category, Category::LimitedParallelism);
+}
+
+TEST(Registry, AbbreviationsUnique)
+{
+    std::set<std::string> abbrs;
+    for (const Workload &w : allWorkloads())
+        EXPECT_TRUE(abbrs.insert(w.abbr).second)
+            << "duplicate abbr " << w.abbr;
+}
+
+TEST(Registry, EveryWorkloadIsWellFormed)
+{
+    for (const Workload &w : allWorkloads()) {
+        EXPECT_FALSE(w.name.empty());
+        EXPECT_GT(w.footprint_bytes, 0u) << w.abbr;
+        EXPECT_FALSE(w.launches.empty()) << w.abbr;
+        for (const KernelLaunch &l : w.launches) {
+            EXPECT_GT(l.kernel.num_ctas, 0u) << w.abbr;
+            EXPECT_GT(l.kernel.warps_per_cta, 0u) << w.abbr;
+            EXPECT_LE(l.kernel.warps_per_cta, 64u) << w.abbr;
+            EXPECT_GT(l.iterations, 0u) << w.abbr;
+            EXPECT_TRUE(static_cast<bool>(l.kernel.make_trace))
+                << w.abbr;
+            EXPECT_FALSE(l.kernel.signature.empty()) << w.abbr;
+        }
+    }
+}
+
+TEST(Registry, TracesAreProducible)
+{
+    // Every kernel must be able to mint a trace that yields >= 1 op.
+    for (const Workload &w : allWorkloads()) {
+        const KernelDesc &k = w.launches.front().kernel;
+        auto trace = k.make_trace(0, 0);
+        ASSERT_NE(trace, nullptr) << w.abbr;
+        WarpOp op;
+        EXPECT_TRUE(trace->next(op)) << w.abbr;
+    }
+}
+
+TEST(Registry, MemoryIntensiveAppsHaveParallelism)
+{
+    // High-parallelism apps must be able to fill a 256-SM GPU
+    // (>= 4096 CTA-slots demand, i.e., one full wave).
+    for (const Workload *w : byCategory(Category::MemoryIntensive)) {
+        uint32_t total_warps = 0;
+        for (const KernelLaunch &l : w->launches)
+            total_warps = std::max(
+                total_warps, l.kernel.num_ctas * l.kernel.warps_per_cta);
+        EXPECT_GE(total_warps, 4096u) << w->abbr;
+    }
+}
+
+TEST(Registry, LimitedAppsCannotFillTheMachine)
+{
+    // 256 SMs x 64 warps = 16384 warp slots; limited-parallelism grids
+    // must stay well below that (that's what makes them plateau).
+    for (const Workload *w :
+         byCategory(Category::LimitedParallelism)) {
+        for (const KernelLaunch &l : w->launches) {
+            EXPECT_LE(l.kernel.num_ctas * l.kernel.warps_per_cta,
+                      16384u / 2)
+                << w->abbr;
+        }
+    }
+}
+
+TEST(Registry, FindByAbbrMissReturnsNull)
+{
+    EXPECT_EQ(findByAbbr("NoSuchApp"), nullptr);
+}
+
+TEST(Registry, StableOrderAcrossCalls)
+{
+    const auto &a = allWorkloads();
+    const auto &b = allWorkloads();
+    ASSERT_EQ(&a, &b) << "registry is built once";
+    // Categories appear in M, C, L order.
+    EXPECT_EQ(a.front().category, Category::MemoryIntensive);
+    EXPECT_EQ(a.back().category, Category::LimitedParallelism);
+}
+
+/**
+ * The paper's own classification criterion (section 4): an application
+ * is memory-intensive if it degrades by more than 20% when the system
+ * memory bandwidth is halved. On the MCM-GPU the memory system spans
+ * DRAM *and* the inter-GPM links, so both are halved together. Every
+ * Table 4 member must satisfy the criterion (small tolerance for
+ * model noise).
+ */
+class MemoryIntensityCriterion
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(MemoryIntensityCriterion, DegradesWhenMemoryBandwidthHalved)
+{
+    setQuietLogging(true);
+    const Workload *w = findByAbbr(GetParam());
+    ASSERT_NE(w, nullptr);
+
+    GpuConfig full = configs::mcmBasic();
+    GpuConfig half = configs::mcmBasic();
+    half.dram_total_gbps /= 2.0;
+    half.link_gbps /= 2.0;
+    half.name = "mcm-basic-half-bw";
+
+    RunResult r_full = Simulator::run(full, *w);
+    RunResult r_half = Simulator::run(half, *w);
+    double degradation =
+        1.0 - static_cast<double>(r_full.cycles) /
+                  static_cast<double>(r_half.cycles);
+    EXPECT_GT(degradation, 0.15)
+        << GetParam()
+        << " must lose >~20% with half the memory-system bandwidth";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table4Roster, MemoryIntensityCriterion,
+    ::testing::Values("AMG", "NN-Conv", "BFS", "CFD", "CoMD", "Kmeans",
+                      "Lulesh1", "Lulesh2", "Lulesh3", "MiniAMR",
+                      "MnCtct", "MST", "Nekbone1", "Nekbone2", "Srad-v2",
+                      "SSSP", "Stream"));
+
+TEST(WorkloadBuilder, AllocatesAlignedNonOverlapping)
+{
+    WorkloadBuilder b("t", "T", Category::ComputeIntensive);
+    Addr a1 = b.alloc(100);
+    Addr a2 = b.alloc(1 * MiB);
+    EXPECT_NE(a1, a2);
+    EXPECT_EQ(a1 % (64 * KiB), 0u);
+    EXPECT_EQ(a2 % (64 * KiB), 0u);
+    EXPECT_GE(a2, a1 + 100);
+    EXPECT_ANY_THROW(b.alloc(0));
+}
+
+TEST(WorkloadBuilder, BuildRequiresAKernel)
+{
+    WorkloadBuilder b("t", "T", Category::ComputeIntensive);
+    b.alloc(1 * MiB);
+    EXPECT_ANY_THROW(b.build());
+}
+
+} // namespace
+} // namespace workloads
+} // namespace mcmgpu
