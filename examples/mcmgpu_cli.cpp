@@ -44,7 +44,16 @@ usage()
         "  --pages <p>                interleave | first-touch | rr-page\n"
         "  --fabric <f>               ring | mesh | ports\n"
         "  --stats                    print summary statistics\n"
-        "  --dump-stats               dump every component counter\n");
+        "  --dump-stats               dump every component counter\n"
+        "fault injection:\n"
+        "  --sweep-sms <n>            disable first n SMs of every GPM\n"
+        "  --link-derate <f>          derate all links to f (0 < f <= 1)\n"
+        "  --link-error-rate <p>      transient CRC-error chance per\n"
+        "                             traversal (0 <= p < 1)\n"
+        "  --kill-partition <p>       mark DRAM partition p dead\n"
+        "  --fault-seed <s>           seed for link error streams\n"
+        "  --watchdog-cycles <n>      no-progress window (0 disables)\n"
+        "  --max-cycles <n>           stop after n cycles\n");
 }
 
 bool
@@ -129,6 +138,21 @@ main(int argc, char **argv)
             cfg.fabric = f == "ring"   ? FabricKind::Ring
                          : f == "mesh" ? FabricKind::Mesh
                                        : FabricKind::Ports;
+        } else if (arg == "--sweep-sms") {
+            cfg.fault.sweepSmsEveryModule(cfg.num_modules,
+                                          std::stoul(next()));
+        } else if (arg == "--link-derate") {
+            cfg.fault.derateLinks(std::stod(next()));
+        } else if (arg == "--link-error-rate") {
+            cfg.fault.injectLinkErrors(std::stod(next()));
+        } else if (arg == "--kill-partition") {
+            cfg.fault.killPartition(std::stoul(next()));
+        } else if (arg == "--fault-seed") {
+            cfg.fault.withSeed(std::stoull(next()));
+        } else if (arg == "--watchdog-cycles") {
+            cfg.watchdog_cycles = std::stoull(next());
+        } else if (arg == "--max-cycles") {
+            cfg.cycle_limit = std::stoull(next());
         } else if (arg == "--stats") {
             stats = true;
         } else if (arg == "--dump-stats") {
@@ -166,6 +190,10 @@ main(int argc, char **argv)
     std::printf("workload        : %s (%s)\n", w->name.c_str(),
                 w->abbr.c_str());
     std::printf("machine         : %s\n", cfg.name.c_str());
+    std::printf("status          : %s\n", toString(r.status));
+    if (r.status == RunStatus::Stalled)
+        std::printf("--- stall diagnostic ---\n%s",
+                    r.stall_diagnostic.c_str());
     std::printf("cycles          : %llu\n",
                 static_cast<unsigned long long>(r.cycles));
     std::printf("warp insts      : %llu (IPC %.2f)\n",

@@ -1,38 +1,139 @@
 #include "common/config.hh"
 
+#include <algorithm>
+#include <sstream>
+
 #include "common/log.hh"
 
 namespace mcmgpu {
 
+namespace {
+
+std::string
+joinIssues(const std::vector<ConfigIssue> &issues)
+{
+    std::ostringstream os;
+    os << "invalid machine description (" << issues.size() << " issue"
+       << (issues.size() == 1 ? "" : "s") << ")";
+    for (const ConfigIssue &i : issues)
+        os << "\n  - " << i.message;
+    return os.str();
+}
+
+} // namespace
+
+ConfigError::ConfigError(std::vector<ConfigIssue> issues)
+    : std::runtime_error(joinIssues(issues)), issues_(std::move(issues))
+{
+}
+
+bool
+ConfigError::has(ConfigErrc code) const
+{
+    return std::any_of(issues_.begin(), issues_.end(),
+                       [code](const ConfigIssue &i) {
+                           return i.code == code;
+                       });
+}
+
+std::vector<ConfigIssue>
+GpuConfig::check() const
+{
+    std::vector<ConfigIssue> issues;
+    auto flag = [&](ConfigErrc code, auto &&...parts) {
+        issues.push_back(ConfigIssue{
+            code,
+            log_detail::concat("config '", name, "': ",
+                               std::forward<decltype(parts)>(parts)...)});
+    };
+
+    if (num_modules == 0)
+        flag(ConfigErrc::NoModules, "num_modules == 0");
+    if (sms_per_module == 0)
+        flag(ConfigErrc::NoSms, "sms_per_module == 0");
+    if (partitions_per_module == 0)
+        flag(ConfigErrc::NoPartitions, "partitions_per_module == 0");
+    if (l2.line_bytes == 0 || (l2.line_bytes & (l2.line_bytes - 1)))
+        flag(ConfigErrc::BadLineSize, "L2 line size must be a power of two");
+    if (l1.line_bytes != l2.line_bytes || l15.line_bytes != l2.line_bytes)
+        flag(ConfigErrc::LineSizeMismatch,
+             "all cache levels must share a line size");
+    if (page_bytes == 0 || (page_bytes & (page_bytes - 1)))
+        flag(ConfigErrc::BadPageSize, "page size must be a power of two");
+    if (page_bytes < l2.line_bytes)
+        flag(ConfigErrc::PageBelowLine, "pages smaller than a cache line");
+    if (interleave_bytes < l2.line_bytes)
+        flag(ConfigErrc::InterleaveBelowLine,
+             "interleave granularity below line size");
+    if (dram_total_gbps <= 0.0)
+        flag(ConfigErrc::NoDramBandwidth, "DRAM bandwidth must be positive");
+    if (fabric != FabricKind::Ideal && num_modules > 1 && link_gbps <= 0.0)
+        flag(ConfigErrc::NoLinkBandwidth,
+             "inter-module links need bandwidth");
+    if (l15_alloc != L15Alloc::Off && l15_total_bytes == 0)
+        flag(ConfigErrc::L15NoCapacity, "L1.5 enabled with zero capacity");
+    if (num_modules > 0 && partitions_per_module > 0 &&
+        l2.size_bytes != 0 &&
+        l2.size_bytes / totalPartitions() <
+            static_cast<uint64_t>(l2.line_bytes) * l2.ways) {
+        flag(ConfigErrc::L2SliceTooSmall,
+             "per-partition L2 smaller than one set");
+    }
+
+    // --- Fault-plan sanity -------------------------------------------------
+    for (const FaultPlan::SweptSm &s : fault.swept_sms) {
+        if (s.module >= num_modules)
+            flag(ConfigErrc::FaultBadModule, "fault plan sweeps SM of "
+                 "module ", s.module, " but machine has ", num_modules);
+        else if (s.local_sm >= sms_per_module)
+            flag(ConfigErrc::FaultBadSm, "fault plan sweeps SM ",
+                 s.local_sm, " of module ", s.module, " but GPMs have ",
+                 sms_per_module, " SMs");
+    }
+    if (!fault.swept_sms.empty() && num_modules > 0 && sms_per_module > 0) {
+        for (ModuleId m = 0; m < num_modules; ++m) {
+            if (fault.sweptSmsIn(m) >= sms_per_module) {
+                flag(ConfigErrc::FaultModuleFullySwept, "fault plan "
+                     "disables every SM of module ", m,
+                     "; a GPM with no SMs cannot be scheduled around");
+            }
+        }
+    }
+    for (const FaultPlan::LinkFault &f : fault.link_faults) {
+        if (f.module != FaultPlan::kAllModules && f.module >= num_modules)
+            flag(ConfigErrc::FaultBadModule, "fault plan derates link of "
+                 "module ", f.module, " but machine has ", num_modules);
+        if (f.bw_derate <= 0.0 || f.bw_derate > 1.0)
+            flag(ConfigErrc::FaultBadLinkDerate, "link derate ",
+                 f.bw_derate, " outside (0, 1]");
+        if (f.error_rate < 0.0 || f.error_rate >= 1.0)
+            flag(ConfigErrc::FaultBadLinkErrorRate, "link error rate ",
+                 f.error_rate, " outside [0, 1)");
+    }
+    if (num_modules > 0 && partitions_per_module > 0) {
+        uint32_t alive = 0;
+        for (PartitionId p = 0; p < totalPartitions(); ++p)
+            alive += fault.partitionDead(p) ? 0 : 1;
+        for (PartitionId p : fault.dead_partitions) {
+            if (p >= totalPartitions())
+                flag(ConfigErrc::FaultBadPartition, "fault plan kills "
+                     "partition ", p, " but machine has ",
+                     totalPartitions());
+        }
+        if (!fault.dead_partitions.empty() && alive == 0)
+            flag(ConfigErrc::FaultAllPartitionsDead,
+                 "fault plan kills every DRAM partition");
+    }
+
+    return issues;
+}
+
 void
 GpuConfig::validate() const
 {
-    fatal_if(num_modules == 0, "config '", name, "': num_modules == 0");
-    fatal_if(sms_per_module == 0, "config '", name, "': sms_per_module == 0");
-    fatal_if(partitions_per_module == 0,
-             "config '", name, "': partitions_per_module == 0");
-    fatal_if(l2.line_bytes == 0 || (l2.line_bytes & (l2.line_bytes - 1)),
-             "config '", name, "': L2 line size must be a power of two");
-    fatal_if(l1.line_bytes != l2.line_bytes ||
-             l15.line_bytes != l2.line_bytes,
-             "config '", name, "': all cache levels must share a line size");
-    fatal_if(page_bytes == 0 || (page_bytes & (page_bytes - 1)),
-             "config '", name, "': page size must be a power of two");
-    fatal_if(page_bytes < l2.line_bytes,
-             "config '", name, "': pages smaller than a cache line");
-    fatal_if(interleave_bytes < l2.line_bytes,
-             "config '", name, "': interleave granularity below line size");
-    fatal_if(dram_total_gbps <= 0.0,
-             "config '", name, "': DRAM bandwidth must be positive");
-    fatal_if(fabric != FabricKind::Ideal && num_modules > 1 &&
-             link_gbps <= 0.0,
-             "config '", name, "': inter-module links need bandwidth");
-    fatal_if(l15_alloc != L15Alloc::Off && l15_total_bytes == 0,
-             "config '", name, "': L1.5 enabled with zero capacity");
-    fatal_if(l2.size_bytes != 0 &&
-             l2.size_bytes / totalPartitions() <
-                 static_cast<uint64_t>(l2.line_bytes) * l2.ways,
-             "config '", name, "': per-partition L2 smaller than one set");
+    std::vector<ConfigIssue> issues = check();
+    if (!issues.empty())
+        throw ConfigError(std::move(issues));
 }
 
 GpuConfig &

@@ -12,12 +12,61 @@
 #define MCMGPU_COMMON_CONFIG_HH
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 #include "common/units.hh"
+#include "fault/fault_plan.hh"
 
 namespace mcmgpu {
+
+/** Machine-description defects detectable by GpuConfig::check(). */
+enum class ConfigErrc
+{
+    NoModules,
+    NoSms,
+    NoPartitions,
+    BadLineSize,
+    LineSizeMismatch,
+    BadPageSize,
+    PageBelowLine,
+    InterleaveBelowLine,
+    NoDramBandwidth,
+    NoLinkBandwidth,
+    L15NoCapacity,
+    L2SliceTooSmall,
+    FaultBadModule,
+    FaultBadSm,
+    FaultModuleFullySwept,
+    FaultBadLinkDerate,
+    FaultBadLinkErrorRate,
+    FaultBadPartition,
+    FaultAllPartitionsDead,
+};
+
+/** One defect found by GpuConfig::check(): a code plus prose. */
+struct ConfigIssue
+{
+    ConfigErrc code;
+    std::string message;
+};
+
+/** Thrown by GpuConfig::validate(); carries every issue found. */
+class ConfigError : public std::runtime_error
+{
+  public:
+    explicit ConfigError(std::vector<ConfigIssue> issues);
+
+    const std::vector<ConfigIssue> &issues() const { return issues_; }
+
+    /** True when some issue carries @p code (test assertions). */
+    bool has(ConfigErrc code) const;
+
+  private:
+    std::vector<ConfigIssue> issues_;
+};
 
 /** How CTAs are handed to SMs (paper section 5.2). */
 enum class CtaSchedPolicy
@@ -159,6 +208,17 @@ struct GpuConfig
      *  scaling below linear. */
     Cycle kernel_launch_cycles = 300;
 
+    // --- Faults & guard rails --------------------------------------------------
+    /** Injected degradation; empty = pristine machine. */
+    FaultPlan fault;
+    /** No-progress watchdog window: pending events but no retired warp
+     *  instruction for this many cycles (or events) raises a SimStall
+     *  with a machine-occupancy diagnostic. 0 disables the watchdog. */
+    Cycle watchdog_cycles = 2'000'000;
+    /** Hard per-run cycle budget; kCycleMax = unlimited. Hitting it
+     *  surfaces RunStatus::CycleLimit rather than an error. */
+    Cycle cycle_limit = kCycleMax;
+
     // --- Derived helpers -------------------------------------------------------
     uint32_t totalSms() const { return num_modules * sms_per_module; }
     uint32_t totalPartitions() const
@@ -170,7 +230,14 @@ struct GpuConfig
     uint64_t l15BytesPerModule() const
     { return l15_total_bytes / num_modules; }
 
-    /** Validate internal consistency; fatal()s on user error. */
+    /**
+     * Structured consistency check: every defect found, including
+     * fault-plan sanity (out-of-range ids, a fully swept GPM, every
+     * partition dead). Empty result = valid machine.
+     */
+    std::vector<ConfigIssue> check() const;
+
+    /** Throw a ConfigError listing every check() issue; no-op if valid. */
     void validate() const;
 
     // --- Fluent mutators used by experiment sweeps ------------------------------
@@ -179,6 +246,8 @@ struct GpuConfig
     GpuConfig &withL15(uint64_t total_bytes, L15Alloc alloc);
     GpuConfig &withSched(CtaSchedPolicy p) { cta_sched = p; return *this; }
     GpuConfig &withPagePolicy(PagePolicy p) { page_policy = p; return *this; }
+    GpuConfig &withFault(FaultPlan plan)
+    { fault = std::move(plan); return *this; }
 };
 
 namespace configs {

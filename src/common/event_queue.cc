@@ -1,5 +1,7 @@
 #include "common/event_queue.hh"
 
+#include <sstream>
+
 #include "common/log.hh"
 
 namespace mcmgpu {
@@ -27,15 +29,62 @@ EventQueue::step()
     return true;
 }
 
-bool
+EventQueue::Outcome
 EventQueue::run(Cycle limit)
 {
+    // Rebase the watchdog watermark: time that passed between run()
+    // calls (or before the first) is not a stall.
+    watch_progress_ = progress_;
+    watch_cycle_ = now_;
+    watch_executed_ = executed_;
+
     while (!heap_.empty()) {
         if (heap_.top().when > limit)
-            return false;
+            return Outcome::LimitHit;
+        if (watchdog_window_ != 0) {
+            if (progress_ != watch_progress_) {
+                watch_progress_ = progress_;
+                watch_cycle_ = now_;
+                watch_executed_ = executed_;
+            } else if (now_ - watch_cycle_ > watchdog_window_ ||
+                       executed_ - watch_executed_ > watchdog_window_) {
+                // Events fired across (or piled up within) a whole
+                // window without one retired unit of work: livelock.
+                throwStall(limit);
+            }
+        }
         step();
     }
-    return true;
+    return Outcome::Drained;
+}
+
+void
+EventQueue::throwStall(Cycle limit)
+{
+    std::ostringstream diag;
+    diag << "watchdog: no progress for " << (now_ - watch_cycle_)
+         << " cycles / " << (executed_ - watch_executed_) << " events\n"
+         << "  now " << now_ << ", limit " << limit << ", queue depth "
+         << heap_.size() << ", events executed " << executed_
+         << ", progress marks " << progress_ << '\n';
+    if (dump_machine_state_)
+        diag << dump_machine_state_();
+    std::string d = diag.str();
+    warn("simulation stalled:\n", d);
+    throw SimStall(
+        log_detail::concat("SimStall: no progress over a ",
+                           watchdog_window_, "-cycle watchdog window "
+                           "(queue depth ", heap_.size(), " at cycle ",
+                           now_, ")"),
+        std::move(d));
+}
+
+void
+EventQueue::setWatchdog(Cycle window_cycles,
+                        std::function<std::string()> dump_machine_state)
+{
+    watchdog_window_ = window_cycles;
+    dump_machine_state_ = std::move(dump_machine_state);
 }
 
 void
@@ -45,6 +94,10 @@ EventQueue::reset()
     now_ = 0;
     next_seq_ = 0;
     executed_ = 0;
+    progress_ = 0;
+    watch_progress_ = 0;
+    watch_cycle_ = 0;
+    watch_executed_ = 0;
 }
 
 } // namespace mcmgpu

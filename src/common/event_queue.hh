@@ -6,6 +6,12 @@
  * cycle break by insertion order so execution is deterministic. Components
  * schedule continuations (e.g. "warp 17 becomes ready at cycle t") and the
  * simulator drains the queue until empty or until a cycle limit.
+ *
+ * A no-progress watchdog guards the drain: components mark real work
+ * via noteProgress(), and if events keep executing for a whole window
+ * without a single mark the queue raises a typed SimStall carrying a
+ * machine-state diagnostic — a misconfigured machine fails loudly
+ * instead of livelocking to the cycle limit.
  */
 
 #ifndef MCMGPU_COMMON_EVENT_QUEUE_HH
@@ -13,6 +19,8 @@
 
 #include <functional>
 #include <queue>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -22,10 +30,40 @@ namespace mcmgpu {
 /** Callback type executed when an event fires. */
 using EventFn = std::function<void()>;
 
+/**
+ * Raised by the event-queue watchdog when events keep firing but the
+ * machine retires no work: a livelocked simulation. Carries a
+ * structured diagnostic (queue depth, time, plus whatever occupancy
+ * dump the owning system registered) so a stall is debuggable instead
+ * of a silent crawl to the cycle limit.
+ */
+class SimStall : public std::runtime_error
+{
+  public:
+    SimStall(std::string what, std::string diagnostic)
+        : std::runtime_error(std::move(what)),
+          diagnostic_(std::move(diagnostic))
+    {
+    }
+
+    /** The full multi-line machine-state dump taken at stall time. */
+    const std::string &diagnostic() const { return diagnostic_; }
+
+  private:
+    std::string diagnostic_;
+};
+
 /** Deterministic priority queue of timed callbacks. */
 class EventQueue
 {
   public:
+    /** How a run() call ended (a watchdog stall throws instead). */
+    enum class Outcome
+    {
+        Drained,  //!< no events remain
+        LimitHit, //!< next event lies beyond the cycle limit
+    };
+
     /** Schedule @p fn to run at absolute cycle @p when (>= now()). */
     void schedule(Cycle when, EventFn fn);
 
@@ -40,10 +78,10 @@ class EventQueue
 
     /**
      * Run events until the queue drains or @p limit cycles have been
-     * simulated.
-     * @return true if the queue drained; false if the limit was hit.
+     * simulated. With a watchdog armed, throws SimStall when a window
+     * passes without progress (see setWatchdog()).
      */
-    bool run(Cycle limit = kCycleMax);
+    Outcome run(Cycle limit = kCycleMax);
 
     /** Execute exactly one event if available; returns false when empty. */
     bool step();
@@ -54,7 +92,26 @@ class EventQueue
     /** Total events executed since construction/reset (for stats). */
     uint64_t executed() const { return executed_; }
 
+    // --- No-progress watchdog ------------------------------------------------
+    /**
+     * Arm the livelock watchdog: if run() executes events across a
+     * window of @p window_cycles cycles — or @p window_cycles events at
+     * one cycle — without noteProgress() being called, it dumps the
+     * queue state plus @p dump_machine_state (may be null) and throws
+     * SimStall. @p window_cycles == 0 disarms.
+     */
+    void setWatchdog(Cycle window_cycles,
+                     std::function<std::string()> dump_machine_state = {});
+
+    /** Record forward progress (a warp instruction retired). */
+    void noteProgress() { ++progress_; }
+
+    /** Progress marks recorded so far (for tests). */
+    uint64_t progressMarks() const { return progress_; }
+
   private:
+    [[noreturn]] void throwStall(Cycle limit);
+
     struct Event
     {
         Cycle when;
@@ -77,6 +134,16 @@ class EventQueue
     Cycle now_ = 0;
     uint64_t next_seq_ = 0;
     uint64_t executed_ = 0;
+
+    // Watchdog state: a stall is declared when run() crosses the window
+    // (in cycles, or in events for same-cycle livelocks) with progress_
+    // unchanged since the last watermark.
+    Cycle watchdog_window_ = 0;
+    std::function<std::string()> dump_machine_state_;
+    uint64_t progress_ = 0;
+    uint64_t watch_progress_ = 0;
+    Cycle watch_cycle_ = 0;
+    uint64_t watch_executed_ = 0;
 };
 
 } // namespace mcmgpu

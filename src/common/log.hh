@@ -2,10 +2,19 @@
  * @file
  * Logging and error-reporting helpers in the gem5 tradition.
  *
- * panic()  - an internal simulator invariant was violated (aborts).
- * fatal()  - the user asked for something impossible (clean exit(1)).
+ * panic()  - an internal simulator invariant was violated; prints the
+ *            message with file:line, then throws std::logic_error.
+ * fatal()  - the user asked for something impossible; prints the
+ *            message with file:line, then throws std::runtime_error.
  * warn()   - functionality is approximated; results may be affected.
  * inform() - neutral status messages.
+ *
+ * Unlike gem5, panic() and fatal() throw instead of calling abort() /
+ * exit(1): unit tests can assert on invariant violations and broken
+ * configs (EXPECT_THROW and friends), and embedders get a catchable
+ * error instead of a dead process. Left uncaught, the exception still
+ * terminates the process — the message has already been printed to
+ * stderr either way. Code after a panic()/fatal() call is unreachable.
  */
 
 #ifndef MCMGPU_COMMON_LOG_HH

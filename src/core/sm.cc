@@ -76,6 +76,9 @@ Sm::stepWarp(const std::shared_ptr<WarpRun> &warp)
         return;
     }
     ++warp_insts_;
+    // Forward progress for the simulation watchdog: as long as some warp
+    // keeps executing instructions, the machine is not stalled.
+    eq.noteProgress();
 
     // The warp's compute segment occupies the shared issue pipeline; a
     // trailing memory instruction takes one extra issue slot.

@@ -1,0 +1,145 @@
+#include "fault/fault_plan.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace mcmgpu {
+
+bool
+FaultPlan::empty() const
+{
+    return swept_sms.empty() && link_faults.empty() &&
+           dead_partitions.empty();
+}
+
+bool
+FaultPlan::smDisabled(ModuleId module, uint32_t local_sm) const
+{
+    return std::any_of(swept_sms.begin(), swept_sms.end(),
+                       [&](const SweptSm &s) {
+                           return s.module == module &&
+                                  s.local_sm == local_sm;
+                       });
+}
+
+uint32_t
+FaultPlan::sweptSmsIn(ModuleId module) const
+{
+    // Duplicates are ignored, matching smDisabled()'s set semantics.
+    uint32_t n = 0;
+    for (size_t i = 0; i < swept_sms.size(); ++i) {
+        if (swept_sms[i].module != module)
+            continue;
+        bool dup = false;
+        for (size_t j = 0; j < i; ++j) {
+            if (swept_sms[j].module == module &&
+                swept_sms[j].local_sm == swept_sms[i].local_sm) {
+                dup = true;
+                break;
+            }
+        }
+        if (!dup)
+            ++n;
+    }
+    return n;
+}
+
+bool
+FaultPlan::partitionDead(PartitionId p) const
+{
+    return std::find(dead_partitions.begin(), dead_partitions.end(), p) !=
+           dead_partitions.end();
+}
+
+double
+FaultPlan::linkDerate(ModuleId upstream) const
+{
+    double factor = 1.0;
+    for (const LinkFault &f : link_faults) {
+        if (f.module == kAllModules || f.module == upstream)
+            factor *= f.bw_derate;
+    }
+    return factor;
+}
+
+double
+FaultPlan::linkErrorRate(ModuleId upstream) const
+{
+    double rate = 0.0;
+    for (const LinkFault &f : link_faults) {
+        if (f.module == kAllModules || f.module == upstream)
+            rate = std::max(rate, f.error_rate);
+    }
+    return rate;
+}
+
+std::vector<uint32_t>
+FaultPlan::enabledSmsPerModule(uint32_t num_modules,
+                               uint32_t sms_per_module) const
+{
+    std::vector<uint32_t> enabled(num_modules, sms_per_module);
+    for (ModuleId m = 0; m < num_modules; ++m) {
+        uint32_t swept = sweptSmsIn(m);
+        panic_if(swept > sms_per_module, "module ", m, " sweeps ", swept,
+                 " of ", sms_per_module, " SMs");
+        enabled[m] = sms_per_module - swept;
+    }
+    return enabled;
+}
+
+FaultPlan &
+FaultPlan::sweepSm(ModuleId module, uint32_t local_sm)
+{
+    if (!smDisabled(module, local_sm))
+        swept_sms.push_back({module, local_sm});
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::sweepSms(ModuleId module, uint32_t count)
+{
+    for (uint32_t s = 0; s < count; ++s)
+        sweepSm(module, s);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::sweepSmsEveryModule(uint32_t num_modules, uint32_t count)
+{
+    for (ModuleId m = 0; m < num_modules; ++m)
+        sweepSms(m, count);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::derateLinks(double factor)
+{
+    link_faults.push_back({kAllModules, factor, 0.0});
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::derateLink(ModuleId module, double factor)
+{
+    link_faults.push_back({module, factor, 0.0});
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::injectLinkErrors(double rate, Cycle retry_cycles)
+{
+    link_faults.push_back({kAllModules, 1.0, rate});
+    link_retry_cycles = retry_cycles;
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::killPartition(PartitionId p)
+{
+    if (!partitionDead(p))
+        dead_partitions.push_back(p);
+    return *this;
+}
+
+} // namespace mcmgpu

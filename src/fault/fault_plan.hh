@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Manufacturing-fault and degradation model.
+ *
+ * The paper's premise is that large dies are salvaged, not discarded:
+ * GPMs ship with floorswept SMs, links are derated to the bin they
+ * yield at, and memory stacks lose channels (sections 1 and 3). A
+ * FaultPlan describes one such degraded machine instance:
+ *
+ *  - SM floorsweeping: per-GPM sets of disabled SMs that the CTA
+ *    schedulers skip and rebalance CTA batches around.
+ *  - Link degradation: per-link bandwidth derating plus a transient
+ *    CRC-error model charging a replay latency with exponential
+ *    backoff on consecutive hits (deterministic, seeded).
+ *  - DRAM partition death: pages homed on a dead partition are
+ *    transparently re-homed to surviving partitions.
+ *
+ * An empty plan is the pristine machine and must reproduce it
+ * bit-for-bit; every query below is written so its no-fault fast path
+ * leaves the original arithmetic untouched.
+ */
+
+#ifndef MCMGPU_FAULT_FAULT_PLAN_HH
+#define MCMGPU_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mcmgpu {
+
+/** Degraded-machine description; carried by value inside GpuConfig. */
+struct FaultPlan
+{
+    /** Wildcard module id: a link fault entry applies to every link. */
+    static constexpr ModuleId kAllModules = kInvalidModule;
+
+    /** One floorswept SM: (module, SM index local to that module). */
+    struct SweptSm
+    {
+        ModuleId module;
+        uint32_t local_sm;
+    };
+
+    /** Degradation of the link(s) whose upstream side is @p module. */
+    struct LinkFault
+    {
+        ModuleId module = kAllModules; //!< kAllModules = every link
+        double bw_derate = 1.0;        //!< bandwidth multiplier, (0, 1]
+        double error_rate = 0.0;       //!< transient-error chance, [0, 1)
+    };
+
+    std::vector<SweptSm> swept_sms;
+    std::vector<LinkFault> link_faults;
+    /** Base CRC-replay penalty; doubles on consecutive errors. */
+    Cycle link_retry_cycles = 64;
+    /** Seed for the per-link transient-error streams. */
+    uint64_t seed = 1;
+    std::vector<PartitionId> dead_partitions;
+
+    /** True when the plan describes a pristine machine. */
+    bool empty() const;
+
+    // --- Queries ------------------------------------------------------------
+    bool smDisabled(ModuleId module, uint32_t local_sm) const;
+    uint32_t sweptSmsIn(ModuleId module) const;
+    bool partitionDead(PartitionId p) const;
+
+    /** Product of every matching derate entry (1.0 when none match). */
+    double linkDerate(ModuleId upstream) const;
+    /** Largest matching transient-error rate (0.0 when none match). */
+    double linkErrorRate(ModuleId upstream) const;
+    /** Any link fault entry present (derate or errors)? */
+    bool degradesLinks() const { return !link_faults.empty(); }
+
+    /**
+     * Enabled-SM count per module for a machine with @p num_modules
+     * modules of @p sms_per_module SMs; the CTA batch weights the
+     * distributed schedulers rebalance around.
+     */
+    std::vector<uint32_t> enabledSmsPerModule(uint32_t num_modules,
+                                              uint32_t sms_per_module) const;
+
+    // --- Fluent builders (experiment sweeps, CLI) ---------------------------
+    /** Disable SM @p local_sm of @p module (idempotent). */
+    FaultPlan &sweepSm(ModuleId module, uint32_t local_sm);
+    /** Disable the first @p count SMs of @p module. */
+    FaultPlan &sweepSms(ModuleId module, uint32_t count);
+    /** Disable the first @p count SMs of every one of @p num_modules. */
+    FaultPlan &sweepSmsEveryModule(uint32_t num_modules, uint32_t count);
+    /** Derate every link's bandwidth by @p factor. */
+    FaultPlan &derateLinks(double factor);
+    /** Derate the link(s) leaving @p module by @p factor. */
+    FaultPlan &derateLink(ModuleId module, double factor);
+    /** Inject transient errors on every link at @p rate per traversal. */
+    FaultPlan &injectLinkErrors(double rate, Cycle retry_cycles = 64);
+    /** Mark @p p dead; its pages re-home to surviving partitions. */
+    FaultPlan &killPartition(PartitionId p);
+    FaultPlan &withSeed(uint64_t s) { seed = s; return *this; }
+};
+
+} // namespace mcmgpu
+
+#endif // MCMGPU_FAULT_FAULT_PLAN_HH

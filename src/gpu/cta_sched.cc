@@ -4,16 +4,45 @@
 
 namespace mcmgpu {
 
+namespace {
+
+/**
+ * Prefix sums of per-module batch weights. A weight-w module's batch
+ * is w/total of the grid; with equal weights the cut points reduce to
+ * the classic equal split (n*m/M), bit-for-bit.
+ */
+std::vector<uint64_t>
+cumWeights(const std::vector<uint32_t> &weights)
+{
+    fatal_if(weights.empty(), "batch scheduler needs >= 1 module");
+    std::vector<uint64_t> cum(weights.size() + 1, 0);
+    for (size_t m = 0; m < weights.size(); ++m)
+        cum[m + 1] = cum[m] + weights[m];
+    fatal_if(cum.back() == 0,
+             "batch scheduler needs at least one enabled SM");
+    return cum;
+}
+
+} // namespace
+
 std::unique_ptr<CtaScheduler>
 CtaScheduler::create(CtaSchedPolicy policy, uint32_t num_modules)
 {
+    return create(policy, std::vector<uint32_t>(num_modules, 1));
+}
+
+std::unique_ptr<CtaScheduler>
+CtaScheduler::create(CtaSchedPolicy policy, std::vector<uint32_t> weights)
+{
     switch (policy) {
       case CtaSchedPolicy::CentralizedRR:
+        // Global hand-out order is module-agnostic; floorswept SMs are
+        // simply never offered a CTA by the work distributor.
         return std::make_unique<CentralizedScheduler>();
       case CtaSchedPolicy::DistributedBatch:
-        return std::make_unique<DistributedScheduler>(num_modules);
+        return std::make_unique<DistributedScheduler>(std::move(weights));
       case CtaSchedPolicy::DynamicBatch:
-        return std::make_unique<DynamicScheduler>(num_modules);
+        return std::make_unique<DynamicScheduler>(std::move(weights));
     }
     panic("unknown CTA scheduling policy");
 }
@@ -34,9 +63,15 @@ CentralizedScheduler::nextFor(ModuleId)
 }
 
 DistributedScheduler::DistributedScheduler(uint32_t num_modules)
-    : num_modules_(num_modules), next_(num_modules, 0)
+    : DistributedScheduler(std::vector<uint32_t>(num_modules, 1))
 {
-    fatal_if(num_modules == 0, "distributed scheduler needs >= 1 module");
+}
+
+DistributedScheduler::DistributedScheduler(std::vector<uint32_t> weights)
+    : num_modules_(static_cast<uint32_t>(weights.size())),
+      next_(weights.size(), 0),
+      cum_weight_(cumWeights(weights))
+{
 }
 
 void
@@ -51,11 +86,13 @@ std::pair<uint32_t, uint32_t>
 DistributedScheduler::rangeOf(ModuleId module) const
 {
     panic_if(module >= num_modules_, "module ", module, " out of range");
-    // Equal split with the remainder spread over the first modules, so
-    // ranges stay contiguous and cover every CTA exactly once.
+    // Weight-proportional split with remainders spread across modules,
+    // so ranges stay contiguous and cover every CTA exactly once.
     const uint64_t n = num_ctas_;
-    uint32_t lo = static_cast<uint32_t>(n * module / num_modules_);
-    uint32_t hi = static_cast<uint32_t>(n * (module + 1) / num_modules_);
+    const uint64_t total = cum_weight_.back();
+    uint32_t lo = static_cast<uint32_t>(n * cum_weight_[module] / total);
+    uint32_t hi =
+        static_cast<uint32_t>(n * cum_weight_[module + 1] / total);
     return {lo, hi};
 }
 
@@ -82,18 +119,27 @@ DistributedScheduler::remaining() const
 }
 
 DynamicScheduler::DynamicScheduler(uint32_t num_modules)
-    : num_modules_(num_modules), batch_(num_modules, Batch{0, 0})
+    : DynamicScheduler(std::vector<uint32_t>(num_modules, 1))
 {
-    fatal_if(num_modules == 0, "dynamic scheduler needs >= 1 module");
+}
+
+DynamicScheduler::DynamicScheduler(std::vector<uint32_t> weights)
+    : num_modules_(static_cast<uint32_t>(weights.size())),
+      batch_(weights.size(), Batch{0, 0}),
+      cum_weight_(cumWeights(weights))
+{
 }
 
 void
 DynamicScheduler::beginKernel(uint32_t num_ctas)
 {
     const uint64_t n = num_ctas;
+    const uint64_t total = cum_weight_.back();
     for (ModuleId m = 0; m < num_modules_; ++m) {
-        batch_[m].next = static_cast<uint32_t>(n * m / num_modules_);
-        batch_[m].end = static_cast<uint32_t>(n * (m + 1) / num_modules_);
+        batch_[m].next =
+            static_cast<uint32_t>(n * cum_weight_[m] / total);
+        batch_[m].end =
+            static_cast<uint32_t>(n * cum_weight_[m + 1] / total);
     }
     steals_ = 0;
 }

@@ -9,6 +9,12 @@
  * and its L1.5/memory partition (Figure 8b). The split is deterministic
  * in the CTA index, which is what lets first-touch placement carry
  * locality across kernel relaunches (Figure 12).
+ *
+ * Floorsweeping (FaultPlan): modules may expose different enabled-SM
+ * counts, so batch-splitting schedulers accept per-module weights and
+ * cut the grid proportionally — a GPM that lost SMs gets a
+ * proportionally smaller contiguous batch instead of becoming the
+ * critical path. Equal weights reproduce the unweighted split exactly.
  */
 
 #ifndef MCMGPU_GPU_CTA_SCHED_HH
@@ -41,8 +47,16 @@ class CtaScheduler
     /** CTAs not yet handed out. */
     virtual uint32_t remaining() const = 0;
 
+    /** Equal-weight machine (no floorsweeping). */
     static std::unique_ptr<CtaScheduler> create(CtaSchedPolicy policy,
                                                 uint32_t num_modules);
+
+    /**
+     * Weighted machine: @p weights holds the enabled-SM count of each
+     * module; batch-splitting policies cut CTA ranges proportionally.
+     */
+    static std::unique_ptr<CtaScheduler> create(
+        CtaSchedPolicy policy, std::vector<uint32_t> weights);
 };
 
 /** Global round-robin hand-out in CTA index order. */
@@ -58,11 +72,13 @@ class CentralizedScheduler : public CtaScheduler
     uint32_t next_ = 0;
 };
 
-/** Contiguous equal batches, one per module. */
+/** Contiguous weight-proportional batches, one per module. */
 class DistributedScheduler : public CtaScheduler
 {
   public:
     explicit DistributedScheduler(uint32_t num_modules);
+    /** @p weights: enabled SMs per module (proportional batch sizes). */
+    explicit DistributedScheduler(std::vector<uint32_t> weights);
 
     void beginKernel(uint32_t num_ctas) override;
     std::optional<CtaId> nextFor(ModuleId module) override;
@@ -75,6 +91,7 @@ class DistributedScheduler : public CtaScheduler
     uint32_t num_modules_;
     uint32_t num_ctas_ = 0;
     std::vector<uint32_t> next_;  //!< per-module cursor
+    std::vector<uint64_t> cum_weight_; //!< prefix sums, size modules+1
 };
 
 /**
@@ -89,6 +106,8 @@ class DynamicScheduler : public CtaScheduler
 {
   public:
     explicit DynamicScheduler(uint32_t num_modules);
+    /** @p weights: enabled SMs per module (proportional batch sizes). */
+    explicit DynamicScheduler(std::vector<uint32_t> weights);
 
     void beginKernel(uint32_t num_ctas) override;
     std::optional<CtaId> nextFor(ModuleId module) override;
@@ -109,6 +128,7 @@ class DynamicScheduler : public CtaScheduler
 
     uint32_t num_modules_;
     std::vector<Batch> batch_;
+    std::vector<uint64_t> cum_weight_; //!< prefix sums, size modules+1
     uint32_t steals_ = 0;
 
     /** Smallest remainder worth splitting; below this, stealing costs

@@ -1,5 +1,7 @@
 #include "gpu/gpu_system.hh"
 
+#include <sstream>
+
 #include "common/log.hh"
 
 namespace mcmgpu {
@@ -13,9 +15,22 @@ GpuSystem::GpuSystem(const GpuConfig &cfg)
 
     const uint32_t total_sms = cfg_.totalSms();
     sms_.reserve(total_sms);
+    sm_enabled_.reserve(total_sms);
+    enabled_per_module_.assign(cfg_.num_modules, 0);
     for (SmId s = 0; s < total_sms; ++s) {
-        sms_.push_back(
-            std::make_unique<Sm>(s, s / cfg_.sms_per_module, cfg_, *this));
+        const ModuleId m = s / cfg_.sms_per_module;
+        sms_.push_back(std::make_unique<Sm>(s, m, cfg_, *this));
+        const bool on = !cfg_.fault.smDisabled(m, s % cfg_.sms_per_module);
+        sm_enabled_.push_back(on);
+        if (on) {
+            ++enabled_per_module_[m];
+            ++enabled_sms_;
+        }
+    }
+
+    if (cfg_.watchdog_cycles > 0) {
+        eq_.setWatchdog(cfg_.watchdog_cycles,
+                        [this] { return occupancyDiagnostic(); });
     }
 
     CacheGeometry l15_geo = cfg_.l15;
@@ -254,6 +269,44 @@ GpuSystem::dumpStats(std::ostream &os, bool per_sm) const
        << '\n';
     os << "energy.board_joules " << energy_.joulesIn(Domain::Board)
        << '\n';
+
+    if (!cfg_.fault.empty()) {
+        os << "fault.enabled_sms " << enabled_sms_ << '\n';
+        os << "fault.alive_partitions " << page_table_.alivePartitions()
+           << '\n';
+        os << "fault.rehomed_pages " << page_table_.rehomedPages() << '\n';
+        os << "fault.link_transient_errors " << fabric_->transientErrors()
+           << '\n';
+    }
+}
+
+std::string
+GpuSystem::occupancyDiagnostic() const
+{
+    std::ostringstream os;
+    os << "machine occupancy:\n";
+    for (ModuleId m = 0; m < cfg_.num_modules; ++m) {
+        uint32_t ctas = 0, warps = 0;
+        for (uint32_t s = 0; s < cfg_.sms_per_module; ++s) {
+            const Sm &sm = *sms_[m * cfg_.sms_per_module + s];
+            ctas += sm.residentCtas();
+            warps += sm.residentWarps();
+        }
+        os << "  gpm" << m << ": resident_ctas=" << ctas
+           << " resident_warps=" << warps
+           << " enabled_sms=" << enabled_per_module_[m] << '/'
+           << cfg_.sms_per_module << '\n';
+    }
+    fabric_->dumpOccupancy(os);
+    for (PartitionId p = 0; p < cfg_.totalPartitions(); ++p) {
+        os << "  dram.part" << p
+           << (cfg_.fault.partitionDead(p) ? " DEAD" : "")
+           << ": busy_cycles=" << dram_[p]->busyCycles()
+           << " pages=" << page_table_.pagesOn(p) << '\n';
+    }
+    os << "  page_table: mapped=" << page_table_.pagesMapped()
+       << " rehomed=" << page_table_.rehomedPages() << '\n';
+    return os.str();
 }
 
 double

@@ -53,6 +53,17 @@ class GpuSystem : public SmContext
     ModuleId moduleOfSm(SmId id) const
     { return id / cfg_.sms_per_module; }
 
+    /** False when the fault plan floorswept this SM: it exists (ids
+     *  stay dense) but must never receive work. */
+    bool smEnabled(SmId id) const { return sm_enabled_[id]; }
+
+    /** Enabled SMs across the machine (totalSms() minus floorswept). */
+    uint32_t enabledSms() const { return enabled_sms_; }
+
+    /** Enabled-SM count of each module: the CTA batch weights. */
+    const std::vector<uint32_t> &enabledSmsPerModule() const
+    { return enabled_per_module_; }
+
     Cache &l15(ModuleId m) { return *l15_.at(m); }
     Cache &l2(PartitionId p) { return *l2_.at(p); }
     DramPartition &dram(PartitionId p) { return *dram_.at(p); }
@@ -87,6 +98,13 @@ class GpuSystem : public SmContext
      */
     void dumpStats(std::ostream &os, bool per_sm = false) const;
 
+    /**
+     * Machine-occupancy snapshot fed to the event-queue watchdog: per
+     * module resident CTAs/warps, per-link service state, DRAM busy
+     * time and page-table health. This is what a SimStall carries.
+     */
+    std::string occupancyDiagnostic() const;
+
   private:
     struct PathTiming
     {
@@ -107,6 +125,10 @@ class GpuSystem : public SmContext
     std::vector<std::unique_ptr<Cache>> l15_;  //!< one per module
     std::vector<std::unique_ptr<Cache>> l2_;   //!< one per partition
     std::vector<std::unique_ptr<DramPartition>> dram_;
+
+    std::vector<bool> sm_enabled_;             //!< floorsweeping mask
+    std::vector<uint32_t> enabled_per_module_;
+    uint32_t enabled_sms_ = 0;
 
     CtaSink *sink_ = nullptr;
 

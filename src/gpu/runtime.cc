@@ -6,8 +6,12 @@ namespace mcmgpu {
 
 Runtime::Runtime(GpuSystem &gpu)
     : gpu_(gpu),
+      // Batch weights follow the enabled-SM count per module, so a
+      // floorswept GPM receives a proportionally smaller CTA batch.
+      // With no faults every weight is equal and the split is
+      // bit-for-bit the classic n*m/M one.
       sched_(CtaScheduler::create(gpu.config().cta_sched,
-                                  gpu.config().num_modules))
+                                  gpu.enabledSmsPerModule()))
 {
     gpu_.setCtaSink(this);
 }
@@ -20,6 +24,8 @@ Runtime::~Runtime()
 bool
 Runtime::refill(SmId sm_id, Cycle now)
 {
+    if (!gpu_.smEnabled(sm_id))
+        return false; // floorswept: never receives work
     Sm &sm = gpu_.sm(sm_id);
     if (!sm.canAccept(*active_))
         return false;
@@ -74,19 +80,33 @@ Runtime::runKernel(const KernelDesc &kernel)
     panic_if(active_ != nullptr, "kernel launched while one is in flight");
 
     active_ = &kernel;
+    status_ = RunStatus::Finished;
     sched_->beginKernel(kernel.num_ctas);
 
     // Serial launch cost: driver work + grid setup on the front end.
     EventQueue &eq = gpu_.eventQueue();
+    const Cycle limit = gpu_.config().cycle_limit;
     Cycle start = eq.now() + gpu_.config().kernel_launch_cycles;
     if (start > eq.now())
         eq.schedule(start, [] {});
-    eq.run(); // advance time to the launch point
-    fillAllSms(eq.now());
+    EventQueue::Outcome out = eq.run(limit); // advance to launch point
+    if (out == EventQueue::Outcome::Drained) {
+        fillAllSms(eq.now());
+        // Drain the machine: every scheduled warp event, CTA refill,
+        // and memory completion executes; an empty queue means the
+        // grid retired.
+        out = eq.run(limit);
+    }
 
-    // Drain the machine: every scheduled warp event, CTA refill, and
-    // memory completion executes; an empty queue means the grid retired.
-    gpu_.eventQueue().run();
+    if (out == EventQueue::Outcome::LimitHit) {
+        // Cycle budget expired mid-kernel: freeze the machine as-is so
+        // callers can inspect how far it got. No coherence flush, no
+        // retirement checks — this is a truncated run, not a finished
+        // one.
+        active_ = nullptr;
+        status_ = RunStatus::CycleLimit;
+        return;
+    }
 
     panic_if(sched_->remaining() != 0,
              "kernel '", kernel.name, "' finished with ",
@@ -104,8 +124,11 @@ void
 Runtime::runAll(std::span<const KernelLaunch> launches)
 {
     for (const KernelLaunch &launch : launches) {
-        for (uint32_t it = 0; it < launch.iterations; ++it)
+        for (uint32_t it = 0; it < launch.iterations; ++it) {
             runKernel(launch.kernel);
+            if (status_ != RunStatus::Finished)
+                return;
+        }
     }
 }
 

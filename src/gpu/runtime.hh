@@ -16,6 +16,7 @@
 #include "gpu/cta_sched.hh"
 #include "gpu/gpu_system.hh"
 #include "gpu/kernel.hh"
+#include "sim/results.hh"
 
 namespace mcmgpu {
 
@@ -32,14 +33,25 @@ class Runtime : public CtaSink
     /**
      * Run one kernel to completion (blocking in simulated time); caches
      * participating in software coherence are flushed afterwards.
+     *
+     * If the machine's cycle_limit expires mid-kernel, the run stops
+     * with status() == CycleLimit and the machine frozen where it was
+     * (no flush, CTAs possibly unscheduled). A watchdog-detected
+     * no-progress stall propagates as SimStall.
      */
     void runKernel(const KernelDesc &kernel);
 
-    /** Run a whole application: every launch, every iteration. */
+    /**
+     * Run a whole application: every launch, every iteration. Stops at
+     * the first kernel that does not finish (see status()).
+     */
     void runAll(std::span<const KernelLaunch> launches);
 
     /** Total kernel launches executed. */
     uint32_t kernelsExecuted() const { return kernels_executed_; }
+
+    /** How the last runKernel/runAll ended. */
+    RunStatus status() const { return status_; }
 
     // --- CtaSink -----------------------------------------------------------
     void onCtaFinished(SmId sm) override;
@@ -55,6 +67,7 @@ class Runtime : public CtaSink
     std::unique_ptr<CtaScheduler> sched_;
     const KernelDesc *active_ = nullptr;
     uint32_t kernels_executed_ = 0;
+    RunStatus status_ = RunStatus::Finished;
 
     /** Work-distributor position; advances between kernel launches so
      *  CTA->SM assignment is not repeated across launches (coprime step

@@ -9,13 +9,26 @@ PageTable::PageTable(const GpuConfig &cfg)
       total_partitions_(cfg.totalPartitions()),
       pages_per_partition_(total_partitions_, 0)
 {
+    alive_.reserve(total_partitions_);
+    for (PartitionId p = 0; p < total_partitions_; ++p) {
+        if (!cfg_.fault.partitionDead(p))
+            alive_.push_back(p);
+    }
+    any_dead_ = alive_.size() != total_partitions_;
+    panic_if(alive_.empty(),
+             "fault plan killed every DRAM partition (validate() "
+             "should have rejected this machine)");
 }
 
 PartitionId
 PageTable::interleavedPartition(Addr addr) const
 {
     uint64_t blk = addr / cfg_.interleave_bytes;
-    return static_cast<PartitionId>(blk % total_partitions_);
+    if (!any_dead_)
+        return static_cast<PartitionId>(blk % total_partitions_);
+    // Stripe across the survivors only: capacity and channel
+    // parallelism shrink, addresses still always resolve.
+    return alive_[blk % alive_.size()];
 }
 
 PartitionId
@@ -25,9 +38,12 @@ PageTable::partitionFor(Addr addr, ModuleId toucher)
       case PagePolicy::FineInterleave:
         return interleavedPartition(addr);
 
-      case PagePolicy::RoundRobinPage:
-        return static_cast<PartitionId>((addr / cfg_.page_bytes) %
-                                        total_partitions_);
+      case PagePolicy::RoundRobinPage: {
+        const uint64_t page = addr / cfg_.page_bytes;
+        if (!any_dead_)
+            return static_cast<PartitionId>(page % total_partitions_);
+        return alive_[page % alive_.size()];
+      }
 
       case PagePolicy::FirstTouch: {
         const uint64_t page = addr / cfg_.page_bytes;
@@ -41,6 +57,25 @@ PageTable::partitionFor(Addr addr, ModuleId toucher)
         // channel-level parallelism within the module is preserved.
         PartitionId local = toucher * cfg_.partitions_per_module +
             static_cast<PartitionId>(page % cfg_.partitions_per_module);
+        if (any_dead_ && cfg_.fault.partitionDead(local)) {
+            // Preferred home is dead: try the module's other local
+            // partitions before re-homing to a surviving remote one.
+            PartitionId base = toucher * cfg_.partitions_per_module;
+            PartitionId fallback = kInvalidModule;
+            for (uint32_t i = 0; i < cfg_.partitions_per_module; ++i) {
+                PartitionId cand = base +
+                    static_cast<PartitionId>(
+                        (page + i) % cfg_.partitions_per_module);
+                if (!cfg_.fault.partitionDead(cand)) {
+                    fallback = cand;
+                    break;
+                }
+            }
+            if (fallback == kInvalidModule)
+                fallback = alive_[page % alive_.size()];
+            local = fallback;
+            ++rehomed_pages_;
+        }
         page_home_.emplace(page, local);
         ++pages_per_partition_[local];
         return local;
@@ -61,6 +96,7 @@ PageTable::reset()
 {
     page_home_.clear();
     std::fill(pages_per_partition_.begin(), pages_per_partition_.end(), 0);
+    rehomed_pages_ = 0;
 }
 
 } // namespace mcmgpu

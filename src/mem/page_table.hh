@@ -15,6 +15,12 @@
  *
  * Implemented as a software page table extending GPU driver
  * functionality; transparent to the OS and the programmer.
+ *
+ * Graceful degradation: partitions marked dead by the machine's
+ * FaultPlan never home a page. Interleaving policies stripe across the
+ * surviving partitions only, and first-touch placement falls back from
+ * a toucher's dead local partitions to the nearest surviving ones — a
+ * failed DRAM stack costs bandwidth and locality, never correctness.
  */
 
 #ifndef MCMGPU_MEM_PAGE_TABLE_HH
@@ -59,6 +65,14 @@ class PageTable
     /** Total pages mapped by first touch. */
     uint64_t pagesMapped() const { return page_home_.size(); }
 
+    /** Partitions that survive the machine's fault plan. */
+    uint32_t alivePartitions() const
+    { return static_cast<uint32_t>(alive_.size()); }
+
+    /** First-touch pages whose preferred home was dead and that were
+     *  re-homed to a surviving partition. */
+    uint64_t rehomedPages() const { return rehomed_pages_; }
+
     /** Forget all first-touch mappings (fresh application run). */
     void reset();
 
@@ -67,6 +81,10 @@ class PageTable
 
     const GpuConfig cfg_;
     uint32_t total_partitions_;
+    /** Surviving partitions in id order; == identity when no faults. */
+    std::vector<PartitionId> alive_;
+    bool any_dead_ = false;
+    uint64_t rehomed_pages_ = 0;
     std::unordered_map<uint64_t, PartitionId> page_home_;
     std::vector<uint64_t> pages_per_partition_;
 };

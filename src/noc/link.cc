@@ -1,4 +1,42 @@
-// Link is header-only; this translation unit exists so the component has
-// a home for future out-of-line additions and keeps the build layout
-// uniform (one .cc per module).
 #include "noc/link.hh"
+
+#include <algorithm>
+
+namespace mcmgpu {
+
+void
+Link::setTransientErrors(double error_rate, Cycle retry_cycles,
+                         uint64_t seed)
+{
+    error_rate_ = error_rate;
+    retry_cycles_ = retry_cycles;
+    rng_ = Rng(seed);
+    backoff_ = 0;
+}
+
+Cycle
+Link::traverse(Cycle now, uint64_t bytes)
+{
+    Cycle t = server_.acquire(now, bytes) + hop_cycles_;
+    if (error_rate_ <= 0.0)
+        return t;
+
+    if (!rng_.chance(error_rate_)) {
+        backoff_ = 0;
+        return t;
+    }
+
+    // CRC mismatch: the receiver requests a replay. The retransmission
+    // waits out the replay penalty — doubled for every consecutive
+    // error, so a link in a noisy patch throttles itself — and then
+    // consumes link bandwidth a second time.
+    const Cycle penalty =
+        retry_cycles_ << std::min(backoff_, kMaxBackoffShift);
+    ++errors_;
+    if (backoff_ < kMaxBackoffShift)
+        ++backoff_;
+    replay_cycles_ += penalty;
+    return server_.acquire(t + penalty, bytes) + hop_cycles_;
+}
+
+} // namespace mcmgpu

@@ -3,6 +3,14 @@
  * A point-to-point interconnect link: a bandwidth server plus a fixed
  * per-hop latency. Models one direction of an on-package GRS link
  * (section 2.3) or an on-board link (section 6.1).
+ *
+ * Links optionally carry a fault model (FaultPlan): the provisioned
+ * bandwidth may be derated to the bin the link yields at, and a
+ * transient-error process can force CRC replays — the message is
+ * retransmitted after a replay penalty that backs off exponentially on
+ * consecutive errors (a link in a bad patch gets progressively more
+ * conservative, as real retry protocols do). The error stream is a
+ * private seeded PRNG, so runs stay deterministic.
  */
 
 #ifndef MCMGPU_NOC_LINK_HH
@@ -11,6 +19,7 @@
 #include <string>
 
 #include "common/bw_server.hh"
+#include "common/rng.hh"
 #include "common/types.hh"
 #include "common/units.hh"
 
@@ -32,23 +41,44 @@ class Link
     }
 
     /**
+     * Arm the transient-error model: each traversal flips a coin at
+     * @p error_rate; on error the message is replayed after a penalty
+     * of @p retry_cycles << consecutive-errors (capped). @p seed makes
+     * the error stream deterministic and distinct per link.
+     */
+    void setTransientErrors(double error_rate, Cycle retry_cycles,
+                            uint64_t seed);
+
+    /**
      * Send @p bytes entering the link at @p now.
      * @return arrival time at the far end.
      */
-    Cycle
-    traverse(Cycle now, uint64_t bytes)
-    {
-        return server_.acquire(now, bytes) + hop_cycles_;
-    }
+    Cycle traverse(Cycle now, uint64_t bytes);
 
     uint64_t bytesCarried() const { return server_.bytesServed(); }
     double busyCycles() const { return server_.busyCycles(); }
     Cycle hopCycles() const { return hop_cycles_; }
     double rateBytesPerCycle() const { return server_.rateBytesPerCycle(); }
 
+    /** Transient errors hit on this link so far. */
+    uint64_t transientErrors() const { return errors_; }
+    /** Total replay-penalty cycles charged to traffic on this link. */
+    uint64_t replayCycles() const { return replay_cycles_; }
+
   private:
     BandwidthServer server_{1.0};
     Cycle hop_cycles_ = 0;
+
+    // Transient-error state (inert while error_rate_ == 0).
+    double error_rate_ = 0.0;
+    Cycle retry_cycles_ = 0;
+    Rng rng_{1};
+    uint32_t backoff_ = 0; //!< consecutive errors, exponent of the penalty
+    uint64_t errors_ = 0;
+    uint64_t replay_cycles_ = 0;
+
+    /** Backoff exponent cap: penalties stop doubling past this. */
+    static constexpr uint32_t kMaxBackoffShift = 6;
 };
 
 } // namespace mcmgpu

@@ -1,12 +1,51 @@
 #include "noc/ring.hh"
 
+#include <ostream>
+
 #include "common/log.hh"
 
 namespace mcmgpu {
 
+namespace {
+
+/**
+ * Construct one link with the plan's degradation for the segment
+ * leaving @p upstream applied: derated bandwidth, and a transient-error
+ * process seeded per link (@p salt keeps parallel link arrays — cw/ccw,
+ * egress/ingress — on distinct error streams).
+ */
+Link
+makeLink(double gbps, Cycle hop_cycles, const FaultPlan *plan,
+         ModuleId upstream, uint64_t salt)
+{
+    if (!plan)
+        return Link(gbps, hop_cycles);
+    Link l(gbps * plan->linkDerate(upstream), hop_cycles);
+    const double rate = plan->linkErrorRate(upstream);
+    if (rate > 0.0) {
+        l.setTransientErrors(rate, plan->link_retry_cycles,
+                             splitmix64(plan->seed ^
+                                        (salt * 8191ull + upstream)));
+    }
+    return l;
+}
+
+void
+dumpLinkLine(std::ostream &os, const std::string &name, const Link &l)
+{
+    os << "  " << name << ": rate " << l.rateBytesPerCycle()
+       << " B/cy, carried " << l.bytesCarried() << " B, busy "
+       << l.busyCycles() << " cy, errors " << l.transientErrors()
+       << ", replay " << l.replayCycles() << " cy\n";
+}
+
+} // namespace
+
 std::unique_ptr<Fabric>
 Fabric::create(const GpuConfig &cfg)
 {
+    const FaultPlan *plan =
+        cfg.fault.degradesLinks() ? &cfg.fault : nullptr;
     switch (cfg.fabric) {
       case FabricKind::Ideal:
         return std::make_unique<IdealFabric>();
@@ -14,22 +53,23 @@ Fabric::create(const GpuConfig &cfg)
         if (cfg.num_modules == 1)
             return std::make_unique<IdealFabric>();
         return std::make_unique<RingFabric>(cfg.num_modules, cfg.link_gbps,
-                                            cfg.link_hop_cycles);
+                                            cfg.link_hop_cycles, plan);
       case FabricKind::Mesh:
         if (cfg.num_modules == 1)
             return std::make_unique<IdealFabric>();
         return std::make_unique<MeshFabric>(cfg.num_modules, cfg.link_gbps,
-                                            cfg.link_hop_cycles);
+                                            cfg.link_hop_cycles, plan);
       case FabricKind::Ports:
         if (cfg.num_modules == 1)
             return std::make_unique<IdealFabric>();
         return std::make_unique<PortsFabric>(cfg.num_modules, cfg.link_gbps,
-                                             cfg.link_hop_cycles);
+                                             cfg.link_hop_cycles, plan);
     }
     panic("unknown fabric kind");
 }
 
-RingFabric::RingFabric(uint32_t nodes, double gbps, Cycle hop_cycles)
+RingFabric::RingFabric(uint32_t nodes, double gbps, Cycle hop_cycles,
+                       const FaultPlan *plan)
     : nodes_(nodes)
 {
     fatal_if(nodes < 2, "a ring needs at least two stops");
@@ -40,8 +80,8 @@ RingFabric::RingFabric(uint32_t nodes, double gbps, Cycle hop_cycles)
     cw_.reserve(nodes);
     ccw_.reserve(nodes);
     for (uint32_t i = 0; i < nodes; ++i) {
-        cw_.emplace_back(per_direction, hop_cycles);
-        ccw_.emplace_back(per_direction, hop_cycles);
+        cw_.push_back(makeLink(per_direction, hop_cycles, plan, i, 1));
+        ccw_.push_back(makeLink(per_direction, hop_cycles, plan, i, 2));
     }
 }
 
@@ -106,7 +146,28 @@ RingFabric::linkBytes() const
     return sum;
 }
 
-MeshFabric::MeshFabric(uint32_t nodes, double gbps, Cycle hop_cycles)
+uint64_t
+RingFabric::transientErrors() const
+{
+    uint64_t sum = 0;
+    for (const auto &l : cw_)
+        sum += l.transientErrors();
+    for (const auto &l : ccw_)
+        sum += l.transientErrors();
+    return sum;
+}
+
+void
+RingFabric::dumpOccupancy(std::ostream &os) const
+{
+    for (uint32_t i = 0; i < nodes_; ++i) {
+        dumpLinkLine(os, "ring.cw" + std::to_string(i), cw_[i]);
+        dumpLinkLine(os, "ring.ccw" + std::to_string(i), ccw_[i]);
+    }
+}
+
+MeshFabric::MeshFabric(uint32_t nodes, double gbps, Cycle hop_cycles,
+                       const FaultPlan *plan)
     : nodes_(nodes)
 {
     fatal_if(nodes < 2, "a mesh needs at least two nodes");
@@ -132,7 +193,8 @@ MeshFabric::MeshFabric(uint32_t nodes, double gbps, Cycle hop_cycles)
             if (dist == 1) {
                 link_of_[static_cast<size_t>(a) * nodes + b] =
                     static_cast<int32_t>(links_.size());
-                links_.emplace_back(per_direction, hop_cycles);
+                links_.push_back(
+                    makeLink(per_direction, hop_cycles, plan, a, 3 + b));
             }
         }
     }
@@ -180,7 +242,24 @@ MeshFabric::linkBytes() const
     return sum;
 }
 
-PortsFabric::PortsFabric(uint32_t nodes, double gbps, Cycle hop_cycles)
+uint64_t
+MeshFabric::transientErrors() const
+{
+    uint64_t sum = 0;
+    for (const Link &l : links_)
+        sum += l.transientErrors();
+    return sum;
+}
+
+void
+MeshFabric::dumpOccupancy(std::ostream &os) const
+{
+    for (size_t i = 0; i < links_.size(); ++i)
+        dumpLinkLine(os, "mesh.link" + std::to_string(i), links_[i]);
+}
+
+PortsFabric::PortsFabric(uint32_t nodes, double gbps, Cycle hop_cycles,
+                         const FaultPlan *plan)
 {
     fatal_if(nodes < 2, "a port fabric needs at least two modules");
     fatal_if(gbps <= 0.0, "ports need positive bandwidth");
@@ -192,8 +271,11 @@ PortsFabric::PortsFabric(uint32_t nodes, double gbps, Cycle hop_cycles)
     for (uint32_t i = 0; i < nodes; ++i) {
         // Split the hop latency across the two port traversals so one
         // send costs exactly hop_cycles of latency end to end.
-        egress_.emplace_back(per_direction, hop_cycles / 2);
-        ingress_.emplace_back(per_direction, hop_cycles - hop_cycles / 2);
+        egress_.push_back(
+            makeLink(per_direction, hop_cycles / 2, plan, i, 4));
+        ingress_.push_back(makeLink(per_direction,
+                                    hop_cycles - hop_cycles / 2, plan, i,
+                                    5));
     }
 }
 
@@ -217,6 +299,26 @@ PortsFabric::linkBytes() const
     for (const auto &l : egress_)
         sum += l.bytesCarried();
     return sum; // ingress carries the same bytes; count each message once
+}
+
+uint64_t
+PortsFabric::transientErrors() const
+{
+    uint64_t sum = 0;
+    for (const auto &l : egress_)
+        sum += l.transientErrors();
+    for (const auto &l : ingress_)
+        sum += l.transientErrors();
+    return sum;
+}
+
+void
+PortsFabric::dumpOccupancy(std::ostream &os) const
+{
+    for (size_t i = 0; i < egress_.size(); ++i) {
+        dumpLinkLine(os, "ports.egress" + std::to_string(i), egress_[i]);
+        dumpLinkLine(os, "ports.ingress" + std::to_string(i), ingress_[i]);
+    }
 }
 
 } // namespace mcmgpu

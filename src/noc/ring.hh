@@ -16,6 +16,7 @@
 #ifndef MCMGPU_NOC_RING_HH
 #define MCMGPU_NOC_RING_HH
 
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -55,7 +56,18 @@ class Fabric
      */
     virtual uint64_t injectedBytes() const = 0;
 
-    /** Factory from a machine description. */
+    /** Transient link errors hit so far (0 on fault-free fabrics). */
+    virtual uint64_t transientErrors() const { return 0; }
+
+    /** One line per link: rate, carried bytes, busy cycles, errors.
+     *  Feeds the watchdog's stall diagnostic. */
+    virtual void dumpOccupancy(std::ostream &) const {}
+
+    /**
+     * Factory from a machine description; applies the config's
+     * FaultPlan (bandwidth derating, transient-error processes) to
+     * every constructed link.
+     */
     static std::unique_ptr<Fabric> create(const GpuConfig &cfg);
 };
 
@@ -67,16 +79,23 @@ class RingFabric : public Fabric
      * @param nodes       number of ring stops (modules)
      * @param gbps        bandwidth per segment per direction, GB/s
      * @param hop_cycles  latency per hop
+     * @param plan        optional degradation to apply per segment
      */
-    RingFabric(uint32_t nodes, double gbps, Cycle hop_cycles);
+    RingFabric(uint32_t nodes, double gbps, Cycle hop_cycles,
+               const FaultPlan *plan = nullptr);
 
     FabricTransfer send(ModuleId src, ModuleId dst, uint64_t bytes,
                         Cycle now) override;
     uint64_t linkBytes() const override;
     uint64_t injectedBytes() const override { return injected_; }
+    uint64_t transientErrors() const override;
+    void dumpOccupancy(std::ostream &os) const override;
 
     /** Hop count of the route chosen from src to dst (for tests). */
     uint32_t routeHops(ModuleId src, ModuleId dst) const;
+
+    /** The segment leaving module @p m clockwise (for tests). */
+    const Link &cwLink(ModuleId m) const { return cw_.at(m); }
 
   private:
     uint32_t nodes_;
@@ -95,12 +114,15 @@ class RingFabric : public Fabric
 class MeshFabric : public Fabric
 {
   public:
-    MeshFabric(uint32_t nodes, double gbps, Cycle hop_cycles);
+    MeshFabric(uint32_t nodes, double gbps, Cycle hop_cycles,
+               const FaultPlan *plan = nullptr);
 
     FabricTransfer send(ModuleId src, ModuleId dst, uint64_t bytes,
                         Cycle now) override;
     uint64_t linkBytes() const override;
     uint64_t injectedBytes() const override { return injected_; }
+    uint64_t transientErrors() const override;
+    void dumpOccupancy(std::ostream &os) const override;
 
     uint32_t cols() const { return cols_; }
     uint32_t rows() const { return rows_; }
@@ -122,12 +144,15 @@ class MeshFabric : public Fabric
 class PortsFabric : public Fabric
 {
   public:
-    PortsFabric(uint32_t nodes, double gbps, Cycle hop_cycles);
+    PortsFabric(uint32_t nodes, double gbps, Cycle hop_cycles,
+                const FaultPlan *plan = nullptr);
 
     FabricTransfer send(ModuleId src, ModuleId dst, uint64_t bytes,
                         Cycle now) override;
     uint64_t linkBytes() const override;
     uint64_t injectedBytes() const override { return injected_; }
+    uint64_t transientErrors() const override;
+    void dumpOccupancy(std::ostream &os) const override;
 
   private:
     std::vector<Link> egress_;

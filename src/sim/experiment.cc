@@ -19,7 +19,7 @@ namespace {
 bool progress_enabled = true;
 
 /** Bump when the timing model changes to invalidate stale caches. */
-constexpr int kModelVersion = 1;
+constexpr int kModelVersion = 2;
 
 std::string cache_dir = [] {
     const char *env = std::getenv("MCMGPU_CACHE_DIR");
@@ -141,7 +141,22 @@ configKey(const GpuConfig &cfg)
        << static_cast<int>(cfg.page_policy) << ',' << cfg.page_bytes << ','
        << cfg.interleave_bytes << '/'
        << static_cast<int>(cfg.cta_sched) << ','
-       << cfg.kernel_launch_cycles;
+       << cfg.kernel_launch_cycles << '/'
+       << cfg.watchdog_cycles << ',' << cfg.cycle_limit;
+    // Fault plans change the machine; a pristine plan adds nothing so
+    // pre-fault cache entries for the same machine stay valid.
+    if (!cfg.fault.empty()) {
+        const FaultPlan &f = cfg.fault;
+        os << "/F" << f.seed << ',' << f.link_retry_cycles;
+        for (const auto &s : f.swept_sms)
+            os << ";s" << s.module << '.' << s.local_sm;
+        for (const auto &l : f.link_faults) {
+            os << ";l" << l.module << '.' << l.bw_derate << '.'
+               << l.error_rate;
+        }
+        for (PartitionId p : f.dead_partitions)
+            os << ";d" << p;
+    }
     return os.str();
 }
 
@@ -172,7 +187,10 @@ run(const GpuConfig &cfg, const workloads::Workload &w)
         std::fprintf(stderr, " %llu cycles\n",
                      static_cast<unsigned long long>(r.cycles));
     }
-    if (cacheable)
+    // Only completed runs enter the disk cache: truncated/stalled runs
+    // carry a free-form diagnostic and are cheap to reproduce (they are
+    // deterministic), so caching them buys nothing.
+    if (cacheable && r.status == RunStatus::Finished)
         storeCached(key, r);
     return memo.emplace(key, std::move(r)).first->second;
 }

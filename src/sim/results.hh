@@ -13,11 +13,41 @@
 
 namespace mcmgpu {
 
+/**
+ * How a simulation ended. Anything other than Finished means the
+ * metrics describe a truncated run: cycles/IPC are still meaningful
+ * ("how far did it get"), speedups against a Finished baseline are not.
+ */
+enum class RunStatus
+{
+    Finished,   //!< every kernel retired and the event queue drained
+    CycleLimit, //!< cfg.cycle_limit hit with work still in flight
+    Stalled,    //!< watchdog detected no forward progress (SimStall)
+};
+
+/** Human-readable status name ("finished"/"cycle_limit"/"stalled"). */
+inline const char *
+toString(RunStatus s)
+{
+    switch (s) {
+      case RunStatus::Finished: return "finished";
+      case RunStatus::CycleLimit: return "cycle_limit";
+      case RunStatus::Stalled: return "stalled";
+    }
+    return "unknown";
+}
+
 /** Outcome of one complete application run on one machine. */
 struct RunResult
 {
     std::string workload;
     std::string config;
+
+    RunStatus status = RunStatus::Finished;
+    /** Watchdog machine-state dump; non-empty only when Stalled. */
+    std::string stall_diagnostic;
+
+    bool finished() const { return status == RunStatus::Finished; }
 
     Cycle cycles = 0;               //!< application completion time
     uint64_t warp_instructions = 0;

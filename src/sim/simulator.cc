@@ -11,9 +11,18 @@ Simulator::run(const GpuConfig &cfg, const workloads::Workload &workload)
     GpuSystem gpu(cfg);
     Runtime rt(gpu);
 
-    rt.runAll(workload.launches);
-
     RunResult r;
+    try {
+        rt.runAll(workload.launches);
+        r.status = rt.status();
+    } catch (const SimStall &stall) {
+        // The watchdog saw pending events but no retired work: report a
+        // typed, diagnosable outcome with the partial metrics instead of
+        // spinning forever.
+        r.status = RunStatus::Stalled;
+        r.stall_diagnostic = stall.diagnostic();
+    }
+
     r.workload = workload.abbr;
     r.config = cfg.name;
     r.cycles = gpu.eventQueue().now();

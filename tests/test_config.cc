@@ -177,6 +177,118 @@ TEST(Config, ValidateCatchesBrokenConfigs)
     EXPECT_ANY_THROW(c.validate());
 }
 
+// The structured side of validation: each broken machine must report
+// the specific ConfigErrc, so tests (and tools) can assert on causes
+// instead of string-matching what() text.
+
+TEST(ConfigIssues, ZeroModules)
+{
+    GpuConfig c = configs::mcmBasic();
+    c.num_modules = 0;
+    try {
+        c.validate();
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_TRUE(e.has(ConfigErrc::NoModules));
+        EXPECT_FALSE(e.issues().empty());
+    }
+}
+
+TEST(ConfigIssues, ZeroSmsPerModule)
+{
+    GpuConfig c = configs::mcmBasic();
+    c.sms_per_module = 0;
+    try {
+        c.validate();
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_TRUE(e.has(ConfigErrc::NoSms));
+    }
+}
+
+TEST(ConfigIssues, L15EnabledWithZeroCapacity)
+{
+    GpuConfig c = configs::mcmBasic();
+    c.l15_alloc = L15Alloc::RemoteOnly;
+    c.l15_total_bytes = 0;
+    try {
+        c.validate();
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_TRUE(e.has(ConfigErrc::L15NoCapacity));
+    }
+}
+
+TEST(ConfigIssues, CheckReturnsEveryProblemAtOnce)
+{
+    GpuConfig c = configs::mcmBasic();
+    c.num_modules = 0;
+    c.dram_total_gbps = 0.0;
+    std::vector<ConfigIssue> issues = c.check();
+    ASSERT_GE(issues.size(), 2u);
+    ConfigError e(issues);
+    EXPECT_TRUE(e.has(ConfigErrc::NoModules));
+    EXPECT_TRUE(e.has(ConfigErrc::NoDramBandwidth));
+}
+
+TEST(ConfigIssues, ValidMachineHasNoIssues)
+{
+    EXPECT_TRUE(configs::mcmBasic().check().empty());
+    EXPECT_TRUE(configs::mcmOptimized().check().empty());
+    EXPECT_TRUE(configs::multiGpuBaseline().check().empty());
+}
+
+TEST(ConfigIssues, FaultPlanSanity)
+{
+    // Sweeping every SM of a GPM is rejected: the weighted batch split
+    // cannot give work to a zero-weight module.
+    GpuConfig c = configs::mcmBasic();
+    c.fault = FaultPlan{}.sweepSms(1, c.sms_per_module);
+    try {
+        c.validate();
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_TRUE(e.has(ConfigErrc::FaultModuleFullySwept));
+    }
+
+    c = configs::mcmBasic();
+    c.fault = FaultPlan{}.sweepSm(c.num_modules, 0); // bad module id
+    EXPECT_TRUE(ConfigError(c.check()).has(ConfigErrc::FaultBadModule));
+
+    c = configs::mcmBasic();
+    c.fault = FaultPlan{}.sweepSm(0, c.sms_per_module); // bad local SM
+    EXPECT_TRUE(ConfigError(c.check()).has(ConfigErrc::FaultBadSm));
+
+    c = configs::mcmBasic();
+    c.fault = FaultPlan{}.derateLinks(1.5); // >1 would add bandwidth
+    EXPECT_TRUE(
+        ConfigError(c.check()).has(ConfigErrc::FaultBadLinkDerate));
+
+    c = configs::mcmBasic();
+    c.fault = FaultPlan{}.injectLinkErrors(1.0); // p=1 never delivers
+    EXPECT_TRUE(
+        ConfigError(c.check()).has(ConfigErrc::FaultBadLinkErrorRate));
+
+    c = configs::mcmBasic();
+    c.fault = FaultPlan{}.killPartition(c.totalPartitions());
+    EXPECT_TRUE(ConfigError(c.check()).has(ConfigErrc::FaultBadPartition));
+
+    c = configs::mcmBasic();
+    for (PartitionId p = 0; p < c.totalPartitions(); ++p)
+        c.fault.killPartition(p);
+    EXPECT_TRUE(
+        ConfigError(c.check()).has(ConfigErrc::FaultAllPartitionsDead));
+
+    // A survivable plan passes.
+    c = configs::mcmBasic();
+    c.fault = FaultPlan{}
+                  .sweepSms(0, 4)
+                  .derateLinks(0.5)
+                  .injectLinkErrors(1e-3)
+                  .killPartition(2);
+    EXPECT_TRUE(c.check().empty());
+}
+
 TEST(Config, EnergyConstantsMatchTable2)
 {
     GpuConfig c = configs::mcmBasic();

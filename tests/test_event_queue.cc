@@ -27,7 +27,7 @@ TEST(EventQueue, ExecutesInTimeOrder)
     eq.schedule(30, [&] { order.push_back(3); });
     eq.schedule(10, [&] { order.push_back(1); });
     eq.schedule(20, [&] { order.push_back(2); });
-    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(eq.run(), EventQueue::Outcome::Drained);
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
     EXPECT_EQ(eq.now(), 30u);
 }
@@ -64,9 +64,10 @@ TEST(EventQueue, RunHonoursLimit)
     int fired = 0;
     eq.schedule(10, [&] { ++fired; });
     eq.schedule(100, [&] { ++fired; });
-    EXPECT_FALSE(eq.run(50)) << "limit hit: queue not drained";
+    EXPECT_EQ(eq.run(50), EventQueue::Outcome::LimitHit)
+        << "limit hit: queue not drained";
     EXPECT_EQ(fired, 1);
-    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(eq.run(), EventQueue::Outcome::Drained);
     EXPECT_EQ(fired, 2);
 }
 
@@ -121,6 +122,94 @@ TEST(EventQueue, LargeFanOutIsStable)
         eq.schedule(t ^ 0x2a5, [&sum, t] { sum += t; });
     eq.run();
     EXPECT_EQ(sum, 9999ull * 10000ull / 2ull);
+}
+
+TEST(EventQueue, WatchdogThrowsOnAdvancingTimeLivelock)
+{
+    EventQueue eq;
+    eq.setWatchdog(100);
+    // Self-rescheduling event that never calls noteProgress: time
+    // advances but no work retires.
+    std::function<void()> spin = [&] { eq.schedule(eq.now() + 10, spin); };
+    eq.schedule(0, spin);
+    EXPECT_THROW(eq.run(), SimStall);
+}
+
+TEST(EventQueue, WatchdogThrowsOnSameCycleLivelock)
+{
+    EventQueue eq;
+    eq.setWatchdog(100);
+    // Livelock at a single cycle: the cycle watermark never moves, the
+    // event-count window is what trips.
+    std::function<void()> spin = [&] { eq.schedule(eq.now(), spin); };
+    eq.schedule(5, spin);
+    EXPECT_THROW(eq.run(), SimStall);
+}
+
+TEST(EventQueue, WatchdogSparedByProgress)
+{
+    EventQueue eq;
+    eq.setWatchdog(100);
+    int fired = 0;
+    std::function<void()> work = [&] {
+        eq.noteProgress(); // retires work every 90 cycles: never stalls
+        if (++fired < 50)
+            eq.schedule(eq.now() + 90, work);
+    };
+    eq.schedule(0, work);
+    EXPECT_EQ(eq.run(), EventQueue::Outcome::Drained);
+    EXPECT_EQ(fired, 50);
+    EXPECT_EQ(eq.progressMarks(), 50u);
+}
+
+TEST(EventQueue, WatchdogDiagnosticCarriesMachineDump)
+{
+    EventQueue eq;
+    eq.setWatchdog(50, [] { return std::string("custom machine dump"); });
+    std::function<void()> spin = [&] { eq.schedule(eq.now() + 1, spin); };
+    eq.schedule(0, spin);
+    try {
+        eq.run();
+        FAIL() << "expected SimStall";
+    } catch (const SimStall &stall) {
+        EXPECT_NE(stall.diagnostic().find("custom machine dump"),
+                  std::string::npos);
+        EXPECT_NE(stall.diagnostic().find("no progress"),
+                  std::string::npos);
+    }
+}
+
+TEST(EventQueue, WatchdogDisabledByDefault)
+{
+    EventQueue eq;
+    int hops = 0;
+    // Spin for far longer than any plausible default window; without
+    // setWatchdog the queue must keep going until it drains.
+    std::function<void()> spin = [&] {
+        if (++hops < 100000)
+            eq.schedule(eq.now() + 1, spin);
+    };
+    eq.schedule(0, spin);
+    EXPECT_EQ(eq.run(), EventQueue::Outcome::Drained);
+    EXPECT_EQ(hops, 100000);
+}
+
+TEST(EventQueue, ResetClearsWatchdogWatermark)
+{
+    EventQueue eq;
+    eq.setWatchdog(100);
+    eq.schedule(0, [&] { eq.noteProgress(); });
+    eq.run();
+    eq.reset();
+    // After reset the stale progress/cycle watermark must not count
+    // against the fresh run.
+    int fired = 0;
+    eq.schedule(10, [&] {
+        ++fired;
+        eq.noteProgress();
+    });
+    EXPECT_EQ(eq.run(), EventQueue::Outcome::Drained);
+    EXPECT_EQ(fired, 1);
 }
 
 } // namespace

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Tests for the fault-injection and graceful-degradation subsystem:
+ * FaultPlan queries, link derating and transient-error replay, dead
+ * DRAM partitions, floorsweeping-aware CTA scheduling, and whole-run
+ * degradation behaviour (degraded machines finish with finite IPC; a
+ * pristine plan is bit-for-bit the pristine machine).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "common/units.hh"
+#include "fault/fault_plan.hh"
+#include "gpu/cta_sched.hh"
+#include "gpu/gpu_system.hh"
+#include "gpu/runtime.hh"
+#include "mem/page_table.hh"
+#include "noc/link.hh"
+#include "sim/simulator.hh"
+#include "workloads/patterns.hh"
+#include "workloads/registry.hh"
+
+namespace mcmgpu {
+namespace {
+
+using workloads::ArrayRef;
+using workloads::Category;
+using workloads::KernelSpec;
+using workloads::Workload;
+using workloads::WorkloadBuilder;
+
+// --- FaultPlan queries -----------------------------------------------------
+
+TEST(FaultPlan, EmptyPlanIsPristine)
+{
+    FaultPlan p;
+    EXPECT_TRUE(p.empty());
+    EXPECT_FALSE(p.smDisabled(0, 0));
+    EXPECT_FALSE(p.partitionDead(0));
+    EXPECT_DOUBLE_EQ(p.linkDerate(0), 1.0);
+    EXPECT_DOUBLE_EQ(p.linkErrorRate(0), 0.0);
+    EXPECT_FALSE(p.degradesLinks());
+    EXPECT_EQ(p.enabledSmsPerModule(4, 64),
+              (std::vector<uint32_t>{64, 64, 64, 64}));
+}
+
+TEST(FaultPlan, SweepQueriesAndDedup)
+{
+    FaultPlan p;
+    p.sweepSm(1, 3).sweepSm(1, 3).sweepSm(1, 5).sweepSms(2, 4);
+    EXPECT_FALSE(p.empty());
+    EXPECT_TRUE(p.smDisabled(1, 3));
+    EXPECT_TRUE(p.smDisabled(1, 5));
+    EXPECT_FALSE(p.smDisabled(1, 4));
+    EXPECT_FALSE(p.smDisabled(0, 3));
+    EXPECT_EQ(p.sweptSmsIn(1), 2u) << "duplicate entries must not count";
+    EXPECT_EQ(p.sweptSmsIn(2), 4u);
+    EXPECT_EQ(p.enabledSmsPerModule(4, 64),
+              (std::vector<uint32_t>{64, 62, 60, 64}));
+}
+
+TEST(FaultPlan, LinkDeratesComposeAndErrorRatesMax)
+{
+    FaultPlan p;
+    p.derateLinks(0.5).derateLink(2, 0.5);
+    EXPECT_DOUBLE_EQ(p.linkDerate(0), 0.5);
+    EXPECT_DOUBLE_EQ(p.linkDerate(2), 0.25) << "derates multiply";
+
+    p.injectLinkErrors(1e-3);
+    p.link_faults.push_back({2, 1.0, 5e-3});
+    EXPECT_DOUBLE_EQ(p.linkErrorRate(0), 1e-3);
+    EXPECT_DOUBLE_EQ(p.linkErrorRate(2), 5e-3) << "largest rate wins";
+}
+
+TEST(FaultPlan, DeadPartitions)
+{
+    FaultPlan p;
+    p.killPartition(2);
+    EXPECT_TRUE(p.partitionDead(2));
+    EXPECT_FALSE(p.partitionDead(1));
+}
+
+// --- Link transient errors --------------------------------------------------
+
+TEST(LinkFault, ErrorFreeLinkMatchesPristine)
+{
+    Link pristine(64.0, 8);
+    Link armed(64.0, 8);
+    armed.setTransientErrors(0.0, 64, 7); // rate 0: must stay inert
+    for (Cycle t = 0; t < 200; t += 3) {
+        EXPECT_EQ(pristine.traverse(t, 256), armed.traverse(t, 256));
+    }
+    EXPECT_EQ(armed.transientErrors(), 0u);
+    EXPECT_EQ(armed.replayCycles(), 0u);
+}
+
+TEST(LinkFault, ReplayIsDeterministicAndCharged)
+{
+    Link a(64.0, 8), b(64.0, 8);
+    a.setTransientErrors(0.25, 16, 42);
+    b.setTransientErrors(0.25, 16, 42);
+    Link clean(64.0, 8);
+
+    uint64_t slower = 0;
+    for (Cycle t = 0; t < 3000; t += 5) {
+        Cycle ta = a.traverse(t, 256);
+        EXPECT_EQ(ta, b.traverse(t, 256)) << "same seed, same schedule";
+        slower += ta >= clean.traverse(t, 256);
+    }
+    EXPECT_GT(a.transientErrors(), 0u);
+    EXPECT_GT(a.replayCycles(), 0u);
+    EXPECT_GT(a.transientErrors(),
+              a.replayCycles() / (16u << 7))
+        << "penalties are bounded by the backoff cap";
+    EXPECT_GT(slower, 0u);
+}
+
+// --- Weighted CTA scheduling -------------------------------------------------
+
+TEST(FaultSched, WeightedBatchesAreProportionalAndComplete)
+{
+    // Module 1 lost half its SMs: its batch must be about half-sized.
+    DistributedScheduler s({8, 4, 8, 8});
+    const uint32_t n = 280;
+    s.beginKernel(n);
+
+    uint32_t covered = 0;
+    for (ModuleId m = 0; m < 4; ++m) {
+        auto [lo, hi] = s.rangeOf(m);
+        EXPECT_EQ(lo, covered) << "batches stay contiguous";
+        covered = hi;
+    }
+    EXPECT_EQ(covered, n) << "every CTA assigned exactly once";
+
+    auto size = [&](ModuleId m) {
+        auto [lo, hi] = s.rangeOf(m);
+        return hi - lo;
+    };
+    EXPECT_EQ(size(1), 40u);                 // 280 * 4/28
+    EXPECT_EQ(size(0), 80u);                 // 280 * 8/28
+    EXPECT_EQ(size(0) + size(1) + size(2) + size(3), n);
+}
+
+TEST(FaultSched, EqualWeightsReproduceClassicSplit)
+{
+    DistributedScheduler classic(4u);
+    DistributedScheduler weighted({64, 64, 64, 64});
+    for (uint32_t n : {1u, 7u, 64u, 1000u, 4097u}) {
+        classic.beginKernel(n);
+        weighted.beginKernel(n);
+        for (ModuleId m = 0; m < 4; ++m)
+            EXPECT_EQ(classic.rangeOf(m), weighted.rangeOf(m)) << n;
+    }
+}
+
+// --- Page re-homing ----------------------------------------------------------
+
+TEST(FaultMem, DeadPartitionNeverHomesAPage)
+{
+    for (PagePolicy pol : {PagePolicy::FineInterleave,
+                           PagePolicy::RoundRobinPage,
+                           PagePolicy::FirstTouch}) {
+        GpuConfig cfg = configs::mcmBasic().withPagePolicy(pol);
+        cfg.fault.killPartition(1);
+        PageTable pt(cfg);
+        EXPECT_EQ(pt.alivePartitions(), cfg.totalPartitions() - 1);
+        for (Addr a = 0; a < 4 * MiB; a += 4096) {
+            PartitionId p = pt.partitionFor(a, a % cfg.num_modules);
+            EXPECT_NE(p, 1u);
+            EXPECT_LT(p, cfg.totalPartitions());
+        }
+    }
+}
+
+TEST(FaultMem, FirstTouchRehomesAndCounts)
+{
+    GpuConfig cfg =
+        configs::mcmBasic().withPagePolicy(PagePolicy::FirstTouch);
+    cfg.fault.killPartition(1); // module 1's only partition
+    PageTable pt(cfg);
+    // Touches from module 1 cannot live locally: all are re-homed.
+    for (Addr a = 0; a < 64 * 4096; a += 4096)
+        EXPECT_NE(pt.partitionFor(a, 1), 1u);
+    EXPECT_EQ(pt.rehomedPages(), 64u);
+    // Touches from a healthy module stay local and don't count.
+    for (Addr a = 16 * MiB; a < 16 * MiB + 64 * 4096; a += 4096)
+        EXPECT_EQ(pt.partitionFor(a, 2), 2u);
+    EXPECT_EQ(pt.rehomedPages(), 64u);
+    pt.reset();
+    EXPECT_EQ(pt.rehomedPages(), 0u);
+}
+
+// --- Whole-machine degradation ----------------------------------------------
+
+class FaultIntegration : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuietLogging(true); }
+
+    static Workload
+    stream(uint32_t ctas = 512)
+    {
+        WorkloadBuilder b("fstream", "fstream",
+                          Category::MemoryIntensive);
+        ArrayRef in{b.alloc(8 * MiB), 8 * MiB};
+        ArrayRef out{b.alloc(8 * MiB), 8 * MiB};
+        KernelSpec k;
+        k.name = "fstream";
+        k.num_ctas = ctas;
+        k.warps_per_cta = 4;
+        k.items_per_warp = 8;
+        k.compute_per_item = 2;
+        k.arrays = {in, out};
+        k.accesses = {workloads::part(0), workloads::part(1, true)};
+        k.seed = 3;
+        b.launch(k, 2);
+        return b.build();
+    }
+};
+
+TEST_F(FaultIntegration, FloorsweptMachineDegradesGracefully)
+{
+    Workload w = stream();
+    GpuConfig pristine = configs::mcmOptimized();
+    GpuConfig swept = configs::mcmOptimized();
+    swept.fault.sweepSms(0, 16); // a quarter of GPM0
+
+    RunResult base = Simulator::run(pristine, w);
+    RunResult r = Simulator::run(swept, w);
+    EXPECT_EQ(r.status, RunStatus::Finished);
+    EXPECT_EQ(r.warp_instructions, base.warp_instructions)
+        << "work is conserved, only placement changes";
+    EXPECT_GE(r.cycles, base.cycles);
+    EXPECT_GT(r.ipc(), 0.0);
+}
+
+TEST_F(FaultIntegration, FloorsweptSmsReceiveNoWork)
+{
+    GpuConfig cfg = configs::mcmOptimized();
+    cfg.fault.sweepSm(0, 0).sweepSm(2, 5);
+    GpuSystem gpu(cfg);
+    EXPECT_FALSE(gpu.smEnabled(0));
+    EXPECT_FALSE(gpu.smEnabled(2 * cfg.sms_per_module + 5));
+    EXPECT_EQ(gpu.enabledSms(), cfg.totalSms() - 2);
+
+    Runtime rt(gpu);
+    Workload w = stream(256);
+    rt.runAll(w.launches);
+    EXPECT_EQ(rt.status(), RunStatus::Finished);
+    EXPECT_EQ(gpu.sm(0).warpInstructions(), 0u);
+    EXPECT_EQ(gpu.sm(2 * cfg.sms_per_module + 5).warpInstructions(), 0u);
+    EXPECT_GT(gpu.sm(1).warpInstructions(), 0u);
+}
+
+TEST_F(FaultIntegration, DeratedLinksSlowRemoteTraffic)
+{
+    // mcm-basic interleaves across all partitions: 3/4 of traffic is
+    // remote, so a 4x thinner ring must cost cycles.
+    Workload w = stream();
+    RunResult base = Simulator::run(configs::mcmBasic(), w);
+    GpuConfig derated = configs::mcmBasic();
+    derated.fault.derateLinks(0.25);
+    RunResult r = Simulator::run(derated, w);
+    EXPECT_EQ(r.status, RunStatus::Finished);
+    EXPECT_GT(r.cycles, base.cycles);
+}
+
+TEST_F(FaultIntegration, TransientLinkErrorsAreDeterministicAndCostly)
+{
+    Workload w = stream();
+    GpuConfig noisy = configs::mcmBasic();
+    noisy.fault.injectLinkErrors(0.01);
+    RunResult a = Simulator::run(noisy, w);
+    RunResult b = Simulator::run(noisy, w);
+    EXPECT_EQ(a.cycles, b.cycles) << "seeded error streams: repeatable";
+    EXPECT_EQ(a.status, RunStatus::Finished);
+
+    RunResult base = Simulator::run(configs::mcmBasic(), w);
+    EXPECT_GE(a.cycles, base.cycles);
+
+    GpuConfig reseeded = noisy;
+    reseeded.fault.withSeed(99);
+    RunResult c = Simulator::run(reseeded, w);
+    EXPECT_EQ(c.status, RunStatus::Finished);
+}
+
+TEST_F(FaultIntegration, DeadPartitionRunCompletes)
+{
+    Workload w = stream();
+    GpuConfig cfg = configs::mcmOptimized(); // first-touch paging
+    cfg.fault.killPartition(3);
+    RunResult r = Simulator::run(cfg, w);
+    EXPECT_EQ(r.status, RunStatus::Finished);
+    RunResult base = Simulator::run(configs::mcmOptimized(), w);
+    EXPECT_EQ(r.warp_instructions, base.warp_instructions);
+    EXPECT_GE(r.cycles, base.cycles)
+        << "losing a channel cannot speed the machine up";
+}
+
+TEST_F(FaultIntegration, CombinedFaultsStillFinish)
+{
+    Workload w = stream();
+    GpuConfig cfg = configs::mcmOptimized();
+    cfg.fault.sweepSms(1, 8)
+        .derateLinks(0.5)
+        .injectLinkErrors(5e-3)
+        .killPartition(0);
+    cfg.validate();
+    RunResult r = Simulator::run(cfg, w);
+    EXPECT_EQ(r.status, RunStatus::Finished);
+    EXPECT_GT(r.ipc(), 0.0);
+}
+
+TEST_F(FaultIntegration, WatchdogDoesNotPerturbTiming)
+{
+    // The watchdog is observation-only: cycles must match with it off.
+    Workload w = stream();
+    GpuConfig armed = configs::mcmBasic();
+    ASSERT_GT(armed.watchdog_cycles, 0u);
+    GpuConfig disarmed = configs::mcmBasic();
+    disarmed.watchdog_cycles = 0;
+    RunResult a = Simulator::run(armed, w);
+    RunResult b = Simulator::run(disarmed, w);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.warp_instructions, b.warp_instructions);
+}
+
+} // namespace
+} // namespace mcmgpu

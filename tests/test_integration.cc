@@ -158,6 +158,32 @@ TEST_F(IntegrationTest, MultiGpuSlowerThanMcmOnSharedTables)
     EXPECT_LT(mcm.cycles, mgpu.cycles);
 }
 
+TEST_F(IntegrationTest, CompletedRunsReportFinished)
+{
+    Workload w = stream();
+    RunResult r = Simulator::run(configs::mcmBasic(), w);
+    EXPECT_EQ(r.status, RunStatus::Finished);
+    EXPECT_TRUE(r.finished());
+    EXPECT_TRUE(r.stall_diagnostic.empty());
+}
+
+TEST_F(IntegrationTest, CycleLimitTruncatesRun)
+{
+    Workload w = stream();
+    GpuConfig cfg = configs::mcmBasic();
+    RunResult full = Simulator::run(cfg, w);
+    ASSERT_GT(full.cycles, 2000u);
+
+    cfg.cycle_limit = full.cycles / 2;
+    RunResult cut = Simulator::run(cfg, w);
+    EXPECT_EQ(cut.status, RunStatus::CycleLimit);
+    EXPECT_FALSE(cut.finished());
+    EXPECT_LE(cut.cycles, cfg.cycle_limit);
+    EXPECT_LT(cut.warp_instructions, full.warp_instructions)
+        << "a truncated run must have retired less work";
+    EXPECT_GT(cut.warp_instructions, 0u) << "but not zero";
+}
+
 TEST_F(IntegrationTest, DeterministicAcrossIndependentMachines)
 {
     Workload w = tableReader();
