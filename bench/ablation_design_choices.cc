@@ -29,10 +29,8 @@ using namespace mcmgpu;
 int
 main(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--quiet"))
-            experiment::setProgress(false);
-    }
+    for (int i = 1; i < argc; ++i)
+        experiment::parseCliFlag(argc, argv, i);
     setQuietLogging(true);
 
     const GpuConfig base = configs::mcmBasic();

@@ -22,16 +22,19 @@ using workloads::Category;
 int
 main(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--quiet"))
-            experiment::setProgress(false);
-    }
+    for (int i = 1; i < argc; ++i)
+        experiment::parseCliFlag(argc, argv, i);
     setQuietLogging(true);
 
     const GpuConfig base = configs::mcmBasic();
     GpuConfig ds = configs::mcmWithL15(16 * MiB, L15Alloc::RemoteOnly)
                        .withSched(CtaSchedPolicy::DistributedBatch)
                        .withName("mcm-l15-16mb-ds");
+
+    // Warm both configs across the suite through the pool.
+    const GpuConfig matrix[] = {base, ds};
+    const auto all = experiment::everyWorkload();
+    experiment::prefetch(matrix, all);
 
     Table t({"Workload", "Baseline (TB/s)", "L1.5 + DS (TB/s)",
              "Reduction"});

@@ -37,15 +37,18 @@ ftConfig(uint64_t l15_bytes, const char *name)
 int
 main(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--quiet"))
-            experiment::setProgress(false);
-    }
+    for (int i = 1; i < argc; ++i)
+        experiment::parseCliFlag(argc, argv, i);
     setQuietLogging(true);
 
     const GpuConfig base = configs::mcmBasic();
     const GpuConfig ft16 = ftConfig(16 * MiB, "mcm-ft-ds-l15-16mb");
     const GpuConfig ft8 = ftConfig(8 * MiB, "mcm-ft-ds-l15-8mb");
+
+    // Warm all three configs across the suite through the pool.
+    const GpuConfig matrix[] = {base, ft16, ft8};
+    const auto all = experiment::everyWorkload();
+    experiment::prefetch(matrix, all);
 
     Table t({"Workload", "Baseline (TB/s)", "FT+DS+16MB L1.5 (TB/s)",
              "FT+DS+8MB L1.5 (TB/s)"});

@@ -29,10 +29,8 @@ using namespace mcmgpu;
 int
 main(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--quiet"))
-            experiment::setProgress(false);
-    }
+    for (int i = 1; i < argc; ++i)
+        experiment::parseCliFlag(argc, argv, i);
     setQuietLogging(true);
 
     const GpuConfig base = configs::mcmBasic();
@@ -63,6 +61,15 @@ main(int argc, char **argv)
         {"MCM-GPU (6 TB/s)", "Unbuildable", configs::mcmOptimized(6144.0)},
         {"Monolithic", "Unbuildable", configs::monolithicUnbuildable()},
     };
+
+    // Warm every config used anywhere below (the headline comparisons
+    // add two monolithic machines) across the suite through the pool.
+    std::vector<GpuConfig> sweep{base, configs::mcmOptimized(),
+                                 configs::monolithicBuildableMax(),
+                                 configs::monolithicUnbuildable()};
+    for (const Point &p : points)
+        sweep.push_back(p.cfg);
+    experiment::prefetch(sweep, all);
 
     Table t({"Configuration", "Group", "Speedup over baseline MCM-GPU"});
     for (const Point &p : points) {

@@ -27,10 +27,8 @@ using namespace mcmgpu;
 int
 main(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--quiet"))
-            experiment::setProgress(false);
-    }
+    for (int i = 1; i < argc; ++i)
+        experiment::parseCliFlag(argc, argv, i);
     setQuietLogging(true);
 
     const GpuConfig multi_base = configs::multiGpuBaseline();
@@ -50,6 +48,12 @@ main(int argc, char **argv)
         {"Monolithic GPU", "Unbuildable",
          configs::monolithicUnbuildable()},
     };
+
+    // Warm every machine across the suite through the pool.
+    std::vector<GpuConfig> sweep;
+    for (const Point &p : points)
+        sweep.push_back(p.cfg);
+    experiment::prefetch(sweep, all);
 
     Table t({"System", "Group", "Speedup over baseline Multi-GPU"});
     double mcm = 0.0, multi_opt = 0.0;

@@ -24,10 +24,8 @@ using namespace mcmgpu;
 int
 main(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--quiet"))
-            experiment::setProgress(false);
-    }
+    for (int i = 1; i < argc; ++i)
+        experiment::parseCliFlag(argc, argv, i);
     setQuietLogging(true);
 
     const uint32_t sm_counts[] = {32, 64, 96, 128, 160, 192, 224, 256};
@@ -36,6 +34,14 @@ main(int argc, char **argv)
     auto high = experiment::highParallelismWorkloads();
     auto limited =
         workloads::byCategory(workloads::Category::LimitedParallelism);
+
+    // Warm the whole SM-count × workload matrix through the pool; the
+    // geomean loops below then read memoized results.
+    std::vector<GpuConfig> sweep;
+    for (uint32_t sms : sm_counts)
+        sweep.push_back(configs::monolithic(sms));
+    const auto all = experiment::everyWorkload();
+    experiment::prefetch(sweep, all);
 
     Table t({"SM count", "Linear", "High-Parallelism (33)",
              "Limited-Parallelism (15)", "Buildable?"});

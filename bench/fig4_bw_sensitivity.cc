@@ -24,10 +24,8 @@ using workloads::Category;
 int
 main(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--quiet"))
-            experiment::setProgress(false);
-    }
+    for (int i = 1; i < argc; ++i)
+        experiment::parseCliFlag(argc, argv, i);
     setQuietLogging(true);
 
     const double settings[] = {6144.0, 3072.0, 1536.0, 768.0, 384.0};
@@ -35,6 +33,13 @@ main(int argc, char **argv)
                             "384 GB/s"};
 
     const GpuConfig reference = configs::mcmBasic(6144.0);
+
+    // Warm the link-bandwidth × workload matrix through the pool.
+    std::vector<GpuConfig> sweep{reference};
+    for (double gbps : settings)
+        sweep.push_back(configs::mcmBasic(gbps));
+    const auto all = experiment::everyWorkload();
+    experiment::prefetch(sweep, all);
 
     struct Row
     {

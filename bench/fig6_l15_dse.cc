@@ -25,10 +25,8 @@ using workloads::Category;
 int
 main(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--quiet"))
-            experiment::setProgress(false);
-    }
+    for (int i = 1; i < argc; ++i)
+        experiment::parseCliFlag(argc, argv, i);
     setQuietLogging(true);
 
     const GpuConfig base = configs::mcmBasic();
@@ -46,6 +44,13 @@ main(int argc, char **argv)
         {"32MB", configs::mcmWithL15(32 * MiB, L15Alloc::All)},
         {"32MB RO", configs::mcmWithL15(32 * MiB, L15Alloc::RemoteOnly)},
     };
+
+    // Warm the design-space × workload matrix through the pool.
+    std::vector<GpuConfig> sweep{base};
+    for (const Column &c : cols)
+        sweep.push_back(c.cfg);
+    const auto all = experiment::everyWorkload();
+    experiment::prefetch(sweep, all);
 
     Table t({"Workload", cols[0].label, cols[1].label, cols[2].label,
              cols[3].label, cols[4].label, cols[5].label});

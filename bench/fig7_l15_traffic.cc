@@ -23,15 +23,18 @@ using workloads::Category;
 int
 main(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--quiet"))
-            experiment::setProgress(false);
-    }
+    for (int i = 1; i < argc; ++i)
+        experiment::parseCliFlag(argc, argv, i);
     setQuietLogging(true);
 
     const GpuConfig base = configs::mcmBasic();
     const GpuConfig l15 =
         configs::mcmWithL15(16 * MiB, L15Alloc::RemoteOnly);
+
+    // Warm both configs across the suite through the pool.
+    const GpuConfig matrix[] = {base, l15};
+    const auto all = experiment::everyWorkload();
+    experiment::prefetch(matrix, all);
 
     Table t({"Workload", "Baseline (TB/s)", "16MB RO L1.5 (TB/s)",
              "Reduction"});

@@ -24,10 +24,8 @@ using workloads::Category;
 int
 main(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--quiet"))
-            experiment::setProgress(false);
-    }
+    for (int i = 1; i < argc; ++i)
+        experiment::parseCliFlag(argc, argv, i);
     setQuietLogging(true);
 
     const GpuConfig base = configs::mcmBasic();
@@ -36,6 +34,11 @@ main(int argc, char **argv)
     GpuConfig ds = configs::mcmWithL15(16 * MiB, L15Alloc::RemoteOnly)
                        .withSched(CtaSchedPolicy::DistributedBatch)
                        .withName("mcm-l15-16mb-ds");
+
+    // Warm all three configs across the suite through the pool.
+    const GpuConfig matrix[] = {base, l15, ds};
+    const auto all = experiment::everyWorkload();
+    experiment::prefetch(matrix, all);
 
     Table t({"Workload", "16MB RO L1.5 only", "+ Distributed sched",
              "DS benefit"});

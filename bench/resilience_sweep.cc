@@ -57,6 +57,12 @@ printAxis(const char *title, const std::vector<GpuConfig> &settings,
           const std::vector<std::string> &labels,
           const GpuConfig &pristine, const std::vector<Row> &rows)
 {
+    // Warm every faulted machine (plus the pristine reference) across
+    // the widest row — "All" — through the pool.
+    std::vector<GpuConfig> sweep(settings);
+    sweep.push_back(pristine);
+    experiment::prefetch(sweep, rows.back().ws);
+
     std::vector<std::string> header{"Category"};
     header.insert(header.end(), labels.begin(), labels.end());
     Table t(header);
@@ -76,10 +82,8 @@ printAxis(const char *title, const std::vector<GpuConfig> &settings,
 int
 main(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--quiet"))
-            experiment::setProgress(false);
-    }
+    for (int i = 1; i < argc; ++i)
+        experiment::parseCliFlag(argc, argv, i);
     setQuietLogging(true);
 
     const GpuConfig pristine = configs::mcmOptimized();

@@ -26,8 +26,8 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--csv"))
             csv = true;
-        if (!std::strcmp(argv[i], "--quiet"))
-            experiment::setProgress(false);
+        else
+            experiment::parseCliFlag(argc, argv, i);
     }
     setQuietLogging(true);
 
@@ -36,11 +36,15 @@ main(int argc, char **argv)
     const GpuConfig mono128 = configs::monolithicBuildableMax();
     const GpuConfig mono256 = configs::monolithicUnbuildable();
 
+    // Warm the full 4-machine × 48-workload matrix through the pool.
+    const GpuConfig matrix[] = {base, opt, mono128, mono256};
+    auto all = experiment::everyWorkload();
+    experiment::prefetch(matrix, all);
+
     Table t({"Workload", "Cat", "base Mcy", "opt/base", "m128/base",
              "m256/base", "GPM TB/s", "opt TB/s", "L2 hit", "L1.5 hit"});
 
     std::vector<double> opt_speedups;
-    auto all = experiment::everyWorkload();
     for (const workloads::Workload *w : all) {
         const RunResult &b = experiment::run(base, *w);
         const RunResult &o = experiment::run(opt, *w);
@@ -74,5 +78,13 @@ main(int argc, char **argv)
         std::cout << "geomean optimized/base (" << categoryName(cat)
                   << "): " << Table::fmt(g, 3) << "\n";
     }
+
+    const experiment::SweepSummary sweep = experiment::sweepSummary();
+    std::cout << "\nsweep: " << sweep.graph.jobs << "/" << sweep.graph.jobs
+              << " jobs completed (" << sweep.graph.executed
+              << " simulated, " << sweep.graph.cache_hits
+              << " disk-cache hits, "
+              << Table::fmt(100.0 * sweep.graph.hitRatio(), 1)
+              << "% hit ratio, " << experiment::jobs() << " workers)\n";
     return 0;
 }

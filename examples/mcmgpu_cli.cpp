@@ -7,19 +7,25 @@
  *   mcmgpu_cli --workload Stream --machine mcm-optimized
  *   mcmgpu_cli --workload CoMD --machine mcm-basic --link-gbps 1536 \
  *              --sched distributed --pages first-touch --l15-mb 8
+ *   mcmgpu_cli --matrix mcm-basic,mcm-optimized --workloads Stream,TSP \
+ *              --jobs 4 --runs-json runs.json
  */
 
 #include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include <iostream>
 
 #include "common/config.hh"
 #include "common/log.hh"
+#include "common/table.hh"
 #include "common/units.hh"
 #include "gpu/gpu_system.hh"
 #include "gpu/runtime.hh"
+#include "sim/experiment.hh"
 #include "sim/simulator.hh"
 #include "workloads/registry.hh"
 
@@ -34,9 +40,10 @@ usage()
         "usage: mcmgpu_cli [options]\n"
         "  --list                     list workloads and exit\n"
         "  --workload <abbr>          workload to run (default Stream)\n"
-        "  --machine <preset>         mono-128 | mono-256 | mcm-basic |\n"
-        "                             mcm-optimized | multi-gpu |\n"
-        "                             multi-gpu-opt (default mcm-basic)\n"
+        "  --machine <preset>         mono-32 | mono-128 | mono-256 |\n"
+        "                             mcm-basic | mcm-optimized |\n"
+        "                             multi-gpu | multi-gpu-opt\n"
+        "                             (default mcm-basic)\n"
         "  --link-gbps <n>            inter-module link bandwidth\n"
         "  --hop-cycles <n>           per-hop latency\n"
         "  --l15-mb <n>               remote-only L1.5 capacity (total)\n"
@@ -53,13 +60,22 @@ usage()
         "  --kill-partition <p>       mark DRAM partition p dead\n"
         "  --fault-seed <s>           seed for link error streams\n"
         "  --watchdog-cycles <n>      no-progress window (0 disables)\n"
-        "  --max-cycles <n>           stop after n cycles\n");
+        "  --max-cycles <n>           stop after n cycles\n"
+        "parallel sweeps:\n"
+        "  --matrix <m1,m2,...>       run a machine x workload matrix\n"
+        "                             through the experiment pool\n"
+        "  --workloads <w1,w2,...>    workload set for --matrix\n"
+        "                             (default: all 48)\n"
+        "%s",
+        experiment::cliFlagHelp());
 }
 
 bool
 parseMachine(const std::string &name, GpuConfig &cfg)
 {
-    if (name == "mono-128") {
+    if (name == "mono-32") {
+        cfg = configs::monolithic(32);
+    } else if (name == "mono-128") {
         cfg = configs::monolithicBuildableMax();
     } else if (name == "mono-256") {
         cfg = configs::monolithicUnbuildable();
@@ -77,6 +93,83 @@ parseMachine(const std::string &name, GpuConfig &cfg)
     return true;
 }
 
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string tok;
+    while (std::getline(ss, tok, ','))
+        if (!tok.empty())
+            out.push_back(tok);
+    return out;
+}
+
+/**
+ * --matrix mode: run machines × workloads through the experiment pool
+ * and print one cycles cell per pair, plus the sweep summary. Failed
+ * jobs show up as per-cell statuses, not an aborted sweep.
+ * @return 0 when every job finished, 2 otherwise.
+ */
+int
+runMatrixMode(const std::string &machines, const std::string &workload_set)
+{
+    std::vector<GpuConfig> cfgs;
+    for (const std::string &m : splitCommas(machines)) {
+        GpuConfig c;
+        if (!parseMachine(m, c)) {
+            std::fprintf(stderr, "unknown machine '%s'\n", m.c_str());
+            return 1;
+        }
+        cfgs.push_back(std::move(c));
+    }
+    std::vector<const workloads::Workload *> ws;
+    if (workload_set.empty()) {
+        ws = experiment::everyWorkload();
+    } else {
+        for (const std::string &abbr : splitCommas(workload_set)) {
+            const workloads::Workload *w = workloads::findByAbbr(abbr);
+            if (!w) {
+                std::fprintf(stderr,
+                             "unknown workload '%s' (try --list)\n",
+                             abbr.c_str());
+                return 1;
+            }
+            ws.push_back(w);
+        }
+    }
+
+    const auto grid = experiment::runMatrix(cfgs, ws);
+
+    std::vector<std::string> header{"Workload"};
+    for (const GpuConfig &c : cfgs)
+        header.push_back(c.name + " (cycles)");
+    Table t(header);
+    bool all_finished = true;
+    for (size_t i = 0; i < ws.size(); ++i) {
+        std::vector<std::string> row{ws[i]->abbr};
+        for (size_t c = 0; c < cfgs.size(); ++c) {
+            const RunResult &r = grid[c][i];
+            std::string cell = std::to_string(r.cycles);
+            if (r.status != RunStatus::Finished) {
+                cell += std::string(" [") + toString(r.status) + "]";
+                all_finished = false;
+            }
+            row.push_back(std::move(cell));
+        }
+        t.addRow(std::move(row));
+    }
+    t.print(std::cout);
+
+    const experiment::SweepSummary sweep = experiment::sweepSummary();
+    std::cout << "\nsweep: " << sweep.graph.jobs << " jobs ("
+              << sweep.graph.executed << " simulated, "
+              << sweep.graph.cache_hits << " disk-cache hits, "
+              << sweep.graph.failed << " failed) on "
+              << experiment::jobs() << " workers\n";
+    return all_finished ? 0 : 2;
+}
+
 } // namespace
 
 int
@@ -87,6 +180,8 @@ main(int argc, char **argv)
     GpuConfig cfg = configs::mcmBasic();
     bool stats = false;
     bool dump = false;
+    std::string matrix_machines;
+    std::string matrix_workloads;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -157,11 +252,20 @@ main(int argc, char **argv)
             stats = true;
         } else if (arg == "--dump-stats") {
             dump = true;
+        } else if (arg == "--matrix") {
+            matrix_machines = next();
+        } else if (arg == "--workloads") {
+            matrix_workloads = next();
+        } else if (experiment::parseCliFlag(argc, argv, i)) {
+            // shared sweep flags: --quiet/--jobs/--runs-json/--cache-dir
         } else {
             usage();
             return arg == "--help" || arg == "-h" ? 0 : 1;
         }
     }
+
+    if (!matrix_machines.empty())
+        return runMatrixMode(matrix_machines, matrix_workloads);
 
     const workloads::Workload *w = workloads::findByAbbr(workload);
     if (!w) {
@@ -194,6 +298,8 @@ main(int argc, char **argv)
     if (r.status == RunStatus::Stalled)
         std::printf("--- stall diagnostic ---\n%s",
                     r.stall_diagnostic.c_str());
+    else if (r.status == RunStatus::Error)
+        std::printf("--- error ---\n%s\n", r.stall_diagnostic.c_str());
     std::printf("cycles          : %llu\n",
                 static_cast<unsigned long long>(r.cycles));
     std::printf("warp insts      : %llu (IPC %.2f)\n",

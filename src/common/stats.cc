@@ -8,6 +8,12 @@ namespace stats {
 Scalar &
 Group::add(const std::string &stat_name, const std::string &desc)
 {
+    // Registration from a foreign thread means a Group is being shared
+    // across concurrent simulations — see the header's threading
+    // contract. Catch it at the registration site, where it is cheap.
+    panic_if(std::this_thread::get_id() != owner_,
+             "stat '", stat_name, "' registered in group '", name_,
+             "' from a thread that does not own the group");
     panic_if(find(stat_name) != nullptr,
              "duplicate stat '", stat_name, "' in group '", name_, "'");
     scalars_.emplace_back(stat_name, desc);

@@ -5,6 +5,17 @@
  * Components create a stats::Group and add() named counters; references
  * returned by add() are stable for the lifetime of the group (backed by a
  * deque), so hot paths can bump counters without any lookup.
+ *
+ * Threading contract (the parallel experiment runner depends on this):
+ * there is NO global registry — every Group lives inside exactly one
+ * component, every component inside exactly one GpuSystem, and each
+ * concurrent simulation owns its GpuSystem outright. Distinct Group
+ * instances are therefore freely usable from distinct threads with no
+ * locking; a single Group/Scalar must never be shared across
+ * concurrently running simulations. Groups are non-copyable (a copy
+ * would silently decouple the Scalar references components hold), and
+ * add() asserts it is called on the thread that constructed the group,
+ * which is how cross-run counter sharing would first manifest.
  */
 
 #ifndef MCMGPU_COMMON_STATS_HH
@@ -14,6 +25,7 @@
 #include <deque>
 #include <ostream>
 #include <string>
+#include <thread>
 
 namespace mcmgpu {
 namespace stats {
@@ -50,6 +62,23 @@ class Group
     Group() : name_("anon") {}
     explicit Group(std::string name) : name_(std::move(name)) {}
 
+    // Copying would duplicate counters behind the backs of components
+    // holding Scalar references; moving keeps them valid (deque nodes
+    // travel) and adopts the destination thread as the new owner.
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+    Group(Group &&other) noexcept
+        : name_(std::move(other.name_)),
+          scalars_(std::move(other.scalars_)) {}
+    Group &
+    operator=(Group &&other) noexcept
+    {
+        name_ = std::move(other.name_);
+        scalars_ = std::move(other.scalars_);
+        owner_ = std::this_thread::get_id();
+        return *this;
+    }
+
     /**
      * Create-and-register a counter.
      * @return a reference that stays valid for the group's lifetime.
@@ -75,6 +104,8 @@ class Group
   private:
     std::string name_;
     std::deque<Scalar> scalars_;
+    /** Thread that owns registration; see the threading contract. */
+    std::thread::id owner_ = std::this_thread::get_id();
 };
 
 } // namespace stats

@@ -1,0 +1,213 @@
+#include "exec/job_graph.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.hh"
+#include "exec/progress.hh"
+#include "exec/thread_pool.hh"
+#include "sim/simulator.hh"
+
+namespace mcmgpu {
+namespace exec {
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+size_t
+JobGraph::add(const GpuConfig &cfg, const workloads::Workload &w,
+              std::string key, bool cacheable)
+{
+    auto it = by_key_.find(key);
+    if (it != by_key_.end())
+        return it->second; // dedup: shared baselines simulate once
+
+    auto job = std::make_unique<Job>();
+    job->cfg = cfg;
+    job->workload = &w;
+    job->key = std::move(key);
+    job->cacheable = cacheable;
+    jobs_.push_back(std::move(job));
+    const size_t idx = jobs_.size() - 1;
+    by_key_.emplace(jobs_.back()->key, idx);
+    return idx;
+}
+
+void
+JobGraph::setProgressLabel(std::string label)
+{
+    progress_label_ = std::move(label);
+}
+
+void
+JobGraph::noteDone(const Job &job)
+{
+    if (progress_label_.empty())
+        return;
+    const uint64_t done = progress_done_.fetch_add(1) + 1;
+    std::ostringstream os;
+    os << "  [" << progress_label_ << ' ' << done << '/' << jobs_.size()
+       << "] " << job.workload->abbr << " on " << job.cfg.name << ": ";
+    if (job.cache_hit) {
+        os << job.result.cycles << " cycles (cached)";
+    } else {
+        os << job.result.cycles << " cycles ("
+           << toString(job.result.status);
+        if (job.retries)
+            os << ", " << job.retries << " retries";
+        os << ", " << int(job.wall_ms) << " ms)";
+    }
+    Progress::instance().post(os.str());
+}
+
+void
+JobGraph::runJob(Job &job, int worker_index)
+{
+    job.queue_ms = msSince(job.admitted);
+    job.worker = worker_index;
+
+    // Advisory cross-process lock: losing it means some other process
+    // is probably computing this key right now. Probe the cache once
+    // more, then simulate anyway if still absent — duplicated work is
+    // acceptable, a wrong or missing result is not.
+    bool locked = false;
+    if (cache_ && job.cacheable) {
+        locked = cache_->tryLock(job.key);
+        if (!locked && cache_->load(job.key, job.result)) {
+            job.result.config = job.cfg.name;
+            job.result.workload = job.workload->abbr;
+            job.cache_hit = true;
+            job.done = true;
+            noteDone(job);
+            return;
+        }
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    for (int attempt = 0;; ++attempt) {
+        job.error = nullptr;
+        try {
+            job.result = Simulator::run(job.cfg, *job.workload);
+        } catch (const std::exception &e) {
+            job.error = std::current_exception();
+            job.result = RunResult{};
+            job.result.workload = job.workload->abbr;
+            job.result.config = job.cfg.name;
+            job.result.status = RunStatus::Error;
+            job.result.stall_diagnostic = e.what();
+        } catch (...) {
+            job.error = std::current_exception();
+            job.result = RunResult{};
+            job.result.workload = job.workload->abbr;
+            job.result.config = job.cfg.name;
+            job.result.status = RunStatus::Error;
+            job.result.stall_diagnostic = "non-standard exception";
+        }
+        const bool retryable = job.result.status == RunStatus::Stalled ||
+                               job.result.status == RunStatus::Error;
+        if (!retryable || attempt >= max_retries_)
+            break;
+        ++job.retries;
+    }
+    job.wall_ms = msSince(start);
+
+    if (cache_ && job.cacheable &&
+        job.result.status == RunStatus::Finished) {
+        cache_->store(job.key, job.result);
+    }
+    if (locked)
+        cache_->unlock(job.key);
+    job.done = true;
+    noteDone(job);
+}
+
+void
+JobGraph::execute(unsigned jobs)
+{
+    // Admission pass on the calling thread: serve disk-cache hits and
+    // collect the jobs that actually need a machine.
+    std::vector<Job *> pending;
+    for (auto &jp : jobs_) {
+        Job &j = *jp;
+        if (j.done)
+            continue;
+        if (cache_ && j.cacheable && cache_->load(j.key, j.result)) {
+            // Names are display-only; refresh in case presets renamed.
+            j.result.config = j.cfg.name;
+            j.result.workload = j.workload->abbr;
+            j.cache_hit = true;
+            j.done = true;
+            noteDone(j);
+            continue;
+        }
+        j.admitted = std::chrono::steady_clock::now();
+        pending.push_back(&j);
+    }
+
+    if (jobs <= 1 || pending.size() <= 1) {
+        for (Job *j : pending)
+            runJob(*j, -1);
+    } else {
+        ThreadPool pool(std::min<size_t>(jobs, pending.size()));
+        for (Job *j : pending)
+            pool.submit([this, j, &pool] {
+                runJob(*j, pool.workerIndex());
+            });
+        pool.wait();
+        // pool destructor joins; every job's writes happen-before here
+    }
+
+    // Deterministic commit order: one telemetry record per job, in
+    // admission order, on the calling thread — independent of which
+    // worker finished first.
+    if (sink_) {
+        for (auto &jp : jobs_) {
+            Job &j = *jp;
+            if (!j.done || j.committed)
+                continue;
+            JobRecord rec;
+            rec.workload = j.workload->abbr;
+            rec.config = j.cfg.name;
+            rec.key_hash = ResultCache::fnv1a(j.key);
+            rec.status = toString(j.result.status);
+            rec.cache_hit = j.cache_hit;
+            rec.wall_ms = j.wall_ms;
+            rec.queue_ms = j.queue_ms;
+            rec.cycles = j.result.cycles;
+            rec.retries = j.retries;
+            rec.worker = j.worker;
+            rec.error = j.error ? j.result.stall_diagnostic : "";
+            sink_->record(std::move(rec));
+            j.committed = true;
+        }
+    }
+    Progress::instance().flush();
+}
+
+const RunResult &
+JobGraph::result(size_t idx) const
+{
+    panic_if(idx >= jobs_.size(), "JobGraph::result(): bad index ", idx);
+    panic_if(!jobs_[idx]->done,
+             "JobGraph::result(): job ", idx, " not executed");
+    return jobs_[idx]->result;
+}
+
+std::exception_ptr
+JobGraph::error(size_t idx) const
+{
+    panic_if(idx >= jobs_.size(), "JobGraph::error(): bad index ", idx);
+    return jobs_[idx]->error;
+}
+
+} // namespace exec
+} // namespace mcmgpu

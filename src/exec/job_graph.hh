@@ -1,0 +1,128 @@
+/**
+ * @file
+ * JobGraph: the admission/scheduling/durability/observability core of
+ * the parallel experiment runner.
+ *
+ * A graph collects simulation jobs keyed by the experiment layer's
+ * (configKey ## workloadKey) fingerprint. Admission dedups: a shared
+ * baseline requested by ten figure columns is simulated once and every
+ * requester gets the same slot index. execute() resolves each unique
+ * job — disk cache first, then a fresh Simulator::run() on the
+ * work-stealing pool — and leaves one JobRecord per job in the sink.
+ *
+ * Determinism: Simulator::run() is a pure function of (config,
+ * workload) and touches no global mutable state, so results do not
+ * depend on scheduling. Telemetry and any caller-side commit (the
+ * experiment memo) happen on the calling thread in admission order
+ * after the pool drains, giving a deterministic commit order
+ * regardless of which worker finished first.
+ *
+ * Failure isolation: a job that stalls, hits its cycle limit, or
+ * throws does not abort the sweep. Stalls and cycle limits are normal
+ * RunResults (that is how the simulator reports them); exceptions are
+ * captured per job, surfaced as RunStatus::Error with the message in
+ * the stall_diagnostic, and kept as an exception_ptr for callers
+ * (like the single-run experiment::run()) that prefer to rethrow.
+ */
+
+#ifndef MCMGPU_EXEC_JOB_GRAPH_HH
+#define MCMGPU_EXEC_JOB_GRAPH_HH
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "exec/result_cache.hh"
+#include "exec/telemetry.hh"
+#include "sim/results.hh"
+#include "workloads/workload.hh"
+
+namespace mcmgpu {
+namespace exec {
+
+class JobGraph
+{
+  public:
+    /** Both sinks are optional; pass nullptr to opt out. */
+    JobGraph(const ResultCache *cache, TelemetrySink *sink)
+        : cache_(cache), sink_(sink) {}
+
+    /**
+     * Admit a job. Jobs with equal @p key collapse to one slot.
+     * @p cacheable gates the disk cache (memoization still applies).
+     * @return the slot index to pass to result() after execute().
+     */
+    size_t add(const GpuConfig &cfg, const workloads::Workload &w,
+               std::string key, bool cacheable = true);
+
+    size_t size() const { return jobs_.size(); }
+
+    /** Extra attempts after a stall or exception (default 0). */
+    void setMaxRetries(int n) { max_retries_ = n < 0 ? 0 : n; }
+
+    /**
+     * Label for progress lines ("fig15", "suite"); empty disables
+     * per-job progress output.
+     */
+    void setProgressLabel(std::string label);
+
+    /**
+     * Resolve every admitted job using @p jobs workers. jobs <= 1 runs
+     * inline on the calling thread with no pool at all. Idempotent:
+     * already-resolved jobs are skipped. Never throws for per-job
+     * simulation failures.
+     */
+    void execute(unsigned jobs);
+
+    /** Result of slot @p idx; valid after execute(). */
+    const RunResult &result(size_t idx) const;
+
+    /** Captured exception for slot @p idx (null if it ran clean). */
+    std::exception_ptr error(size_t idx) const;
+
+  private:
+    struct Job
+    {
+        GpuConfig cfg;
+        const workloads::Workload *workload = nullptr;
+        std::string key;
+        bool cacheable = true;
+
+        RunResult result;
+        std::exception_ptr error;
+        bool done = false;
+        bool committed = false; //!< telemetry record already emitted
+
+        // Telemetry, filled where the job runs.
+        bool cache_hit = false;
+        int retries = 0;
+        int worker = -1;
+        double wall_ms = 0.0;
+        double queue_ms = 0.0;
+        std::chrono::steady_clock::time_point admitted;
+    };
+
+    /** Run one job to completion on the current thread. */
+    void runJob(Job &job, int worker_index);
+    /** Post the live progress line for a just-finished job. */
+    void noteDone(const Job &job);
+
+    const ResultCache *cache_;
+    TelemetrySink *sink_;
+    int max_retries_ = 0;
+    std::string progress_label_;
+    std::atomic<uint64_t> progress_done_{0};
+
+    std::vector<std::unique_ptr<Job>> jobs_; //!< stable addresses
+    std::unordered_map<std::string, size_t> by_key_;
+};
+
+} // namespace exec
+} // namespace mcmgpu
+
+#endif // MCMGPU_EXEC_JOB_GRAPH_HH

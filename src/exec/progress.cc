@@ -1,0 +1,76 @@
+#include "exec/progress.hh"
+
+#include <cstdio>
+
+namespace mcmgpu {
+namespace exec {
+
+Progress &
+Progress::instance()
+{
+    static Progress p;
+    return p;
+}
+
+Progress::~Progress()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    if (writer_.joinable())
+        writer_.join();
+}
+
+void
+Progress::post(std::string line)
+{
+    if (!enabled_.load())
+        return;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (stop_)
+            return;
+        if (!writer_started_) {
+            writer_ = std::thread([this] { writerLoop(); });
+            writer_started_ = true;
+        }
+        queue_.push_back(std::move(line));
+    }
+    cv_.notify_one();
+}
+
+void
+Progress::flush()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_drain_.wait(lk, [this] {
+        return (queue_.empty() && !writing_) || stop_;
+    });
+}
+
+void
+Progress::writerLoop()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        cv_.wait(lk, [this] { return !queue_.empty() || stop_; });
+        while (!queue_.empty()) {
+            std::string line = std::move(queue_.front());
+            queue_.pop_front();
+            writing_ = true;
+            lk.unlock();
+            std::fprintf(stderr, "%s\n", line.c_str());
+            std::fflush(stderr);
+            lk.lock();
+            writing_ = false;
+        }
+        cv_drain_.notify_all();
+        if (stop_)
+            return;
+    }
+}
+
+} // namespace exec
+} // namespace mcmgpu

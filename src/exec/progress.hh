@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Single-writer progress reporting for concurrent sweeps.
+ *
+ * With N workers finishing simulations at once, direct fprintf(stderr)
+ * calls interleave mid-line. Progress funnels every line through one
+ * dedicated writer thread: post() enqueues under a mutex and returns,
+ * the writer drains the queue and is the only thread that ever touches
+ * stderr. flush() barriers until everything posted so far is out, so
+ * callers can safely print result tables to stdout afterwards.
+ *
+ * The writer thread starts lazily on the first post() and is joined
+ * from the Progress destructor (the singleton dies at exit).
+ */
+
+#ifndef MCMGPU_EXEC_PROGRESS_HH
+#define MCMGPU_EXEC_PROGRESS_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace mcmgpu {
+namespace exec {
+
+class Progress
+{
+  public:
+    /** Process-wide instance used by the experiment layer. */
+    static Progress &instance();
+
+    /** Globally enable/disable output (posts become no-ops). */
+    void setEnabled(bool enabled) { enabled_.store(enabled); }
+    bool enabled() const { return enabled_.load(); }
+
+    /** Queue one full line (no trailing newline) for the writer. */
+    void post(std::string line);
+
+    /** Block until every line posted so far has reached stderr. */
+    void flush();
+
+    ~Progress();
+
+  private:
+    Progress() = default;
+    void writerLoop();
+
+    std::atomic<bool> enabled_{true};
+    std::mutex mu_;
+    std::condition_variable cv_;       //!< wakes the writer
+    std::condition_variable cv_drain_; //!< wakes flush()ers
+    std::deque<std::string> queue_;
+    std::thread writer_;
+    bool writer_started_ = false;
+    bool writing_ = false; //!< a line is out of the queue, not yet written
+    bool stop_ = false;
+};
+
+} // namespace exec
+} // namespace mcmgpu
+
+#endif // MCMGPU_EXEC_PROGRESS_HH

@@ -1,0 +1,173 @@
+#include "exec/result_cache.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+namespace mcmgpu {
+namespace exec {
+
+namespace fs = std::filesystem;
+
+ResultCache::ResultCache(std::string dir, int model_version)
+    : dir_(std::move(dir)), model_version_(model_version)
+{
+}
+
+uint64_t
+ResultCache::fnv1a(const std::string &s)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string
+ResultCache::path(const std::string &key) const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "/v%d-%016llx.run", model_version_,
+                  static_cast<unsigned long long>(fnv1a(key)));
+    return dir_ + buf;
+}
+
+namespace {
+
+/** Best-effort rename of an unreadable entry so it stops matching. */
+void
+quarantine(const std::string &entry)
+{
+    std::error_code ec;
+    fs::rename(entry, entry + ".corrupt", ec);
+    if (ec)
+        fs::remove(entry, ec); // cross-process rename race: drop it
+}
+
+} // namespace
+
+bool
+ResultCache::load(const std::string &key, RunResult &r) const
+{
+    if (!enabled())
+        return false;
+    const std::string p = path(key);
+    std::ifstream in(p);
+    if (!in)
+        return false;
+    std::string stored_key;
+    if (!std::getline(in, stored_key) || stored_key.empty()) {
+        quarantine(p); // empty or headerless file: torn legacy write
+        return false;
+    }
+    if (stored_key != key)
+        return false; // hash collision: some other key's valid entry
+    in >> r.workload >> r.config >> r.cycles >> r.warp_instructions >>
+        r.kernels >> r.inter_module_bytes >> r.dram_read_bytes >>
+        r.dram_write_bytes >> r.l1_hit_rate >> r.l15_hit_rate >>
+        r.l2_hit_rate >> r.energy_chip_j >> r.energy_link_j >>
+        r.link_domain_bytes;
+    if (!in) {
+        quarantine(p); // right key but truncated/mangled payload
+        return false;
+    }
+    r.status = RunStatus::Finished; // only finished runs are stored
+    r.stall_diagnostic.clear();
+    return true;
+}
+
+bool
+ResultCache::store(const std::string &key, const RunResult &r) const
+{
+    if (!enabled())
+        return false;
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        return false;
+
+    const std::string final_path = path(key);
+    std::ostringstream tmp_name;
+    tmp_name << final_path << ".tmp." << ::getpid() << '.'
+             << std::hash<std::thread::id>{}(std::this_thread::get_id());
+    const std::string tmp_path = tmp_name.str();
+    {
+        std::ofstream out(tmp_path, std::ios::trunc);
+        if (!out)
+            return false;
+        out.precision(17);
+        out << key << '\n'
+            << r.workload << ' ' << r.config << ' ' << r.cycles << ' '
+            << r.warp_instructions << ' ' << r.kernels << ' '
+            << r.inter_module_bytes << ' ' << r.dram_read_bytes << ' '
+            << r.dram_write_bytes << ' ' << r.l1_hit_rate << ' '
+            << r.l15_hit_rate << ' ' << r.l2_hit_rate << ' '
+            << r.energy_chip_j << ' ' << r.energy_link_j << ' '
+            << r.link_domain_bytes << '\n';
+        if (!out.flush()) {
+            out.close();
+            fs::remove(tmp_path, ec);
+            return false;
+        }
+    }
+    fs::rename(tmp_path, final_path, ec); // atomic commit
+    if (ec) {
+        fs::remove(tmp_path, ec);
+        return false;
+    }
+    return true;
+}
+
+bool
+ResultCache::tryLock(const std::string &key) const
+{
+    if (!enabled())
+        return true; // nothing to serialize against
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    const std::string lock = path(key) + ".lock";
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        int fd = ::open(lock.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+        if (fd >= 0) {
+            char pid[32];
+            int n = std::snprintf(pid, sizeof(pid), "%d\n", ::getpid());
+            if (::write(fd, pid, size_t(n)) != n) {
+                // Lock content is diagnostic only; holding it is what
+                // counts, so a short write is not a failure.
+            }
+            ::close(fd);
+            return true;
+        }
+        // Lock exists. Break it only if its holder looks long dead.
+        const auto mtime = fs::last_write_time(lock, ec);
+        if (ec)
+            continue; // vanished between open() and stat: retake
+        const auto age = std::chrono::duration_cast<std::chrono::duration<
+            double>>(fs::file_time_type::clock::now() - mtime);
+        if (age.count() < stale_lock_s_)
+            return false;
+        fs::remove(lock, ec); // stale: break and retry once
+    }
+    return false;
+}
+
+void
+ResultCache::unlock(const std::string &key) const
+{
+    if (!enabled())
+        return;
+    std::error_code ec;
+    fs::remove(path(key) + ".lock", ec);
+}
+
+} // namespace exec
+} // namespace mcmgpu

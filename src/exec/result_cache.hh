@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Cross-process result cache for finished simulations, safe under
+ * concurrent readers and writers.
+ *
+ * Layout: one file per (config, workload) fingerprint, named
+ * `v<model>-<fnv1a(key)>.run` inside the cache directory. The first
+ * line stores the full key (hash collisions read as misses), the
+ * second the RunResult fields. The on-disk format is unchanged from
+ * the serial cache, so caches written before the parallel runner
+ * remain valid.
+ *
+ * Concurrency contract:
+ *  - store() writes to a process/thread-unique temp file and commits
+ *    with rename(), which is atomic on POSIX: readers observe either
+ *    the old entry, the new entry, or no entry — never a torn write.
+ *  - load() quarantines entries it cannot parse (renames them to
+ *    `*.corrupt`) instead of crashing or re-reading them forever; a
+ *    well-formed entry whose key differs is a hash collision and is
+ *    left alone.
+ *  - tryLock()/unlock() give cooperating processes an advisory
+ *    per-key lock (O_EXCL lock file) so a sweep can avoid simulating
+ *    a key some other process is already computing. Locks whose file
+ *    is older than staleLockAfter() are presumed abandoned (crashed
+ *    holder) and are broken. Correctness never depends on the lock —
+ *    losing a race costs one redundant simulation, and concurrent
+ *    store()s of the same key commit identical bytes.
+ */
+
+#ifndef MCMGPU_EXEC_RESULT_CACHE_HH
+#define MCMGPU_EXEC_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/results.hh"
+
+namespace mcmgpu {
+namespace exec {
+
+class ResultCache
+{
+  public:
+    /** @p dir empty disables the cache entirely. */
+    explicit ResultCache(std::string dir, int model_version);
+
+    bool enabled() const { return !dir_.empty(); }
+    const std::string &dir() const { return dir_; }
+
+    /** Final on-disk path for @p key (valid even when disabled). */
+    std::string path(const std::string &key) const;
+
+    /**
+     * Load the entry for @p key into @p r.
+     * @return true on a verified hit; false on miss, collision, or a
+     * corrupt entry (which is quarantined as a side effect).
+     */
+    bool load(const std::string &key, RunResult &r) const;
+
+    /**
+     * Atomically publish @p r under @p key (temp file + rename).
+     * @return true once the entry is visible to other processes.
+     */
+    bool store(const std::string &key, const RunResult &r) const;
+
+    /**
+     * Try to take the advisory lock for @p key, breaking a stale one.
+     * @return true if this caller now holds the lock.
+     */
+    bool tryLock(const std::string &key) const;
+
+    /** Release a lock taken with tryLock(). */
+    void unlock(const std::string &key) const;
+
+    /** Age in seconds after which a lock file is considered stale. */
+    void setStaleLockAfter(double seconds) { stale_lock_s_ = seconds; }
+    double staleLockAfter() const { return stale_lock_s_; }
+
+    /** Stable fingerprint used in cache file names. */
+    static uint64_t fnv1a(const std::string &s);
+
+  private:
+    std::string dir_;
+    int model_version_;
+    double stale_lock_s_ = 600.0;
+};
+
+} // namespace exec
+} // namespace mcmgpu
+
+#endif // MCMGPU_EXEC_RESULT_CACHE_HH

@@ -1,0 +1,153 @@
+#include "exec/telemetry.hh"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace mcmgpu {
+namespace exec {
+
+void
+TelemetrySink::record(JobRecord rec)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    records_.push_back(std::move(rec));
+}
+
+SweepStats
+TelemetrySink::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    SweepStats s;
+    s.jobs = records_.size();
+    for (const JobRecord &r : records_) {
+        if (r.cache_hit)
+            ++s.cache_hits;
+        else
+            ++s.executed;
+        if (r.status != "finished")
+            ++s.failed;
+        s.retries += uint64_t(r.retries);
+        s.wall_ms += r.wall_ms;
+    }
+    return s;
+}
+
+std::vector<JobRecord>
+TelemetrySink::records() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return records_;
+}
+
+void
+TelemetrySink::clear()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    records_.clear();
+}
+
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslash, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += char(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+TelemetrySink::dumpJson(std::ostream &os, unsigned jobs) const
+{
+    const SweepStats agg = stats();
+    std::vector<JobRecord> recs = records();
+    os << "{\n"
+       << "  \"schema\": \"mcmgpu-runs/1\",\n"
+       << "  \"jobs\": " << jobs << ",\n"
+       << "  \"total\": " << agg.jobs << ",\n"
+       << "  \"executed\": " << agg.executed << ",\n"
+       << "  \"cache_hits\": " << agg.cache_hits << ",\n"
+       << "  \"failed\": " << agg.failed << ",\n"
+       << "  \"retries\": " << agg.retries << ",\n"
+       << "  \"wall_ms\": " << agg.wall_ms << ",\n"
+       << "  \"runs\": [";
+    for (size_t i = 0; i < recs.size(); ++i) {
+        const JobRecord &r = recs[i];
+        char key[24];
+        std::snprintf(key, sizeof(key), "%016llx",
+                      static_cast<unsigned long long>(r.key_hash));
+        os << (i ? ",\n    " : "\n    ") << "{\"workload\": \""
+           << jsonEscape(r.workload) << "\", \"config\": \""
+           << jsonEscape(r.config) << "\", \"key\": \"" << key
+           << "\", \"status\": \"" << jsonEscape(r.status)
+           << "\", \"cache\": \"" << (r.cache_hit ? "hit" : "miss")
+           << "\", \"wall_ms\": " << r.wall_ms
+           << ", \"queue_ms\": " << r.queue_ms
+           << ", \"cycles\": " << r.cycles
+           << ", \"retries\": " << r.retries
+           << ", \"worker\": " << r.worker;
+        if (!r.error.empty())
+            os << ", \"error\": \"" << jsonEscape(r.error) << "\"";
+        os << "}";
+    }
+    os << (recs.empty() ? "]\n" : "\n  ]\n") << "}\n";
+}
+
+bool
+TelemetrySink::writeJson(const std::string &path, unsigned jobs) const
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const fs::path parent = fs::path(path).parent_path();
+    if (!parent.empty())
+        fs::create_directories(parent, ec);
+
+    std::ostringstream tmp_name;
+    tmp_name << path << ".tmp." << ::getpid();
+    const std::string tmp_path = tmp_name.str();
+    {
+        std::ofstream out(tmp_path, std::ios::trunc);
+        if (!out)
+            return false;
+        out.precision(6);
+        out << std::fixed;
+        dumpJson(out, jobs);
+        if (!out.flush()) {
+            out.close();
+            fs::remove(tmp_path, ec);
+            return false;
+        }
+    }
+    fs::rename(tmp_path, path, ec);
+    if (ec) {
+        fs::remove(tmp_path, ec);
+        return false;
+    }
+    return true;
+}
+
+} // namespace exec
+} // namespace mcmgpu

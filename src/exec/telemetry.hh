@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Per-job telemetry for experiment sweeps.
+ *
+ * Every job that passes through a JobGraph leaves one JobRecord:
+ * where the result came from (simulated, disk cache), how long it
+ * waited in the queue, how long it ran, how it ended, and how many
+ * retries it burned. A process-wide TelemetrySink accumulates records
+ * across sweeps and serializes them as `runs.json` for tooling.
+ */
+
+#ifndef MCMGPU_EXEC_TELEMETRY_HH
+#define MCMGPU_EXEC_TELEMETRY_HH
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mcmgpu {
+namespace exec {
+
+/** One executed-or-cache-served job. */
+struct JobRecord
+{
+    std::string workload;
+    std::string config;
+    uint64_t key_hash = 0;   //!< fnv1a of the dedup key
+    std::string status;      //!< finished / cycle_limit / stalled / error
+    bool cache_hit = false;  //!< served from the disk cache
+    double wall_ms = 0.0;    //!< simulation time (0 for cache hits)
+    double queue_ms = 0.0;   //!< admission-to-start wait
+    uint64_t cycles = 0;     //!< simulated cycles of the final attempt
+    int retries = 0;         //!< extra attempts after stalls/errors
+    int worker = -1;         //!< pool worker slot; -1 = caller thread
+    std::string error;       //!< exception text for status "error"
+};
+
+/** Aggregate view over every record in a sink. */
+struct SweepStats
+{
+    uint64_t jobs = 0;       //!< records in the sink
+    uint64_t executed = 0;   //!< actually simulated
+    uint64_t cache_hits = 0; //!< served from the disk cache
+    uint64_t failed = 0;     //!< status stalled / cycle_limit / error
+    uint64_t retries = 0;    //!< total retry attempts
+    double wall_ms = 0.0;    //!< summed simulation wall time
+
+    /** Disk-cache hit ratio over all jobs (0 when empty). */
+    double
+    hitRatio() const
+    {
+        return jobs ? double(cache_hits) / double(jobs) : 0.0;
+    }
+};
+
+/** Thread-safe accumulator; one per process is plenty. */
+class TelemetrySink
+{
+  public:
+    void record(JobRecord rec);
+
+    SweepStats stats() const;
+    std::vector<JobRecord> records() const;
+    void clear();
+
+    /**
+     * Serialize all records plus the aggregate header as JSON,
+     * committed with the same temp-file + rename discipline as the
+     * result cache. @p jobs is the worker count to report.
+     * @return true once the file is in place.
+     */
+    bool writeJson(const std::string &path, unsigned jobs) const;
+
+    /** Stream the JSON document (exposed for tests). */
+    void dumpJson(std::ostream &os, unsigned jobs) const;
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<JobRecord> records_;
+};
+
+} // namespace exec
+} // namespace mcmgpu
+
+#endif // MCMGPU_EXEC_TELEMETRY_HH

@@ -1,0 +1,116 @@
+#include "exec/thread_pool.hh"
+
+#include <algorithm>
+
+namespace mcmgpu {
+namespace exec {
+
+namespace {
+
+/** Worker-local identity: which pool (if any) and which slot. */
+thread_local const ThreadPool *tls_pool = nullptr;
+thread_local unsigned tls_index = 0;
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned n = std::max(1u, threads);
+    queues_.resize(n);
+    threads_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(Task t)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        size_t slot;
+        if (tls_pool == this) {
+            slot = tls_index; // worker spawning work keeps it local
+        } else {
+            slot = next_queue_;
+            next_queue_ = (next_queue_ + 1) % queues_.size();
+        }
+        queues_[slot].push_back(std::move(t));
+        ++in_flight_;
+    }
+    cv_work_.notify_one();
+}
+
+ThreadPool::Task
+ThreadPool::take(unsigned self, std::unique_lock<std::mutex> &)
+{
+    // Own deque first, newest job (LIFO)...
+    if (!queues_[self].empty()) {
+        Task t = std::move(queues_[self].back());
+        queues_[self].pop_back();
+        return t;
+    }
+    // ...otherwise steal the oldest job from the fullest victim (FIFO).
+    size_t victim = queues_.size();
+    size_t best = 0;
+    for (size_t i = 0; i < queues_.size(); ++i) {
+        if (i != self && queues_[i].size() > best) {
+            best = queues_[i].size();
+            victim = i;
+        }
+    }
+    if (victim == queues_.size())
+        return {};
+    Task t = std::move(queues_[victim].front());
+    queues_[victim].pop_front();
+    return t;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    tls_pool = this;
+    tls_index = self;
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        Task t = take(self, lk);
+        if (!t) {
+            if (stop_)
+                return;
+            cv_work_.wait(lk);
+            continue;
+        }
+        lk.unlock();
+        t();
+        lk.lock();
+        if (--in_flight_ == 0)
+            cv_idle_.notify_all();
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+int
+ThreadPool::workerIndex() const
+{
+    return tls_pool == this ? int(tls_index) : -1;
+}
+
+} // namespace exec
+} // namespace mcmgpu

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A small work-stealing thread pool for coarse-grained jobs.
+ *
+ * Each worker owns a deque: the owner pushes and pops at the back
+ * (LIFO, keeps a worker on its own recently-submitted work), idle
+ * workers steal from the front of the fullest victim (FIFO, takes the
+ * oldest — and for sweeps, usually largest-remaining — job). Tasks
+ * here are whole simulations running for milliseconds to seconds, so
+ * all deques share one mutex: the lock is touched twice per task and
+ * never contended in any profile; the deque discipline is what
+ * matters, not lock-freedom.
+ *
+ * Tasks must not throw — wrap the body and capture the exception
+ * (JobGraph stores an std::exception_ptr per job). A task that does
+ * throw takes the process down via std::terminate, like a thread.
+ */
+
+#ifndef MCMGPU_EXEC_THREAD_POOL_HH
+#define MCMGPU_EXEC_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcmgpu {
+namespace exec {
+
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** Spawn @p threads workers (clamped to at least 1). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains remaining work, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue a task. Called from a worker it lands on that worker's
+     * own deque; from outside, deques are fed round-robin.
+     */
+    void submit(Task t);
+
+    /** Block until every submitted task has finished executing. */
+    void wait();
+
+    unsigned threadCount() const { return unsigned(threads_.size()); }
+
+    /**
+     * Index of the calling pool worker in [0, threadCount()), or -1
+     * when called from a thread that is not part of this pool.
+     */
+    int workerIndex() const;
+
+  private:
+    void workerLoop(unsigned self);
+    /** Pop a runnable task for worker @p self; empty when none. */
+    Task take(unsigned self, std::unique_lock<std::mutex> &lk);
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_work_;
+    std::condition_variable cv_idle_;
+    std::vector<std::deque<Task>> queues_;
+    std::vector<std::thread> threads_;
+    size_t next_queue_ = 0; //!< round-robin cursor for external submits
+    size_t in_flight_ = 0;  //!< submitted but not yet finished
+    bool stop_ = false;
+};
+
+} // namespace exec
+} // namespace mcmgpu
+
+#endif // MCMGPU_EXEC_THREAD_POOL_HH

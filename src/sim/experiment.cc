@@ -1,91 +1,99 @@
 #include "sim/experiment.hh"
 
-#include <cstdio>
 #include <cstdlib>
-#include <filesystem>
-#include <fstream>
+#include <cstring>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "common/log.hh"
 #include "common/summary.hh"
-#include "sim/simulator.hh"
+#include "exec/job_graph.hh"
+#include "exec/progress.hh"
+#include "exec/result_cache.hh"
 
 namespace mcmgpu {
 namespace experiment {
 
 namespace {
 
-bool progress_enabled = true;
-
 /** Bump when the timing model changes to invalidate stale caches. */
 constexpr int kModelVersion = 2;
 
-std::string cache_dir = [] {
-    const char *env = std::getenv("MCMGPU_CACHE_DIR");
-    return std::string(env ? env : ".mcmgpu_cache");
-}();
-
-uint64_t
-fnv1a(const std::string &s)
+/**
+ * Process-wide harness state. One mutex guards all of it: the memo is
+ * only touched from admission/commit paths on caller threads (never
+ * from pool workers), so contention is a non-issue.
+ */
+struct HarnessState
 {
-    uint64_t h = 1469598103934665603ull;
-    for (unsigned char c : s) {
-        h ^= c;
-        h *= 1099511628211ull;
+    std::mutex mu;
+    std::map<std::string, RunResult> memo;
+    uint64_t memo_hits = 0;
+    std::shared_ptr<exec::ResultCache> cache;
+    exec::TelemetrySink sink;
+    unsigned jobs_setting; //!< 0 = one per hardware thread
+    std::string runs_json;
+
+    HarnessState()
+    {
+        const char *dir = std::getenv("MCMGPU_CACHE_DIR");
+        cache = std::make_shared<exec::ResultCache>(
+            dir ? dir : ".mcmgpu_cache", kModelVersion);
+        const char *jobs_env = std::getenv("MCMGPU_JOBS");
+        jobs_setting = jobs_env ? unsigned(std::strtoul(jobs_env,
+                                                        nullptr, 10))
+                                : 1;
+        const char *runs_env = std::getenv("MCMGPU_RUNS_JSON");
+        runs_json = runs_env ? runs_env : "";
     }
-    return h;
+};
+
+HarnessState &
+state()
+{
+    static HarnessState s;
+    return s;
 }
 
-std::string
-cachePath(const std::string &key)
+unsigned
+resolveJobs(unsigned setting)
 {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "/v%d-%016llx.run", kModelVersion,
-                  static_cast<unsigned long long>(fnv1a(key)));
-    return cache_dir + buf;
+    if (setting != 0)
+        return setting;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
 }
 
 bool
-loadCached(const std::string &key, RunResult &r)
+cacheableKey(const std::string &key)
 {
-    if (cache_dir.empty())
-        return false;
-    std::ifstream in(cachePath(key));
-    if (!in)
-        return false;
-    std::string stored_key;
-    if (!std::getline(in, stored_key) || stored_key != key)
-        return false; // hash collision or truncated file
-    in >> r.workload >> r.config >> r.cycles >> r.warp_instructions >>
-        r.kernels >> r.inter_module_bytes >> r.dram_read_bytes >>
-        r.dram_write_bytes >> r.l1_hit_rate >> r.l15_hit_rate >>
-        r.l2_hit_rate >> r.energy_chip_j >> r.energy_link_j >>
-        r.link_domain_bytes;
-    return static_cast<bool>(in);
+    return key.find("<uncacheable>") == std::string::npos;
+}
+
+/** Snapshot the bits of state a sweep needs, under the lock once. */
+struct SweepContext
+{
+    std::shared_ptr<exec::ResultCache> cache;
+    unsigned jobs;
+    std::string runs_json;
+};
+
+SweepContext
+sweepContext()
+{
+    HarnessState &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    return {s.cache, resolveJobs(s.jobs_setting), s.runs_json};
 }
 
 void
-storeCached(const std::string &key, const RunResult &r)
+maybeWriteRunsJson(const SweepContext &ctx)
 {
-    if (cache_dir.empty())
-        return;
-    std::error_code ec;
-    std::filesystem::create_directories(cache_dir, ec);
-    if (ec)
-        return;
-    std::ofstream out(cachePath(key));
-    if (!out)
-        return;
-    out.precision(17);
-    out << key << '\n'
-        << r.workload << ' ' << r.config << ' ' << r.cycles << ' '
-        << r.warp_instructions << ' ' << r.kernels << ' '
-        << r.inter_module_bytes << ' ' << r.dram_read_bytes << ' '
-        << r.dram_write_bytes << ' ' << r.l1_hit_rate << ' '
-        << r.l15_hit_rate << ' ' << r.l2_hit_rate << ' '
-        << r.energy_chip_j << ' ' << r.energy_link_j << ' '
-        << r.link_domain_bytes << '\n';
+    if (!ctx.runs_json.empty())
+        state().sink.writeJson(ctx.runs_json, ctx.jobs);
 }
 
 } // namespace
@@ -93,13 +101,79 @@ storeCached(const std::string &key, const RunResult &r)
 void
 setProgress(bool enabled)
 {
-    progress_enabled = enabled;
+    exec::Progress::instance().setEnabled(enabled);
 }
 
 void
 setCacheDir(std::string dir)
 {
-    cache_dir = std::move(dir);
+    HarnessState &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.cache = std::make_shared<exec::ResultCache>(std::move(dir),
+                                                  kModelVersion);
+}
+
+void
+setJobs(unsigned n)
+{
+    HarnessState &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.jobs_setting = n;
+}
+
+unsigned
+jobs()
+{
+    HarnessState &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    return resolveJobs(s.jobs_setting);
+}
+
+void
+setRunsJsonPath(std::string path)
+{
+    HarnessState &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.runs_json = std::move(path);
+}
+
+const char *
+cliFlagHelp()
+{
+    return "  --quiet                    suppress per-run progress lines\n"
+           "  --jobs <n>                 parallel sweep workers (1 = "
+           "serial,\n"
+           "                             0 = one per hardware thread; or "
+           "set\n"
+           "                             MCMGPU_JOBS)\n"
+           "  --runs-json <path>         write per-job telemetry after "
+           "every\n"
+           "                             sweep (or set MCMGPU_RUNS_JSON)\n"
+           "  --cache-dir <dir>          result cache location ('' "
+           "disables;\n"
+           "                             or set MCMGPU_CACHE_DIR)\n";
+}
+
+bool
+parseCliFlag(int argc, char **argv, int &i)
+{
+    const char *arg = argv[i];
+    auto value = [&]() -> const char * {
+        fatal_if(i + 1 >= argc, "flag '", arg, "' needs a value");
+        return argv[++i];
+    };
+    if (!std::strcmp(arg, "--quiet")) {
+        setProgress(false);
+    } else if (!std::strcmp(arg, "--jobs")) {
+        setJobs(unsigned(std::strtoul(value(), nullptr, 10)));
+    } else if (!std::strcmp(arg, "--runs-json")) {
+        setRunsJsonPath(value());
+    } else if (!std::strcmp(arg, "--cache-dir")) {
+        setCacheDir(value());
+    } else {
+        return false;
+    }
+    return true;
 }
 
 std::string
@@ -163,46 +237,146 @@ configKey(const GpuConfig &cfg)
 const RunResult &
 run(const GpuConfig &cfg, const workloads::Workload &w)
 {
-    static std::map<std::string, RunResult> memo;
+    HarnessState &s = state();
     const std::string key = configKey(cfg) + "##" + workloadKey(w);
-    auto it = memo.find(key);
-    if (it != memo.end())
-        return it->second;
-
-    const bool cacheable = key.find("<uncacheable>") == std::string::npos;
-    RunResult r;
-    if (cacheable && loadCached(key, r)) {
-        // Names are display-only; refresh them in case presets renamed.
-        r.config = cfg.name;
-        return memo.emplace(key, std::move(r)).first->second;
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        auto it = s.memo.find(key);
+        if (it != s.memo.end()) {
+            ++s.memo_hits;
+            return it->second;
+        }
     }
 
-    if (progress_enabled) {
-        std::fprintf(stderr, "  [sim] %-10s on %-28s ...", w.abbr.c_str(),
-                     cfg.name.c_str());
-        std::fflush(stderr);
-    }
-    r = Simulator::run(cfg, w);
-    if (progress_enabled) {
-        std::fprintf(stderr, " %llu cycles\n",
-                     static_cast<unsigned long long>(r.cycles));
-    }
-    // Only completed runs enter the disk cache: truncated/stalled runs
-    // carry a free-form diagnostic and are cheap to reproduce (they are
-    // deterministic), so caching them buys nothing.
-    if (cacheable && r.status == RunStatus::Finished)
-        storeCached(key, r);
-    return memo.emplace(key, std::move(r)).first->second;
+    const SweepContext ctx = sweepContext();
+    exec::JobGraph graph(ctx.cache.get(), &s.sink);
+    if (exec::Progress::instance().enabled())
+        graph.setProgressLabel("sim");
+    const size_t slot = graph.add(cfg, w, key, cacheableKey(key));
+    graph.execute(1); // one job: always inline on the caller
+    maybeWriteRunsJson(ctx);
+    // Single runs keep the serial harness contract: panics propagate.
+    if (std::exception_ptr err = graph.error(slot))
+        std::rethrow_exception(err);
+
+    std::lock_guard<std::mutex> lk(s.mu);
+    return s.memo.emplace(key, graph.result(slot)).first->second;
 }
+
+namespace {
+
+/**
+ * Shared sweep body: admit every memo-missing (config, workload) pair
+ * to one dedup'd graph, execute on the pool, commit to the memo in
+ * admission order, then copy results out in input order.
+ */
+std::vector<std::vector<RunResult>>
+runGrid(std::span<const GpuConfig> cfgs,
+        std::span<const workloads::Workload *const> ws)
+{
+    HarnessState &s = state();
+    const SweepContext ctx = sweepContext();
+    exec::JobGraph graph(ctx.cache.get(), &s.sink);
+    if (exec::Progress::instance().enabled())
+        graph.setProgressLabel("sweep");
+
+    std::vector<std::string> cfg_keys;
+    cfg_keys.reserve(cfgs.size());
+    for (const GpuConfig &cfg : cfgs)
+        cfg_keys.push_back(configKey(cfg));
+    std::vector<std::string> w_keys;
+    w_keys.reserve(ws.size());
+    for (const workloads::Workload *w : ws)
+        w_keys.push_back(workloadKey(*w));
+
+    // Admission: memo probe, then graph (which dedups shared keys).
+    struct Pending { std::string key; size_t slot; };
+    std::map<std::string, size_t> admitted;
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        for (size_t c = 0; c < cfgs.size(); ++c) {
+            for (size_t i = 0; i < ws.size(); ++i) {
+                std::string key = cfg_keys[c] + "##" + w_keys[i];
+                if (s.memo.count(key)) {
+                    ++s.memo_hits;
+                    continue;
+                }
+                if (admitted.count(key))
+                    continue;
+                const size_t slot = graph.add(cfgs[c], *ws[i], key,
+                                              cacheableKey(key));
+                admitted.emplace(std::move(key), slot);
+            }
+        }
+    }
+
+    graph.execute(ctx.jobs);
+
+    // Deterministic commit: admission order, caller thread. emplace
+    // keeps an existing entry, so a key that raced in via run() on
+    // another caller thread stays put.
+    std::vector<std::vector<RunResult>> out(
+        cfgs.size(), std::vector<RunResult>(ws.size()));
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        for (const auto &[key, slot] : admitted)
+            s.memo.emplace(key, graph.result(slot));
+        for (size_t c = 0; c < cfgs.size(); ++c) {
+            for (size_t i = 0; i < ws.size(); ++i) {
+                const std::string key = cfg_keys[c] + "##" + w_keys[i];
+                auto it = s.memo.find(key);
+                panic_if(it == s.memo.end(),
+                         "runMatrix(): missing result for ", key);
+                out[c][i] = it->second;
+            }
+        }
+    }
+    maybeWriteRunsJson(ctx);
+    return out;
+}
+
+} // namespace
 
 std::vector<RunResult>
 runMany(const GpuConfig &cfg,
         std::span<const workloads::Workload *const> ws)
 {
-    std::vector<RunResult> out;
-    out.reserve(ws.size());
-    for (const workloads::Workload *w : ws)
-        out.push_back(run(cfg, *w));
+    std::vector<std::vector<RunResult>> grid =
+        runGrid(std::span<const GpuConfig>(&cfg, 1), ws);
+    return std::move(grid.front());
+}
+
+std::vector<std::vector<RunResult>>
+runMatrix(std::span<const GpuConfig> cfgs,
+          std::span<const workloads::Workload *const> ws)
+{
+    return runGrid(cfgs, ws);
+}
+
+void
+prefetch(std::span<const GpuConfig> cfgs,
+         std::span<const workloads::Workload *const> ws)
+{
+    runGrid(cfgs, ws);
+}
+
+void
+clearMemo()
+{
+    HarnessState &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.memo.clear();
+    s.memo_hits = 0;
+}
+
+SweepSummary
+sweepSummary()
+{
+    HarnessState &s = state();
+    SweepSummary out;
+    out.graph = s.sink.stats();
+    std::lock_guard<std::mutex> lk(s.mu);
+    out.memo_hits = s.memo_hits;
     return out;
 }
 

@@ -1,8 +1,17 @@
 /**
  * @file
  * Experiment harness shared by the benchmark binaries: memoized runs
- * (a baseline is reused across every column of a figure), category
- * aggregation, and speedup reporting in the paper's style.
+ * (a baseline is reused across every column of a figure), parallel
+ * sweep execution through exec::JobGraph, category aggregation, and
+ * speedup reporting in the paper's style.
+ *
+ * Threading model: one simulation is always single-threaded (see
+ * docs/MODEL.md); parallelism lives purely at the experiment layer,
+ * which fans independent (config, workload) jobs out over a
+ * work-stealing pool. Results are bit-for-bit identical at any job
+ * count. The setters here (setJobs, setCacheDir, ...) configure
+ * process-wide state and belong in main() before the first run — they
+ * are not meant to be raced against in-flight sweeps.
  */
 
 #ifndef MCMGPU_SIM_EXPERIMENT_HH
@@ -13,6 +22,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "exec/telemetry.hh"
 #include "sim/results.hh"
 #include "workloads/registry.hh"
 
@@ -41,13 +51,81 @@ std::string workloadKey(const workloads::Workload &w);
  */
 void setCacheDir(std::string dir);
 
-/** Run @p w on @p cfg, memoized per process. */
+/**
+ * Worker threads for runMany()/runMatrix()/prefetch(). 1 (the
+ * default) is strictly serial; 0 means one per hardware thread.
+ * Initialized from the MCMGPU_JOBS environment variable.
+ */
+void setJobs(unsigned n);
+
+/** Resolved worker count (never 0). */
+unsigned jobs();
+
+/**
+ * Where to write runs.json telemetry after every sweep; "" (the
+ * default) disables. Initialized from MCMGPU_RUNS_JSON.
+ */
+void setRunsJsonPath(std::string path);
+
+/**
+ * Consume one shared experiment CLI flag at @p argv[i] (--quiet,
+ * --jobs N, --runs-json PATH, --cache-dir DIR), advancing @p i past
+ * any value. Every bench binary routes unrecognized args through
+ * this. @return true if the flag was consumed.
+ */
+bool parseCliFlag(int argc, char **argv, int &i);
+
+/** Usage text for the flags parseCliFlag() understands. */
+const char *cliFlagHelp();
+
+/**
+ * Run @p w on @p cfg, memoized per process. Simulation exceptions
+ * (panics) propagate to the caller, exactly like the serial harness.
+ */
 const RunResult &run(const GpuConfig &cfg, const workloads::Workload &w);
 
-/** Run a set of workloads; results in input order. */
+/**
+ * Run a set of workloads on one config; results in input order.
+ * Executes cache misses on the worker pool (jobs() wide). Failed jobs
+ * — stalled, over the cycle limit, or thrown — come back as per-job
+ * RunResult statuses instead of aborting the sweep.
+ */
 std::vector<RunResult> runMany(
     const GpuConfig &cfg,
     std::span<const workloads::Workload *const> ws);
+
+/**
+ * Run the full configs × workloads matrix through the pool with
+ * admission dedup (a config shared between figure columns simulates
+ * once). @return results[c][w], indexed as the inputs.
+ */
+std::vector<std::vector<RunResult>> runMatrix(
+    std::span<const GpuConfig> cfgs,
+    std::span<const workloads::Workload *const> ws);
+
+/**
+ * Warm the memo (and disk cache) for configs × workloads using the
+ * pool; subsequent run() calls on those pairs are lookups. The idiom
+ * for figure binaries: declare the matrix, prefetch, then format with
+ * the serial-looking code.
+ */
+void prefetch(std::span<const GpuConfig> cfgs,
+              std::span<const workloads::Workload *const> ws);
+
+/** Drop every memoized result (tests; the disk cache is untouched). */
+void clearMemo();
+
+/**
+ * Cumulative telemetry over every job this process admitted to a
+ * graph, plus process-level memo hits. Feeds suite_overview's footer
+ * and the runs.json aggregate header.
+ */
+struct SweepSummary
+{
+    exec::SweepStats graph;   //!< jobs that reached a JobGraph
+    uint64_t memo_hits = 0;   //!< run()/runMany() served from the memo
+};
+SweepSummary sweepSummary();
 
 /** Per-workload speedups of @p test over @p base (paired by order). */
 std::vector<double> speedups(std::span<const RunResult> test,

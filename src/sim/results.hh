@@ -23,9 +23,10 @@ enum class RunStatus
     Finished,   //!< every kernel retired and the event queue drained
     CycleLimit, //!< cfg.cycle_limit hit with work still in flight
     Stalled,    //!< watchdog detected no forward progress (SimStall)
+    Error,      //!< the simulation threw; see stall_diagnostic
 };
 
-/** Human-readable status name ("finished"/"cycle_limit"/"stalled"). */
+/** Human-readable status name ("finished"/"cycle_limit"/...). */
 inline const char *
 toString(RunStatus s)
 {
@@ -33,6 +34,7 @@ toString(RunStatus s)
       case RunStatus::Finished: return "finished";
       case RunStatus::CycleLimit: return "cycle_limit";
       case RunStatus::Stalled: return "stalled";
+      case RunStatus::Error: return "error";
     }
     return "unknown";
 }
@@ -44,7 +46,7 @@ struct RunResult
     std::string config;
 
     RunStatus status = RunStatus::Finished;
-    /** Watchdog machine-state dump; non-empty only when Stalled. */
+    /** Watchdog dump (Stalled) or exception text (Error); else empty. */
     std::string stall_diagnostic;
 
     bool finished() const { return status == RunStatus::Finished; }
