@@ -83,8 +83,7 @@ main(int argc, char **argv)
     std::cout << "\nsweep: " << sweep.graph.jobs << "/" << sweep.graph.jobs
               << " jobs completed (" << sweep.graph.executed
               << " simulated, " << sweep.graph.cache_hits
-              << " disk-cache hits, "
-              << Table::fmt(100.0 * sweep.graph.hitRatio(), 1)
-              << "% hit ratio, " << experiment::jobs() << " workers)\n";
+              << " disk-cache hits, " << sweep.graph.hitRatioLabel()
+              << " hit ratio, " << experiment::jobs() << " workers)\n";
     return 0;
 }

@@ -13,6 +13,9 @@
 
 #include <cstdio>
 #include <cstring>
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -20,6 +23,7 @@
 #include <iostream>
 
 #include "common/config.hh"
+#include "common/json.hh"
 #include "common/log.hh"
 #include "common/table.hh"
 #include "common/units.hh"
@@ -66,6 +70,10 @@ usage()
         "                             through the experiment pool\n"
         "  --workloads <w1,w2,...>    workload set for --matrix\n"
         "                             (default: all 48)\n"
+        "observability:\n"
+        "  --check-obs <dir>          validate every .json under dir "
+        "and\n"
+        "                             exit (0 = all well-formed)\n"
         "%s",
         experiment::cliFlagHelp());
 }
@@ -170,6 +178,62 @@ runMatrixMode(const std::string &machines, const std::string &workload_set)
     return all_finished ? 0 : 2;
 }
 
+/**
+ * --check-obs mode: validate every .json file under @p dir with the
+ * strict shared checker. Exercised by the obs-smoke ctest so a
+ * malformed emitter fails CI, not a Perfetto load three weeks later.
+ * @return 0 when every file is well-formed, 1 otherwise.
+ */
+int
+checkObsMode(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::recursive_directory_iterator(dir, ec)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".json")
+            files.push_back(entry.path());
+    }
+    if (ec) {
+        std::fprintf(stderr, "--check-obs: cannot read '%s': %s\n",
+                     dir.c_str(), ec.message().c_str());
+        return 1;
+    }
+    if (files.empty()) {
+        std::fprintf(stderr, "--check-obs: no .json files under '%s'\n",
+                     dir.c_str());
+        return 1;
+    }
+    std::sort(files.begin(), files.end());
+
+    int bad = 0;
+    for (const fs::path &p : files) {
+        std::ifstream in(p);
+        std::ostringstream text;
+        text << in.rdbuf();
+        if (!in.good() && !in.eof()) {
+            std::fprintf(stderr, "%s: read error\n", p.c_str());
+            ++bad;
+            continue;
+        }
+        json::ValidationResult res = json::validate(text.str());
+        if (!res) {
+            std::fprintf(stderr, "%s: invalid JSON at byte %zu: %s\n",
+                         p.c_str(), res.offset, res.error.c_str());
+            ++bad;
+        } else {
+            std::printf("%s: ok\n", p.c_str());
+        }
+    }
+    if (bad) {
+        std::fprintf(stderr, "--check-obs: %d of %zu files invalid\n",
+                     bad, files.size());
+        return 1;
+    }
+    std::printf("--check-obs: %zu files well-formed\n", files.size());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -182,6 +246,7 @@ main(int argc, char **argv)
     bool dump = false;
     std::string matrix_machines;
     std::string matrix_workloads;
+    std::string check_obs_dir;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -256,6 +321,8 @@ main(int argc, char **argv)
             matrix_machines = next();
         } else if (arg == "--workloads") {
             matrix_workloads = next();
+        } else if (arg == "--check-obs") {
+            check_obs_dir = next();
         } else if (experiment::parseCliFlag(argc, argv, i)) {
             // shared sweep flags: --quiet/--jobs/--runs-json/--cache-dir
         } else {
@@ -263,6 +330,9 @@ main(int argc, char **argv)
             return arg == "--help" || arg == "-h" ? 0 : 1;
         }
     }
+
+    if (!check_obs_dir.empty())
+        return checkObsMode(check_obs_dir);
 
     if (!matrix_machines.empty())
         return runMatrixMode(matrix_machines, matrix_workloads);

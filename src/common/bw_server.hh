@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "common/stats.hh"
 #include "common/types.hh"
 
 namespace mcmgpu {
@@ -85,6 +86,12 @@ class BandwidthServer
         if (abs_bucket > newest_seen_)
             newest_seen_ = abs_bucket;
         maybeCompact();
+        if (queue_hist_) {
+            // Cycles beyond the unloaded service time = queueing behind
+            // earlier reservations (the congestion the model exists to
+            // expose). Purely observational: `done` is unchanged.
+            queue_hist_->record(done - min_done);
+        }
         return done;
     }
 
@@ -92,6 +99,14 @@ class BandwidthServer
     uint64_t bytesServed() const { return bytes_served_; }
     double busyCycles() const { return busy_time_; }
     Cycle bucketCycles() const { return bucket_; }
+
+    /**
+     * Record every request's queueing delay (completion minus unloaded
+     * service time, in cycles) into @p hist. Pass nullptr to detach.
+     * The histogram must outlive the server; when detached (the
+     * default) the only cost is one pointer test per acquire().
+     */
+    void setQueueHistogram(stats::Histogram *hist) { queue_hist_ = hist; }
 
     /** Forget all reservations (used between independent runs). */
     void
@@ -181,6 +196,7 @@ class BandwidthServer
     std::vector<uint32_t> jump_; //!< skip pointers over drained buckets
     uint64_t bytes_served_ = 0;
     double busy_time_ = 0.0;
+    stats::Histogram *queue_hist_ = nullptr; //!< optional, not owned
 };
 
 } // namespace mcmgpu

@@ -41,6 +41,15 @@ EventQueue::run(Cycle limit)
     while (!heap_.empty()) {
         if (heap_.top().when > limit)
             return Outcome::LimitHit;
+        if (sample_period_ != 0) {
+            // The event about to execute advances time to its `when`;
+            // every window boundary at or before that point is crossed,
+            // so snapshot each one before the event mutates any state.
+            while (next_sample_ <= heap_.top().when) {
+                sample_hook_(next_sample_);
+                next_sample_ += sample_period_;
+            }
+        }
         if (watchdog_window_ != 0) {
             if (progress_ != watch_progress_) {
                 watch_progress_ = progress_;
@@ -88,6 +97,17 @@ EventQueue::setWatchdog(Cycle window_cycles,
 }
 
 void
+EventQueue::setSampleHook(Cycle period, std::function<void(Cycle)> hook)
+{
+    sample_period_ = hook ? period : 0;
+    sample_hook_ = std::move(hook);
+    // First boundary: the lowest multiple of the period strictly ahead
+    // of current simulated time.
+    next_sample_ = sample_period_ ? (now_ / sample_period_ + 1) * sample_period_
+                                  : 0;
+}
+
+void
 EventQueue::reset()
 {
     heap_ = {};
@@ -98,6 +118,7 @@ EventQueue::reset()
     watch_progress_ = 0;
     watch_cycle_ = 0;
     watch_executed_ = 0;
+    next_sample_ = sample_period_;
 }
 
 } // namespace mcmgpu

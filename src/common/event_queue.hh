@@ -109,6 +109,22 @@ class EventQueue
     /** Progress marks recorded so far (for tests). */
     uint64_t progressMarks() const { return progress_; }
 
+    // --- Passive sampling hook -----------------------------------------------
+    /**
+     * Fire @p hook once per @p period cycles while run() drains the
+     * queue. The hook is purely passive: it is invoked from the run()
+     * loop just before executing the first event at-or-past each
+     * window boundary, with the boundary cycle as argument. It never
+     * schedules events, so arming it cannot perturb event order,
+     * simulated time, or the executed() count. @p period == 0 disarms
+     * (the per-event cost collapses to one integer compare).
+     *
+     * Boundaries land at period, 2*period, ... — a boundary fires only
+     * once simulated time is known to have reached it; trailing
+     * boundaries beyond the last event never fire.
+     */
+    void setSampleHook(Cycle period, std::function<void(Cycle)> hook);
+
   private:
     [[noreturn]] void throwStall(Cycle limit);
 
@@ -144,6 +160,11 @@ class EventQueue
     uint64_t watch_progress_ = 0;
     Cycle watch_cycle_ = 0;
     uint64_t watch_executed_ = 0;
+
+    // Sampling state: next_sample_ is the next unfired window boundary.
+    Cycle sample_period_ = 0;
+    Cycle next_sample_ = 0;
+    std::function<void(Cycle)> sample_hook_;
 };
 
 } // namespace mcmgpu

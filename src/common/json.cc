@@ -1,0 +1,332 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+namespace mcmgpu {
+namespace json {
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += char(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+quoted(const std::string &s)
+{
+    return '"' + escape(s) + '"';
+}
+
+std::string
+number(double v)
+{
+    if (!std::isfinite(v))
+        return "0"; // NaN/Inf have no JSON spelling
+    // Integral magnitudes inside the exactly-representable range print
+    // as integers: counters stay counters in the output.
+    if (v == std::floor(v) && std::fabs(v) < 9007199254740992.0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+namespace {
+
+/** Recursive-descent checker over the raw bytes of a document. */
+class Checker
+{
+  public:
+    explicit Checker(const std::string &text) : s_(text) {}
+
+    ValidationResult
+    run()
+    {
+        skipWs();
+        if (!value())
+            return fail_;
+        skipWs();
+        if (pos_ != s_.size())
+            return fail("trailing content after document");
+        return {};
+    }
+
+  private:
+    ValidationResult
+    fail(const char *msg)
+    {
+        if (fail_.ok) {
+            fail_.ok = false;
+            fail_.offset = pos_;
+            fail_.error = msg;
+        }
+        return fail_;
+    }
+
+    bool eof() const { return pos_ >= s_.size(); }
+    char peek() const { return s_[pos_]; }
+
+    void
+    skipWs()
+    {
+        while (!eof()) {
+            char c = peek();
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++pos_;
+            else
+                break;
+        }
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = std::strlen(word);
+        if (s_.compare(pos_, n, word) != 0) {
+            fail("invalid literal");
+            return false;
+        }
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    value()
+    {
+        if (depth_ > kMaxDepth) {
+            fail("nesting too deep");
+            return false;
+        }
+        if (eof()) {
+            fail("unexpected end of document");
+            return false;
+        }
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return numberTok();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        ++depth_;
+        skipWs();
+        if (!eof() && peek() == '}') {
+            ++pos_;
+            --depth_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (eof() || peek() != '"') {
+                fail("expected object key string");
+                return false;
+            }
+            if (!string())
+                return false;
+            skipWs();
+            if (eof() || peek() != ':') {
+                fail("expected ':' after object key");
+                return false;
+            }
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (eof()) {
+                fail("unterminated object");
+                return false;
+            }
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                --depth_;
+                return true;
+            }
+            fail("expected ',' or '}' in object");
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        ++depth_;
+        skipWs();
+        if (!eof() && peek() == ']') {
+            ++pos_;
+            --depth_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (eof()) {
+                fail("unterminated array");
+                return false;
+            }
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                --depth_;
+                return true;
+            }
+            fail("expected ',' or ']' in array");
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        ++pos_; // opening quote
+        while (!eof()) {
+            unsigned char c = static_cast<unsigned char>(s_[pos_]);
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos_;
+                if (eof()) {
+                    fail("unterminated escape");
+                    return false;
+                }
+                char e = s_[pos_];
+                if (e == 'u') {
+                    for (int i = 1; i <= 4; ++i) {
+                        if (pos_ + i >= s_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                s_[pos_ + i]))) {
+                            fail("bad \\u escape");
+                            return false;
+                        }
+                    }
+                    pos_ += 5;
+                } else if (std::strchr("\"\\/bfnrt", e)) {
+                    ++pos_;
+                } else {
+                    fail("bad escape character");
+                    return false;
+                }
+                continue;
+            }
+            if (c < 0x20) {
+                fail("raw control byte inside string");
+                return false;
+            }
+            ++pos_;
+        }
+        fail("unterminated string");
+        return false;
+    }
+
+    bool
+    numberTok()
+    {
+        size_t start = pos_;
+        if (!eof() && peek() == '-')
+            ++pos_;
+        if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+            pos_ = start;
+            fail("invalid value");
+            return false;
+        }
+        if (peek() == '0') {
+            ++pos_;
+        } else {
+            while (!eof() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (!eof() && peek() == '.') {
+            ++pos_;
+            if (eof() ||
+                !std::isdigit(static_cast<unsigned char>(peek()))) {
+                fail("digit required after decimal point");
+                return false;
+            }
+            while (!eof() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (!eof() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!eof() && (peek() == '+' || peek() == '-'))
+                ++pos_;
+            if (eof() ||
+                !std::isdigit(static_cast<unsigned char>(peek()))) {
+                fail("digit required in exponent");
+                return false;
+            }
+            while (!eof() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        return true;
+    }
+
+    static constexpr int kMaxDepth = 256;
+
+    const std::string &s_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+    ValidationResult fail_;
+};
+
+} // namespace
+
+ValidationResult
+validate(const std::string &text)
+{
+    return Checker(text).run();
+}
+
+} // namespace json
+} // namespace mcmgpu

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal JSON utilities shared by every emitter in the tree
+ * (runs.json telemetry, stats.json, timeline.json, trace.json).
+ *
+ * Three pieces:
+ *  - escape(): RFC 8259 string escaping. Hostile workload/config names
+ *    (quotes, backslashes, newlines, raw control bytes) must never be
+ *    able to corrupt an emitted document.
+ *  - number(): deterministic number formatting. Integral doubles print
+ *    as integers, everything else with enough digits to round-trip;
+ *    output depends only on the value, never on stream state, so
+ *    parallel and serial sweeps emit byte-identical files.
+ *  - validate(): a strict recursive-descent well-formedness checker
+ *    used by tests and the obs-smoke gate. It accepts exactly the
+ *    RFC 8259 grammar (no trailing commas, no bare words, no comments)
+ *    and reports the byte offset of the first defect.
+ */
+
+#ifndef MCMGPU_COMMON_JSON_HH
+#define MCMGPU_COMMON_JSON_HH
+
+#include <string>
+
+namespace mcmgpu {
+namespace json {
+
+/** Escape @p s for inclusion inside a JSON string literal (no quotes
+ *  added). Control bytes below 0x20 become \uXXXX; multi-byte UTF-8
+ *  passes through untouched. */
+std::string escape(const std::string &s);
+
+/** @p s escaped and wrapped in double quotes: a complete JSON string. */
+std::string quoted(const std::string &s);
+
+/**
+ * Deterministic JSON number for @p v: integral magnitudes below 2^53
+ * print with no fraction, NaN/Inf (not representable in JSON) print as
+ * 0, and everything else uses round-trippable shortest-ish %.17g.
+ */
+std::string number(double v);
+
+/** Outcome of validate(): ok, or the first defect with its offset. */
+struct ValidationResult
+{
+    bool ok = true;
+    size_t offset = 0;   //!< byte offset of the defect
+    std::string error;   //!< empty when ok
+
+    explicit operator bool() const { return ok; }
+};
+
+/** Strict well-formedness check of one complete JSON document. */
+ValidationResult validate(const std::string &text);
+
+} // namespace json
+} // namespace mcmgpu
+
+#endif // MCMGPU_COMMON_JSON_HH

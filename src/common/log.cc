@@ -2,12 +2,44 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 
 namespace mcmgpu {
 
 namespace {
+
 bool quiet_logging = false;
+
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+LogSink &
+sinkSlot()
+{
+    static LogSink sink; // empty = default stderr sink
+    return sink;
+}
+
+/** Hand one finished line to the installed sink (or stderr). */
+void
+emitLine(const std::string &line)
+{
+    LogSink sink;
+    {
+        std::lock_guard<std::mutex> lk(sinkMutex());
+        sink = sinkSlot();
+    }
+    if (sink)
+        sink(line);
+    else
+        std::fprintf(stderr, "%s\n", line.c_str());
+}
+
 } // namespace
 
 void
@@ -20,6 +52,13 @@ bool
 quietLogging()
 {
     return quiet_logging;
+}
+
+void
+setLogSink(LogSink sink)
+{
+    std::lock_guard<std::mutex> lk(sinkMutex());
+    sinkSlot() = std::move(sink);
 }
 
 namespace log_detail {
@@ -46,14 +85,14 @@ void
 warnImpl(const std::string &msg)
 {
     if (!quiet_logging)
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+        emitLine("warn: " + msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
     if (!quiet_logging)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+        emitLine("info: " + msg);
 }
 
 } // namespace log_detail

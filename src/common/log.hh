@@ -20,6 +20,8 @@
 #ifndef MCMGPU_COMMON_LOG_HH
 #define MCMGPU_COMMON_LOG_HH
 
+#include <atomic>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -48,6 +50,19 @@ void informImpl(const std::string &msg);
 void setQuietLogging(bool quiet);
 bool quietLogging();
 
+/**
+ * Where one finished warn()/inform() line goes (no trailing newline).
+ * The default sink fprintf()s to stderr. The parallel experiment
+ * runner installs a sink that funnels lines through exec::Progress's
+ * single writer thread, so messages emitted concurrently from pool
+ * workers never interleave mid-line on stderr.
+ */
+using LogSink = std::function<void(const std::string &line)>;
+
+/** Install @p sink for warn()/inform(); pass nullptr to restore the
+ *  default stderr sink. Thread-safe. */
+void setLogSink(LogSink sink);
+
 } // namespace mcmgpu
 
 #define panic(...)                                                          \
@@ -60,6 +75,22 @@ bool quietLogging();
 
 #define warn(...)                                                           \
     ::mcmgpu::log_detail::warnImpl(::mcmgpu::log_detail::concat(__VA_ARGS__))
+
+/**
+ * warn() that fires at most once per call site for the whole process:
+ * the idiom for hot-path warnings that would otherwise repeat per
+ * access/per cycle. The dedup flag is a relaxed atomic, so the
+ * already-warned fast path costs one load and no locks.
+ */
+#define warn_once(...)                                                      \
+    do {                                                                    \
+        static std::atomic<bool> mcmgpu_warned_once_{false};                \
+        if (!mcmgpu_warned_once_.load(std::memory_order_relaxed) &&         \
+            !mcmgpu_warned_once_.exchange(true,                             \
+                                          std::memory_order_relaxed)) {     \
+            warn(__VA_ARGS__);                                              \
+        }                                                                   \
+    } while (0)
 
 #define inform(...)                                                         \
     ::mcmgpu::log_detail::informImpl(                                       \

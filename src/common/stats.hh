@@ -21,11 +21,13 @@
 #ifndef MCMGPU_COMMON_STATS_HH
 #define MCMGPU_COMMON_STATS_HH
 
+#include <bit>
 #include <cstdint>
 #include <deque>
 #include <ostream>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace mcmgpu {
 namespace stats {
@@ -51,6 +53,121 @@ class Scalar
     std::string name_;
     std::string desc_;
     double value_ = 0.0;
+};
+
+/**
+ * A bucketed distribution counter (latencies, queue delays).
+ *
+ * Two bucketing schemes:
+ *  - Log2:   bucket 0 holds the value 0, bucket i >= 1 holds
+ *            [2^(i-1), 2^i - 1]. Constant-time via std::bit_width.
+ *  - Linear: bucket i holds [i*width, (i+1)*width - 1].
+ * Values past the top land in the last bucket (it is unbounded above).
+ * record() is branch-cheap and allocation-free: the bucket array is
+ * sized once at construction.
+ */
+class Histogram
+{
+  public:
+    enum class Bucketing { Log2, Linear };
+
+    /** Log2 histogram with @p num_buckets buckets (>= 2). */
+    static Histogram
+    makeLog2(std::string name, uint32_t num_buckets,
+             std::string desc = "")
+    {
+        return Histogram(std::move(name), std::move(desc),
+                         Bucketing::Log2, num_buckets, 1);
+    }
+
+    /** Linear histogram: @p num_buckets buckets of @p width each. */
+    static Histogram
+    makeLinear(std::string name, uint64_t width, uint32_t num_buckets,
+               std::string desc = "")
+    {
+        return Histogram(std::move(name), std::move(desc),
+                         Bucketing::Linear, num_buckets, width);
+    }
+
+    void
+    record(uint64_t v, uint64_t n = 1)
+    {
+        buckets_[bucketOf(v)] += n;
+        count_ += n;
+        sum_ += v * n;
+        if (count_ == n || v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    /** Bucket index @p v falls into. */
+    uint32_t
+    bucketOf(uint64_t v) const
+    {
+        uint64_t idx =
+            bucketing_ == Bucketing::Log2
+                ? static_cast<uint64_t>(std::bit_width(v))
+                : v / width_;
+        const uint64_t last = buckets_.size() - 1;
+        return static_cast<uint32_t>(idx < last ? idx : last);
+    }
+
+    /** Smallest value belonging to bucket @p i. */
+    uint64_t
+    bucketLo(uint32_t i) const
+    {
+        if (bucketing_ == Bucketing::Log2)
+            return i == 0 ? 0 : uint64_t(1) << (i - 1);
+        return uint64_t(i) * width_;
+    }
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+    Bucketing bucketing() const { return bucketing_; }
+    const std::vector<uint64_t> &buckets() const { return buckets_; }
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    uint64_t minValue() const { return count_ ? min_ : 0; }
+    uint64_t maxValue() const { return max_; }
+
+    double
+    mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    void
+    reset()
+    {
+        for (auto &b : buckets_)
+            b = 0;
+        count_ = sum_ = max_ = 0;
+        min_ = ~uint64_t(0);
+    }
+
+  private:
+    Histogram(std::string name, std::string desc, Bucketing b,
+              uint32_t num_buckets, uint64_t width)
+        : name_(std::move(name)),
+          desc_(std::move(desc)),
+          bucketing_(b),
+          width_(width ? width : 1),
+          buckets_(num_buckets >= 2 ? num_buckets : 2, 0)
+    {
+    }
+
+    std::string name_;
+    std::string desc_;
+    Bucketing bucketing_;
+    uint64_t width_;
+    std::vector<uint64_t> buckets_;
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = ~uint64_t(0);
+    uint64_t max_ = 0;
 };
 
 /**

@@ -16,7 +16,10 @@ Sm::Sm(SmId id, ModuleId module, const GpuConfig &cfg, SmContext &ctx)
       warp_insts_(stats_.add("warp_insts", "warp instructions executed")),
       mem_ops_(stats_.add("mem_ops", "memory operations issued")),
       store_ops_(stats_.add("store_ops", "store operations issued")),
-      ctas_run_(stats_.add("ctas_run", "CTAs executed to completion"))
+      ctas_run_(stats_.add("ctas_run", "CTAs executed to completion")),
+      mem_stall_cycles_(stats_.add("mem_stall_cycles",
+                                   "cycles warps waited on a full "
+                                   "memory scoreboard"))
 {
     panic_if(issue_width_ == 0, "SM issue width must be positive");
     max_outstanding_ = cfg.max_outstanding_per_warp;
@@ -127,6 +130,8 @@ Sm::stepWarp(const std::shared_ptr<WarpRun> &warp)
         uint32_t slot = warp->inflight_idx % max_outstanding_;
         warp->inflight_idx++;
         ready = std::max(issued, warp->inflight[slot]);
+        if (ready > issued)
+            mem_stall_cycles_ += ready - issued;
         warp->inflight[slot] = done;
     }
 

@@ -118,6 +118,7 @@ class Sm
     stats::Scalar &mem_ops_;
     stats::Scalar &store_ops_;
     stats::Scalar &ctas_run_;
+    stats::Scalar &mem_stall_cycles_;
 };
 
 } // namespace mcmgpu

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/log.hh"
+
 namespace mcmgpu {
 namespace exec {
 
@@ -14,6 +16,10 @@ Progress::instance()
 
 Progress::~Progress()
 {
+    // The log sink captures `this`; a warn() fired during static
+    // destruction after this point must fall back to raw stderr.
+    if (log_sink_installed_.exchange(false))
+        setLogSink(nullptr);
     {
         std::lock_guard<std::mutex> lk(mu_);
         stop_ = true;
@@ -28,10 +34,20 @@ Progress::post(std::string line)
 {
     if (!enabled_.load())
         return;
+    postLog(std::move(line));
+}
+
+void
+Progress::postLog(std::string line)
+{
     {
         std::lock_guard<std::mutex> lk(mu_);
-        if (stop_)
+        if (stop_) {
+            // Writer already torn down (process exit): do not drop the
+            // message, it may be the one that explains a failure.
+            std::fprintf(stderr, "%s\n", line.c_str());
             return;
+        }
         if (!writer_started_) {
             writer_ = std::thread([this] { writerLoop(); });
             writer_started_ = true;
@@ -39,6 +55,14 @@ Progress::post(std::string line)
         queue_.push_back(std::move(line));
     }
     cv_.notify_one();
+}
+
+void
+Progress::installLogSink()
+{
+    if (log_sink_installed_.exchange(true))
+        return;
+    setLogSink([this](const std::string &line) { postLog(line); });
 }
 
 void

@@ -39,8 +39,22 @@ class Progress
     /** Queue one full line (no trailing newline) for the writer. */
     void post(std::string line);
 
+    /**
+     * Queue a log line (warn()/inform() routed through setLogSink()).
+     * Unlike post(), this ignores the enabled flag: that flag gates
+     * per-job progress chatter, never diagnostics.
+     */
+    void postLog(std::string line);
+
     /** Block until every line posted so far has reached stderr. */
     void flush();
+
+    /**
+     * Route warn()/inform() through this writer (setLogSink()), so
+     * messages emitted from pool workers never interleave mid-line.
+     * Idempotent; the destructor restores the default stderr sink.
+     */
+    void installLogSink();
 
     ~Progress();
 
@@ -57,6 +71,7 @@ class Progress
     bool writer_started_ = false;
     bool writing_ = false; //!< a line is out of the queue, not yet written
     bool stop_ = false;
+    std::atomic<bool> log_sink_installed_{false};
 };
 
 } // namespace exec

@@ -2,9 +2,12 @@
 
 #include <unistd.h>
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include "common/json.hh"
 
 namespace mcmgpu {
 namespace exec {
@@ -49,35 +52,15 @@ TelemetrySink::clear()
     records_.clear();
 }
 
-namespace {
-
-/** Minimal JSON string escaping (quotes, backslash, control chars). */
 std::string
-jsonEscape(const std::string &s)
+SweepStats::hitRatioLabel() const
 {
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (unsigned char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\r': out += "\\r"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (c < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += char(c);
-            }
-        }
-    }
-    return out;
+    if (jobs == 0)
+        return "n/a";
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * hitRatio());
+    return buf;
 }
-
-} // namespace
 
 void
 TelemetrySink::dumpJson(std::ostream &os, unsigned jobs) const
@@ -100,9 +83,9 @@ TelemetrySink::dumpJson(std::ostream &os, unsigned jobs) const
         std::snprintf(key, sizeof(key), "%016llx",
                       static_cast<unsigned long long>(r.key_hash));
         os << (i ? ",\n    " : "\n    ") << "{\"workload\": \""
-           << jsonEscape(r.workload) << "\", \"config\": \""
-           << jsonEscape(r.config) << "\", \"key\": \"" << key
-           << "\", \"status\": \"" << jsonEscape(r.status)
+           << json::escape(r.workload) << "\", \"config\": \""
+           << json::escape(r.config) << "\", \"key\": \"" << key
+           << "\", \"status\": \"" << json::escape(r.status)
            << "\", \"cache\": \"" << (r.cache_hit ? "hit" : "miss")
            << "\", \"wall_ms\": " << r.wall_ms
            << ", \"queue_ms\": " << r.queue_ms
@@ -110,7 +93,7 @@ TelemetrySink::dumpJson(std::ostream &os, unsigned jobs) const
            << ", \"retries\": " << r.retries
            << ", \"worker\": " << r.worker;
         if (!r.error.empty())
-            os << ", \"error\": \"" << jsonEscape(r.error) << "\"";
+            os << ", \"error\": \"" << json::escape(r.error) << "\"";
         os << "}";
     }
     os << (recs.empty() ? "]\n" : "\n  ]\n") << "}\n";

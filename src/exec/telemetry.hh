@@ -53,6 +53,13 @@ struct SweepStats
     {
         return jobs ? double(cache_hits) / double(jobs) : 0.0;
     }
+
+    /**
+     * Hit ratio as a display string, e.g. "37.5%". With zero jobs
+     * there is no ratio to report, so this returns "n/a" rather than
+     * baking a misleading "0.0%" (or a nan) into summary footers.
+     */
+    std::string hitRatioLabel() const;
 };
 
 /** Thread-safe accumulator; one per process is plenty. */

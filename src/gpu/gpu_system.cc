@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/json.hh"
 #include "common/log.hh"
 
 namespace mcmgpu {
@@ -56,6 +57,8 @@ GpuSystem::GpuSystem(const GpuConfig &cfg)
 void
 GpuSystem::ctaFinished(SmId sm)
 {
+    if (rec_)
+        rec_->ctaFinished(moduleOfSm(sm), eq_.now());
     if (sink_)
         sink_->onCtaFinished(sm);
 }
@@ -138,10 +141,21 @@ GpuSystem::memAccess(ModuleId src, Addr addr, uint32_t bytes, bool is_store,
 
     if (l15_caches_this) {
         CacheLookup res = l15.lookup(addr, false, now);
-        if (res.outcome == CacheOutcome::Hit)
-            return now + l15.hitLatency();
-        if (res.outcome == CacheOutcome::HitPending)
-            return std::max(res.ready, now + l15.hitLatency());
+        if (res.outcome == CacheOutcome::Hit) {
+            Cycle done = now + l15.hitLatency();
+            // Classified by home partition (the paper's local/remote
+            // split) even though an L1.5 hit never reaches the fabric:
+            // the histogram shows what the L1.5 buys remote traffic.
+            if (rec_)
+                rec_->recordLoad(!local, done - now);
+            return done;
+        }
+        if (res.outcome == CacheOutcome::HitPending) {
+            Cycle done = std::max(res.ready, now + l15.hitLatency());
+            if (rec_)
+                rec_->recordLoad(!local, done - now);
+            return done;
+        }
         // Miss: the serial tag check delays the request before it can
         // head for the fabric — the added latency that makes the L1.5
         // a net loss for low-reuse, latency-bound applications (the
@@ -183,6 +197,9 @@ GpuSystem::memAccess(ModuleId src, Addr addr, uint32_t bytes, bool is_store,
 
     if (l15_caches_this)
         l15.fill(addr, false, t);
+
+    if (rec_)
+        rec_->recordLoad(!local, t - now);
 
     return t;
 }
@@ -307,6 +324,197 @@ GpuSystem::occupancyDiagnostic() const
     os << "  page_table: mapped=" << page_table_.pagesMapped()
        << " rehomed=" << page_table_.rehomedPages() << '\n';
     return os.str();
+}
+
+void
+GpuSystem::attachRecorder(obs::Recorder &rec)
+{
+    rec_ = &rec;
+
+    // Queue-delay histograms at every bandwidth server. Recording is
+    // observational: acquire() results are untouched.
+    for (auto &d : dram_)
+        d->attachQueueHistogram(&rec.dramQueueDelay());
+    fabric_->visitLinks([&rec](const std::string &, Link &l) {
+        l.setQueueHistogram(&rec.linkQueueDelay());
+        if (rec.traceEnabled())
+            l.trackBusyIntervals(obs::Recorder::kLinkBusyMergeGap);
+    });
+
+    obs::Sampler *sampler = rec.sampler();
+    if (!sampler)
+        return;
+
+    sampler->addGauge("sm.resident_warps", [this] {
+        double sum = 0.0;
+        for (const auto &sm : sms_)
+            sum += sm->residentWarps();
+        return sum;
+    });
+    sampler->addGauge("sm.resident_ctas", [this] {
+        double sum = 0.0;
+        for (const auto &sm : sms_)
+            sum += sm->residentCtas();
+        return sum;
+    });
+    sampler->addCounter("sm.warp_insts", [this] {
+        return static_cast<double>(totalWarpInstructions());
+    });
+
+    auto cache_hits = [](const Cache &c) {
+        return static_cast<double>(c.hitsTotal());
+    };
+    auto cache_accesses = [](const Cache &c) {
+        return static_cast<double>(c.hitsTotal() + c.missesTotal());
+    };
+    sampler->addRatio(
+        "l1.hit_rate",
+        [this, cache_hits] {
+            double h = 0.0;
+            for (const auto &sm : sms_)
+                h += cache_hits(sm->l1());
+            return h;
+        },
+        [this, cache_accesses] {
+            double a = 0.0;
+            for (const auto &sm : sms_)
+                a += cache_accesses(sm->l1());
+            return a;
+        });
+    sampler->addRatio(
+        "l15.hit_rate",
+        [this, cache_hits] {
+            double h = 0.0;
+            for (const auto &c : l15_)
+                h += cache_hits(*c);
+            return h;
+        },
+        [this, cache_accesses] {
+            double a = 0.0;
+            for (const auto &c : l15_)
+                a += cache_accesses(*c);
+            return a;
+        });
+    sampler->addRatio(
+        "l2.hit_rate",
+        [this, cache_hits] {
+            double h = 0.0;
+            for (const auto &c : l2_)
+                h += cache_hits(*c);
+            return h;
+        },
+        [this, cache_accesses] {
+            double a = 0.0;
+            for (const auto &c : l2_)
+                a += cache_accesses(*c);
+            return a;
+        });
+
+    // Per-link carried bytes: delta / sample_period = bytes/cycle.
+    fabric_->visitLinks([sampler](const std::string &name, Link &l) {
+        const Link *lp = &l;
+        sampler->addCounter("link." + name + ".bytes", [lp] {
+            return static_cast<double>(lp->bytesCarried());
+        });
+    });
+
+    // Per-partition DRAM traffic (read + write bytes).
+    for (PartitionId p = 0; p < dram_.size(); ++p) {
+        const DramPartition *dp = dram_[p].get();
+        sampler->addCounter("dram.part" + std::to_string(p) + ".bytes",
+                            [dp] {
+                                return static_cast<double>(
+                                    dp->totalBytes());
+                            });
+    }
+
+    // Passive hook: fires between events inside EventQueue::run(), so
+    // sampling perturbs neither event order nor simulated time.
+    eq_.setSampleHook(sampler->period(),
+                      [sampler](Cycle c) { sampler->sample(c); });
+}
+
+void
+GpuSystem::finishObservability()
+{
+    if (!rec_)
+        return;
+    rec_->finalize(eq_.now());
+    if (rec_->traceEnabled()) {
+        fabric_->visitLinks([this](const std::string &name, Link &l) {
+            rec_->linkBusySpans(name, l.busyIntervals());
+        });
+    }
+}
+
+void
+GpuSystem::statsJson(std::ostream &os, const std::string &workload) const
+{
+    os << "{\n"
+       << "  \"schema\": \"mcmgpu-stats/1\",\n"
+       << "  \"config\": " << json::quoted(cfg_.name) << ",\n"
+       << "  \"workload\": " << json::quoted(workload) << ",\n";
+
+    const Domain link_domain =
+        cfg_.board_level_links ? Domain::Board : Domain::Package;
+    os << "  \"system\": {"
+       << "\"cycles\": " << eq_.now()
+       << ", \"events\": " << eq_.executed()
+       << ", \"warp_insts\": " << totalWarpInstructions()
+       << ", \"enabled_sms\": " << enabled_sms_
+       << ", \"fabric_injected_bytes\": " << fabric_->injectedBytes()
+       << ", \"fabric_link_bytes\": " << fabric_->linkBytes()
+       << ", \"fabric_transient_errors\": " << fabric_->transientErrors()
+       << ", \"dram_read_bytes\": " << dramReadBytes()
+       << ", \"dram_write_bytes\": " << dramWriteBytes()
+       << ", \"energy_chip_j\": " << json::number(
+              energy_.joulesIn(Domain::Chip))
+       << ", \"energy_link_j\": " << json::number(
+              energy_.joulesIn(link_domain))
+       << "},\n";
+
+    // Every stats::Group in construction order; scalar keys in
+    // registration order. Both orders are fixed by the config alone,
+    // which is what makes the document reproducible byte for byte.
+    os << "  \"groups\": {";
+    bool first_group = true;
+    auto emitGroup = [&os, &first_group](const stats::Group &g) {
+        os << (first_group ? "\n    " : ",\n    ")
+           << json::quoted(g.name()) << ": {";
+        first_group = false;
+        bool first_stat = true;
+        for (const auto &s : g.scalars()) {
+            os << (first_stat ? "" : ", ") << json::quoted(s.name())
+               << ": " << json::number(s.value());
+            first_stat = false;
+        }
+        os << "}";
+    };
+    for (const auto &sm : sms_) {
+        emitGroup(sm->statsGroup());
+        emitGroup(sm->l1().statsGroup());
+    }
+    for (const auto &c : l15_)
+        emitGroup(c->statsGroup());
+    for (const auto &c : l2_)
+        emitGroup(c->statsGroup());
+    for (const auto &d : dram_)
+        emitGroup(d->statsGroup());
+    os << (first_group ? "},\n" : "\n  },\n");
+
+    os << "  \"histograms\": [";
+    if (rec_) {
+        bool first_hist = true;
+        for (const stats::Histogram *h : rec_->histograms()) {
+            os << (first_hist ? "\n    " : ",\n    ");
+            first_hist = false;
+            obs::Recorder::histogramJson(os, *h);
+        }
+        os << (first_hist ? "]\n" : "\n  ]\n");
+    } else {
+        os << "]\n";
+    }
+    os << "}\n";
 }
 
 double

@@ -13,6 +13,7 @@
 #define MCMGPU_GPU_GPU_SYSTEM_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/config.hh"
@@ -23,6 +24,7 @@
 #include "mem/page_table.hh"
 #include "noc/energy.hh"
 #include "noc/ring.hh"
+#include "obs/recorder.hh"
 
 namespace mcmgpu {
 
@@ -105,6 +107,35 @@ class GpuSystem : public SmContext
      */
     std::string occupancyDiagnostic() const;
 
+    // --- Observability ------------------------------------------------------
+    /**
+     * Attach a per-run recorder: wires queue-delay histograms into
+     * every bandwidth server, registers sampler probes (SM occupancy,
+     * per-link bytes, DRAM bandwidth, cache hit rates), arms the
+     * event queue's passive sample hook, and enables link busy-interval
+     * tracking when tracing. Every probe only reads state, so attaching
+     * a recorder never changes a simulated cycle. @p rec must outlive
+     * this system.
+     */
+    void attachRecorder(obs::Recorder &rec);
+
+    /** The attached recorder, or nullptr (the common case). */
+    obs::Recorder *recorder() { return rec_; }
+
+    /** End-of-run: close sampler windows and harvest link busy spans
+     *  into the trace. No-op without a recorder. */
+    void finishObservability();
+
+    /**
+     * Emit the machine's statistics as one "mcmgpu-stats/1" JSON
+     * document: system scalars, every stats::Group (fixed
+     * construction order), and — when a recorder is attached — the
+     * latency/queueing histograms. Key order is deterministic, all
+     * numbers print via json::number, so the document is byte-identical
+     * for identical runs regardless of sweep parallelism.
+     */
+    void statsJson(std::ostream &os, const std::string &workload) const;
+
   private:
     struct PathTiming
     {
@@ -131,6 +162,7 @@ class GpuSystem : public SmContext
     uint32_t enabled_sms_ = 0;
 
     CtaSink *sink_ = nullptr;
+    obs::Recorder *rec_ = nullptr; //!< optional per-run recorder
 
     /** Request/response packet header size on the fabric, bytes. */
     static constexpr uint32_t kHeaderBytes = 16;

@@ -33,6 +33,8 @@ Runtime::refill(SmId sm_id, Cycle now)
     if (!cta)
         return false;
     sm.launchCta(*active_, *cta, now);
+    if (obs::Recorder *rec = gpu_.recorder())
+        rec->ctaLaunched(sm.module(), now);
     return true;
 }
 
@@ -82,6 +84,8 @@ Runtime::runKernel(const KernelDesc &kernel)
     active_ = &kernel;
     status_ = RunStatus::Finished;
     sched_->beginKernel(kernel.num_ctas);
+    if (obs::Recorder *rec = gpu_.recorder())
+        rec->kernelBegin(kernel.name, gpu_.eventQueue().now());
 
     // Serial launch cost: driver work + grid setup on the front end.
     EventQueue &eq = gpu_.eventQueue();
@@ -102,7 +106,8 @@ Runtime::runKernel(const KernelDesc &kernel)
         // Cycle budget expired mid-kernel: freeze the machine as-is so
         // callers can inspect how far it got. No coherence flush, no
         // retirement checks — this is a truncated run, not a finished
-        // one.
+        // one. The recorder closes the truncated kernel span itself in
+        // finalize().
         active_ = nullptr;
         status_ = RunStatus::CycleLimit;
         return;
@@ -114,6 +119,8 @@ Runtime::runKernel(const KernelDesc &kernel)
 
     active_ = nullptr;
     ++kernels_executed_;
+    if (obs::Recorder *rec = gpu_.recorder())
+        rec->kernelEnd(eq.now());
 
     // Kernel-boundary synchronization: software coherence flushes the
     // L1s and the GPM-side L1.5s exactly once (section 5.1.1).

@@ -95,6 +95,21 @@ class Cache
         return total > 0.0 ? hits_.value() / total : 0.0;
     }
 
+    /** Hits including hit-under-fill (cheap probe for samplers). */
+    uint64_t
+    hitsTotal() const
+    {
+        return static_cast<uint64_t>(hits_.value() +
+                                     hits_pending_.value());
+    }
+
+    /** Misses so far (cheap probe for samplers). */
+    uint64_t
+    missesTotal() const
+    {
+        return static_cast<uint64_t>(misses_.value());
+    }
+
     stats::Group &statsGroup() { return stats_; }
     const stats::Group &statsGroup() const { return stats_; }
 

@@ -52,6 +52,13 @@ DramPartition::write(Addr addr, uint32_t bytes, Cycle now)
     channelFor(addr).acquire(now, bytes);
 }
 
+void
+DramPartition::attachQueueHistogram(stats::Histogram *hist)
+{
+    for (auto &ch : channels_)
+        ch.setQueueHistogram(hist);
+}
+
 double
 DramPartition::busyCycles() const
 {

@@ -58,6 +58,16 @@ class DramPartition
     stats::Group &statsGroup() { return stats_; }
     const stats::Group &statsGroup() const { return stats_; }
 
+    /**
+     * Record every channel access's queueing delay (cycles spent behind
+     * earlier reservations) into @p hist. All channels of the partition
+     * share one histogram; nullptr detaches. Not owned.
+     */
+    void attachQueueHistogram(stats::Histogram *hist);
+
+    uint32_t numChannels() const
+    { return static_cast<uint32_t>(channels_.size()); }
+
   private:
     BandwidthServer &channelFor(Addr addr);
 

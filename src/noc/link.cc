@@ -18,25 +18,62 @@ Cycle
 Link::traverse(Cycle now, uint64_t bytes)
 {
     Cycle t = server_.acquire(now, bytes) + hop_cycles_;
-    if (error_rate_ <= 0.0)
-        return t;
-
-    if (!rng_.chance(error_rate_)) {
+    if (error_rate_ > 0.0 && rng_.chance(error_rate_)) {
+        // CRC mismatch: the receiver requests a replay. The
+        // retransmission waits out the replay penalty — doubled for
+        // every consecutive error, so a link in a noisy patch
+        // throttles itself — and then consumes link bandwidth a
+        // second time.
+        const Cycle penalty =
+            retry_cycles_ << std::min(backoff_, kMaxBackoffShift);
+        ++errors_;
+        if (backoff_ < kMaxBackoffShift)
+            ++backoff_;
+        replay_cycles_ += penalty;
+        t = server_.acquire(t + penalty, bytes) + hop_cycles_;
+    } else {
         backoff_ = 0;
-        return t;
     }
+    if (busy_merge_gap_ != 0)
+        noteBusy(now, t);
+    return t;
+}
 
-    // CRC mismatch: the receiver requests a replay. The retransmission
-    // waits out the replay penalty — doubled for every consecutive
-    // error, so a link in a noisy patch throttles itself — and then
-    // consumes link bandwidth a second time.
-    const Cycle penalty =
-        retry_cycles_ << std::min(backoff_, kMaxBackoffShift);
-    ++errors_;
-    if (backoff_ < kMaxBackoffShift)
-        ++backoff_;
-    replay_cycles_ += penalty;
-    return server_.acquire(t + penalty, bytes) + hop_cycles_;
+void
+Link::trackBusyIntervals(Cycle merge_gap)
+{
+    busy_merge_gap_ = merge_gap;
+    busy_open_ = false;
+    busy_ivals_.clear();
+}
+
+void
+Link::noteBusy(Cycle start, Cycle end)
+{
+    if (busy_open_ && start <= busy_end_ + busy_merge_gap_) {
+        // Contiguous (or near-contiguous) with the open span: extend.
+        // The calendar server may hand us spans slightly out of
+        // arrival order, so grow both edges.
+        if (start < busy_start_)
+            busy_start_ = start;
+        if (end > busy_end_)
+            busy_end_ = end;
+        return;
+    }
+    if (busy_open_)
+        busy_ivals_.emplace_back(busy_start_, busy_end_);
+    busy_open_ = true;
+    busy_start_ = start;
+    busy_end_ = end;
+}
+
+std::vector<Link::BusyInterval>
+Link::busyIntervals() const
+{
+    std::vector<BusyInterval> out = busy_ivals_;
+    if (busy_open_)
+        out.emplace_back(busy_start_, busy_end_);
+    return out;
 }
 
 } // namespace mcmgpu

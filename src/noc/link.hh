@@ -17,6 +17,8 @@
 #define MCMGPU_NOC_LINK_HH
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/bw_server.hh"
 #include "common/rng.hh"
@@ -65,7 +67,34 @@ class Link
     /** Total replay-penalty cycles charged to traffic on this link. */
     uint64_t replayCycles() const { return replay_cycles_; }
 
+    /** Record every traversal's queueing delay into @p hist (not
+     *  owned; nullptr detaches). See BandwidthServer. */
+    void setQueueHistogram(stats::Histogram *hist)
+    {
+        server_.setQueueHistogram(hist);
+    }
+
+    /** One [start, end] span (cycles) during which the link carried
+     *  traffic, with gaps below the merge threshold coalesced. */
+    using BusyInterval = std::pair<Cycle, Cycle>;
+
+    /**
+     * Start recording busy intervals: each traversal contributes its
+     * [entry, far-end arrival] span, and consecutive spans separated
+     * by at most @p merge_gap idle cycles merge into one interval —
+     * keeping the record compact enough for trace export instead of
+     * one span per message. @p merge_gap == 0 disables (the default;
+     * traverse() then pays one integer test, no allocation).
+     */
+    void trackBusyIntervals(Cycle merge_gap);
+
+    /** Merged busy spans recorded so far (ordered by start cycle),
+     *  including the still-open trailing span if any. */
+    std::vector<BusyInterval> busyIntervals() const;
+
   private:
+    void noteBusy(Cycle start, Cycle end);
+
     BandwidthServer server_{1.0};
     Cycle hop_cycles_ = 0;
 
@@ -76,6 +105,13 @@ class Link
     uint32_t backoff_ = 0; //!< consecutive errors, exponent of the penalty
     uint64_t errors_ = 0;
     uint64_t replay_cycles_ = 0;
+
+    // Busy-interval tracking (inert while busy_merge_gap_ == 0).
+    Cycle busy_merge_gap_ = 0;
+    bool busy_open_ = false;
+    Cycle busy_start_ = 0;
+    Cycle busy_end_ = 0;
+    std::vector<BusyInterval> busy_ivals_;
 
     /** Backoff exponent cap: penalties stop doubling past this. */
     static constexpr uint32_t kMaxBackoffShift = 6;

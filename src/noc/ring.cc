@@ -166,6 +166,15 @@ RingFabric::dumpOccupancy(std::ostream &os) const
     }
 }
 
+void
+RingFabric::visitLinks(const LinkVisitor &visit)
+{
+    for (uint32_t i = 0; i < nodes_; ++i) {
+        visit("ring.cw" + std::to_string(i), cw_[i]);
+        visit("ring.ccw" + std::to_string(i), ccw_[i]);
+    }
+}
+
 MeshFabric::MeshFabric(uint32_t nodes, double gbps, Cycle hop_cycles,
                        const FaultPlan *plan)
     : nodes_(nodes)
@@ -258,6 +267,23 @@ MeshFabric::dumpOccupancy(std::ostream &os) const
         dumpLinkLine(os, "mesh.link" + std::to_string(i), links_[i]);
 }
 
+void
+MeshFabric::visitLinks(const LinkVisitor &visit)
+{
+    // Name links by their endpoints rather than storage index so
+    // timelines and traces stay readable ("mesh.0->1").
+    for (uint32_t a = 0; a < nodes_; ++a) {
+        for (uint32_t b = 0; b < nodes_; ++b) {
+            int32_t idx = link_of_[static_cast<size_t>(a) * nodes_ + b];
+            if (idx >= 0) {
+                visit("mesh." + std::to_string(a) + "->" +
+                          std::to_string(b),
+                      links_[static_cast<size_t>(idx)]);
+            }
+        }
+    }
+}
+
 PortsFabric::PortsFabric(uint32_t nodes, double gbps, Cycle hop_cycles,
                          const FaultPlan *plan)
 {
@@ -318,6 +344,15 @@ PortsFabric::dumpOccupancy(std::ostream &os) const
     for (size_t i = 0; i < egress_.size(); ++i) {
         dumpLinkLine(os, "ports.egress" + std::to_string(i), egress_[i]);
         dumpLinkLine(os, "ports.ingress" + std::to_string(i), ingress_[i]);
+    }
+}
+
+void
+PortsFabric::visitLinks(const LinkVisitor &visit)
+{
+    for (size_t i = 0; i < egress_.size(); ++i) {
+        visit("ports.egress" + std::to_string(i), egress_[i]);
+        visit("ports.ingress" + std::to_string(i), ingress_[i]);
     }
 }
 

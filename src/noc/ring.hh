@@ -16,8 +16,10 @@
 #ifndef MCMGPU_NOC_RING_HH
 #define MCMGPU_NOC_RING_HH
 
+#include <functional>
 #include <iosfwd>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/config.hh"
@@ -63,6 +65,18 @@ class Fabric
      *  Feeds the watchdog's stall diagnostic. */
     virtual void dumpOccupancy(std::ostream &) const {}
 
+    /** Visitor for one physical link: a stable display name (e.g.
+     *  "ring.cw.2->3") plus the link itself. */
+    using LinkVisitor = std::function<void(const std::string &, Link &)>;
+
+    /**
+     * Call @p visit once per directional link in a deterministic,
+     * topology-defined order. The observability layer uses this to
+     * attach per-link probes and harvest busy intervals without
+     * knowing fabric internals. Default: no links (IdealFabric).
+     */
+    virtual void visitLinks(const LinkVisitor &) {}
+
     /**
      * Factory from a machine description; applies the config's
      * FaultPlan (bandwidth derating, transient-error processes) to
@@ -90,6 +104,7 @@ class RingFabric : public Fabric
     uint64_t injectedBytes() const override { return injected_; }
     uint64_t transientErrors() const override;
     void dumpOccupancy(std::ostream &os) const override;
+    void visitLinks(const LinkVisitor &visit) override;
 
     /** Hop count of the route chosen from src to dst (for tests). */
     uint32_t routeHops(ModuleId src, ModuleId dst) const;
@@ -123,6 +138,7 @@ class MeshFabric : public Fabric
     uint64_t injectedBytes() const override { return injected_; }
     uint64_t transientErrors() const override;
     void dumpOccupancy(std::ostream &os) const override;
+    void visitLinks(const LinkVisitor &visit) override;
 
     uint32_t cols() const { return cols_; }
     uint32_t rows() const { return rows_; }
@@ -153,6 +169,7 @@ class PortsFabric : public Fabric
     uint64_t injectedBytes() const override { return injected_; }
     uint64_t transientErrors() const override;
     void dumpOccupancy(std::ostream &os) const override;
+    void visitLinks(const LinkVisitor &visit) override;
 
   private:
     std::vector<Link> egress_;

@@ -1,0 +1,69 @@
+#include "obs/options.hh"
+
+#include <cstdlib>
+#include <mutex>
+
+namespace mcmgpu {
+namespace obs {
+
+namespace {
+
+std::mutex &
+optMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+Options &
+optSlot()
+{
+    static Options opt;
+    return opt;
+}
+
+/** "1", "true", "yes", "on" (and anything non-empty but "0"/"false"/
+ *  "no"/"off") count as enabled. */
+bool
+truthy(const char *v)
+{
+    std::string s(v);
+    return !(s.empty() || s == "0" || s == "false" || s == "no" ||
+             s == "off");
+}
+
+} // namespace
+
+Options
+options()
+{
+    std::lock_guard<std::mutex> lk(optMutex());
+    return optSlot();
+}
+
+void
+setOptions(const Options &opt)
+{
+    std::lock_guard<std::mutex> lk(optMutex());
+    optSlot() = opt;
+}
+
+void
+initFromEnv()
+{
+    std::lock_guard<std::mutex> lk(optMutex());
+    Options &opt = optSlot();
+    if (const char *v = std::getenv("MCMGPU_SAMPLE_PERIOD"))
+        opt.sample_period = std::strtoull(v, nullptr, 10);
+    if (const char *v = std::getenv("MCMGPU_STATS_JSON"))
+        opt.stats_json = truthy(v);
+    if (const char *v = std::getenv("MCMGPU_TRACE_JSON"))
+        opt.trace_json = truthy(v);
+    if (const char *v = std::getenv("MCMGPU_OBS_DIR")) {
+        if (*v)
+            opt.out_dir = v;
+    }
+}
+
+} // namespace obs
+} // namespace mcmgpu

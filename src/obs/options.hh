@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Process-wide observability switches.
+ *
+ * Everything here defaults to OFF: a simulation with default Options
+ * allocates no recorder, arms no sample hook, and pays at most one
+ * null-pointer test per instrumented site. The experiment harness
+ * populates the options once from CLI flags (--sample-period,
+ * --stats-json, --trace-json, --obs-dir) or the matching MCMGPU_*
+ * environment variables, before any simulation starts; simulations
+ * snapshot them at construction.
+ */
+
+#ifndef MCMGPU_OBS_OPTIONS_HH
+#define MCMGPU_OBS_OPTIONS_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace mcmgpu {
+namespace obs {
+
+/** What to record and where to put it. */
+struct Options
+{
+    /** Timeline sampling window in cycles; 0 disables the sampler. */
+    Cycle sample_period = 0;
+
+    /** Emit <dir>/<config>__<workload>.stats.json per run. */
+    bool stats_json = false;
+
+    /** Emit <dir>/<config>__<workload>.trace.json per run. */
+    bool trace_json = false;
+
+    /** Output directory for every observability artifact. */
+    std::string out_dir = "obs-out";
+
+    /** True when any recorder at all needs to exist. */
+    bool
+    anyEnabled() const
+    {
+        return sample_period != 0 || stats_json || trace_json;
+    }
+};
+
+/** Snapshot of the process-wide options (thread-safe). */
+Options options();
+
+/** Replace the process-wide options (call before starting sweeps). */
+void setOptions(const Options &opt);
+
+/**
+ * Overlay MCMGPU_SAMPLE_PERIOD / MCMGPU_STATS_JSON / MCMGPU_TRACE_JSON
+ * / MCMGPU_OBS_DIR onto the current options. Idempotent; the
+ * experiment harness calls this once at startup so env configuration
+ * works for embedders that never touch CLI flags.
+ */
+void initFromEnv();
+
+} // namespace obs
+} // namespace mcmgpu
+
+#endif // MCMGPU_OBS_OPTIONS_HH

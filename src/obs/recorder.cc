@@ -1,0 +1,243 @@
+#include "obs/recorder.hh"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/log.hh"
+
+namespace mcmgpu {
+namespace obs {
+
+namespace {
+
+/** Histogram sizing: 28 log2 buckets cover 0 .. >64M cycles. */
+constexpr uint32_t kLatencyBuckets = 28;
+
+/** File-name-safe rendering of a config/workload name. */
+std::string
+sanitize(const std::string &s)
+{
+    std::string out = s.empty() ? "unnamed" : s;
+    for (char &c : out) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' || c == '-';
+        if (!ok)
+            c = '_';
+    }
+    return out;
+}
+
+/** Temp-file + rename commit, same discipline as the result cache. */
+bool
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const fs::path parent = fs::path(path).parent_path();
+    if (!parent.empty())
+        fs::create_directories(parent, ec);
+
+    std::ostringstream tmp_name;
+    tmp_name << path << ".tmp." << ::getpid();
+    const std::string tmp_path = tmp_name.str();
+    {
+        std::ofstream out(tmp_path, std::ios::trunc);
+        if (!out)
+            return false;
+        out << content;
+        if (!out.flush()) {
+            out.close();
+            fs::remove(tmp_path, ec);
+            return false;
+        }
+    }
+    fs::rename(tmp_path, path, ec);
+    if (ec) {
+        fs::remove(tmp_path, ec);
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+Recorder::Recorder(const Options &opt, std::string config_name,
+                   std::string workload, uint32_t num_modules)
+    : opt_(opt),
+      config_name_(std::move(config_name)),
+      workload_(std::move(workload)),
+      local_load_(stats::Histogram::makeLog2(
+          "load_latency_local", kLatencyBuckets,
+          "post-L1 load latency, home partition local (cycles)")),
+      remote_load_(stats::Histogram::makeLog2(
+          "load_latency_remote", kLatencyBuckets,
+          "post-L1 load latency, home partition remote (cycles)")),
+      link_queue_(stats::Histogram::makeLog2(
+          "link_queue_delay", kLatencyBuckets,
+          "queueing delay at inter-module links (cycles)")),
+      dram_queue_(stats::Histogram::makeLog2(
+          "dram_queue_delay", kLatencyBuckets,
+          "queueing delay at DRAM channels (cycles)"))
+{
+    if (opt_.sample_period != 0)
+        sampler_ = std::make_unique<Sampler>(opt_.sample_period);
+
+    if (opt_.trace_json) {
+        runtime_pid_ = trace_.addProcess("runtime");
+        kernel_tid_ = trace_.addThread(runtime_pid_, "kernels");
+        modules_.resize(num_modules);
+        for (uint32_t m = 0; m < num_modules; ++m) {
+            modules_[m].pid =
+                trace_.addProcess("gpm" + std::to_string(m));
+            modules_[m].tid =
+                trace_.addThread(modules_[m].pid, "cta-batches");
+        }
+        fabric_pid_ = trace_.addProcess("fabric");
+    } else {
+        modules_.resize(num_modules);
+    }
+}
+
+void
+Recorder::kernelBegin(const std::string &name, Cycle now)
+{
+    if (!opt_.trace_json)
+        return;
+    open_kernel_ = name;
+    kernel_start_ = now;
+    kernel_open_ = true;
+    ++kernel_seq_;
+}
+
+void
+Recorder::kernelEnd(Cycle now)
+{
+    if (!opt_.trace_json || !kernel_open_)
+        return;
+    kernel_open_ = false;
+    trace_.span(runtime_pid_, kernel_tid_,
+                open_kernel_ + " #" + std::to_string(kernel_seq_),
+                kernel_start_, now);
+}
+
+void
+Recorder::ctaLaunched(ModuleId m, Cycle now)
+{
+    if (m >= modules_.size())
+        return;
+    ModuleTrack &t = modules_[m];
+    if (t.resident++ == 0) {
+        t.batch_start = now;
+        ++t.batch_seq;
+    }
+}
+
+void
+Recorder::ctaFinished(ModuleId m, Cycle now)
+{
+    if (m >= modules_.size())
+        return;
+    ModuleTrack &t = modules_[m];
+    if (t.resident == 0)
+        return; // launches predate this recorder; ignore
+    if (--t.resident == 0 && opt_.trace_json) {
+        trace_.span(t.pid, t.tid,
+                    "batch #" + std::to_string(t.batch_seq),
+                    t.batch_start, now);
+    }
+}
+
+void
+Recorder::linkBusySpans(
+    const std::string &link_name,
+    const std::vector<std::pair<Cycle, Cycle>> &spans)
+{
+    if (!opt_.trace_json || spans.empty())
+        return;
+    uint32_t tid = trace_.addThread(fabric_pid_, link_name);
+    for (const auto &[start, end] : spans)
+        trace_.span(fabric_pid_, tid, "busy", start, end);
+}
+
+void
+Recorder::finalize(Cycle end)
+{
+    if (sampler_)
+        sampler_->finalize(end);
+    kernelEnd(end); // close a kernel truncated by the cycle limit
+    for (size_t m = 0; m < modules_.size(); ++m) {
+        ModuleTrack &t = modules_[m];
+        if (t.resident != 0 && opt_.trace_json) {
+            trace_.span(t.pid, t.tid,
+                        "batch #" + std::to_string(t.batch_seq) +
+                            " (truncated)",
+                        t.batch_start, end);
+            t.resident = 0;
+        }
+    }
+}
+
+void
+Recorder::histogramJson(std::ostream &os, const stats::Histogram &h)
+{
+    os << "{\"name\": " << json::quoted(h.name()) << ", \"desc\": "
+       << json::quoted(h.desc()) << ", \"bucketing\": \""
+       << (h.bucketing() == stats::Histogram::Bucketing::Log2 ? "log2"
+                                                              : "linear")
+       << "\", \"count\": " << h.count() << ", \"sum\": " << h.sum()
+       << ", \"min\": " << h.minValue() << ", \"max\": " << h.maxValue()
+       << ", \"mean\": " << json::number(h.mean()) << ", \"buckets\": [";
+    const auto &b = h.buckets();
+    for (uint32_t i = 0; i < b.size(); ++i) {
+        os << (i ? ", " : "") << "{\"lo\": " << h.bucketLo(i)
+           << ", \"n\": " << b[i] << "}";
+    }
+    os << "]}";
+}
+
+std::vector<const stats::Histogram *>
+Recorder::histograms() const
+{
+    return {&local_load_, &remote_load_, &link_queue_, &dram_queue_};
+}
+
+std::string
+Recorder::outputPath(const std::string &artifact) const
+{
+    return opt_.out_dir + "/" + sanitize(config_name_) + "__" +
+           sanitize(workload_) + "." + artifact + ".json";
+}
+
+bool
+Recorder::writeOutputs(
+    const std::function<void(std::ostream &)> &stats_writer)
+{
+    bool ok = true;
+    if (opt_.stats_json && stats_writer) {
+        std::ostringstream os;
+        stats_writer(os);
+        ok &= writeFileAtomic(outputPath("stats"), os.str());
+    }
+    if (sampler_) {
+        std::ostringstream os;
+        sampler_->dumpJson(os);
+        ok &= writeFileAtomic(outputPath("timeline"), os.str());
+    }
+    if (opt_.trace_json) {
+        std::ostringstream os;
+        trace_.dumpJson(os);
+        ok &= writeFileAtomic(outputPath("trace"), os.str());
+    }
+    if (!ok) {
+        warn("observability: failed writing outputs under '",
+             opt_.out_dir, "'");
+    }
+    return ok;
+}
+
+} // namespace obs
+} // namespace mcmgpu

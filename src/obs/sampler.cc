@@ -1,0 +1,135 @@
+#include "obs/sampler.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/json.hh"
+
+namespace mcmgpu {
+namespace obs {
+
+void
+Sampler::addCounter(std::string name, Probe read)
+{
+    Series s;
+    s.name = std::move(name);
+    s.kind = Kind::Counter;
+    s.read = std::move(read);
+    s.last = s.read ? s.read() : 0.0;
+    series_.push_back(std::move(s));
+}
+
+void
+Sampler::addGauge(std::string name, Probe read)
+{
+    Series s;
+    s.name = std::move(name);
+    s.kind = Kind::Gauge;
+    s.read = std::move(read);
+    series_.push_back(std::move(s));
+}
+
+void
+Sampler::addRatio(std::string name, Probe num, Probe den)
+{
+    Series s;
+    s.name = std::move(name);
+    s.kind = Kind::Ratio;
+    s.read = std::move(num);
+    s.read_den = std::move(den);
+    s.last = s.read ? s.read() : 0.0;
+    s.last_den = s.read_den ? s.read_den() : 0.0;
+    series_.push_back(std::move(s));
+}
+
+void
+Sampler::takePoint(Series &s)
+{
+    switch (s.kind) {
+      case Kind::Counter: {
+        double v = s.read();
+        s.points.push_back(v - s.last);
+        s.last = v;
+        break;
+      }
+      case Kind::Gauge:
+        s.points.push_back(s.read());
+        break;
+      case Kind::Ratio: {
+        double num = s.read();
+        double den = s.read_den();
+        double dn = num - s.last;
+        double dd = den - s.last_den;
+        s.points.push_back(
+            dd > 0.0 ? dn / dd
+                     : std::numeric_limits<double>::quiet_NaN());
+        s.last = num;
+        s.last_den = den;
+        break;
+      }
+    }
+}
+
+void
+Sampler::sample(Cycle boundary)
+{
+    window_ends_.push_back(boundary);
+    for (Series &s : series_)
+        takePoint(s);
+}
+
+void
+Sampler::finalize(Cycle end)
+{
+    if (period_ == 0 || series_.empty())
+        return;
+    if (!window_ends_.empty() && end <= window_ends_.back())
+        return;
+    if (window_ends_.empty() && end == 0)
+        return;
+    sample(end);
+}
+
+const std::vector<double> *
+Sampler::seriesPoints(const std::string &name) const
+{
+    for (const Series &s : series_) {
+        if (s.name == name)
+            return &s.points;
+    }
+    return nullptr;
+}
+
+void
+Sampler::dumpJson(std::ostream &os) const
+{
+    os << "{\n"
+       << "  \"schema\": \"mcmgpu-timeline/1\",\n"
+       << "  \"sample_period\": " << period_ << ",\n"
+       << "  \"window_end_cycles\": [";
+    for (size_t i = 0; i < window_ends_.size(); ++i)
+        os << (i ? ", " : "") << window_ends_[i];
+    os << "],\n"
+       << "  \"series\": [";
+    for (size_t i = 0; i < series_.size(); ++i) {
+        const Series &s = series_[i];
+        const char *kind = s.kind == Kind::Counter ? "counter"
+                           : s.kind == Kind::Gauge ? "gauge"
+                                                   : "ratio";
+        os << (i ? ",\n    " : "\n    ") << "{\"name\": "
+           << json::quoted(s.name) << ", \"kind\": \"" << kind
+           << "\", \"points\": [";
+        for (size_t p = 0; p < s.points.size(); ++p) {
+            os << (p ? ", " : "");
+            if (std::isnan(s.points[p]))
+                os << "null";
+            else
+                os << json::number(s.points[p]);
+        }
+        os << "]}";
+    }
+    os << (series_.empty() ? "]\n" : "\n  ]\n") << "}\n";
+}
+
+} // namespace obs
+} // namespace mcmgpu

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Windowed time-series sampler.
+ *
+ * Components register probes (closures reading a counter or computing
+ * a gauge); the event queue's passive sample hook calls sample() at
+ * every window boundary and the sampler appends one point per series.
+ * Probes only READ simulation state — the sampler never schedules
+ * events and never mutates the machine, so an armed sampler cannot
+ * change a single simulated cycle.
+ *
+ * Three series kinds:
+ *  - counter: per-window delta of a monotonic counter (divide by the
+ *             window length for a rate, e.g. link bytes/cycle);
+ *  - gauge:   instantaneous value at the boundary (resident warps);
+ *  - ratio:   delta(numerator) / delta(denominator) over the window
+ *             (cache hit rates); windows with no denominator traffic
+ *             emit null rather than a fake 0 or 1.
+ *
+ * Serialized as schema "mcmgpu-timeline/1".
+ */
+
+#ifndef MCMGPU_OBS_SAMPLER_HH
+#define MCMGPU_OBS_SAMPLER_HH
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mcmgpu {
+namespace obs {
+
+/** Collects per-window points for any number of named series. */
+class Sampler
+{
+  public:
+    using Probe = std::function<double()>;
+
+    explicit Sampler(Cycle period) : period_(period) {}
+
+    /** Per-window delta of the monotonic counter read by @p read. */
+    void addCounter(std::string name, Probe read);
+
+    /** Instantaneous value of @p read at each boundary. */
+    void addGauge(std::string name, Probe read);
+
+    /** delta(@p num) / delta(@p den) per window; null when the window
+     *  saw no denominator traffic. */
+    void addRatio(std::string name, Probe num, Probe den);
+
+    /**
+     * Take one sample at window boundary @p boundary (called by the
+     * event queue's sample hook; boundaries arrive in increasing
+     * order).
+     */
+    void sample(Cycle boundary);
+
+    /**
+     * Close the trailing partial window at end-of-run time @p end:
+     * cycle limits and drained queues rarely land exactly on a
+     * boundary, and the tail (often where the interesting saturation
+     * lives) must not be silently dropped. No-op if @p end is not past
+     * the last recorded boundary.
+     */
+    void finalize(Cycle end);
+
+    Cycle period() const { return period_; }
+    size_t numWindows() const { return window_ends_.size(); }
+    const std::vector<Cycle> &windowEnds() const { return window_ends_; }
+
+    /** Points of the series registered under @p name (tests). */
+    const std::vector<double> *seriesPoints(const std::string &name) const;
+
+    /** Emit the "mcmgpu-timeline/1" document. */
+    void dumpJson(std::ostream &os) const;
+
+  private:
+    enum class Kind { Counter, Gauge, Ratio };
+
+    struct Series
+    {
+        std::string name;
+        Kind kind;
+        Probe read;      //!< counter/gauge value, or ratio numerator
+        Probe read_den;  //!< ratio denominator (Ratio only)
+        double last = 0.0;
+        double last_den = 0.0;
+        /** One point per window; NaN encodes "no data" (JSON null). */
+        std::vector<double> points;
+    };
+
+    void takePoint(Series &s);
+
+    Cycle period_;
+    std::vector<Cycle> window_ends_;
+    std::vector<Series> series_;
+};
+
+} // namespace obs
+} // namespace mcmgpu
+
+#endif // MCMGPU_OBS_SAMPLER_HH

@@ -1,0 +1,66 @@
+#include "obs/trace.hh"
+
+#include "common/json.hh"
+#include "common/log.hh"
+
+namespace mcmgpu {
+namespace obs {
+
+uint32_t
+TraceEmitter::addProcess(std::string name)
+{
+    procs_.push_back(Process{std::move(name), 1});
+    return static_cast<uint32_t>(procs_.size()); // pids start at 1
+}
+
+uint32_t
+TraceEmitter::addThread(uint32_t pid, std::string name)
+{
+    panic_if(pid == 0 || pid > procs_.size(),
+             "trace thread added to unknown process ", pid);
+    uint32_t tid = procs_[pid - 1].next_tid++;
+    threads_.push_back(Thread{pid, tid, std::move(name)});
+    return tid;
+}
+
+void
+TraceEmitter::span(uint32_t pid, uint32_t tid, std::string name,
+                   Cycle start, Cycle end)
+{
+    Cycle dur = end > start ? end - start : 1;
+    spans_.push_back(Span{pid, tid, std::move(name), start, dur});
+}
+
+void
+TraceEmitter::dumpJson(std::ostream &os) const
+{
+    os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+    bool first = true;
+    auto sep = [&]() -> std::ostream & {
+        os << (first ? "\n    " : ",\n    ");
+        first = false;
+        return os;
+    };
+    // Metadata first: viewers use these to label processes and tracks.
+    for (size_t i = 0; i < procs_.size(); ++i) {
+        sep() << "{\"ph\": \"M\", \"pid\": " << (i + 1)
+              << ", \"name\": \"process_name\", \"args\": {\"name\": "
+              << json::quoted(procs_[i].name) << "}}";
+    }
+    for (const Thread &t : threads_) {
+        sep() << "{\"ph\": \"M\", \"pid\": " << t.pid << ", \"tid\": "
+              << t.tid << ", \"name\": \"thread_name\", \"args\": "
+              << "{\"name\": " << json::quoted(t.name) << "}}";
+    }
+    // Spans: one microsecond per simulated cycle.
+    for (const Span &s : spans_) {
+        sep() << "{\"ph\": \"X\", \"pid\": " << s.pid << ", \"tid\": "
+              << s.tid << ", \"name\": " << json::quoted(s.name)
+              << ", \"cat\": \"sim\", \"ts\": " << s.start
+              << ", \"dur\": " << s.dur << "}";
+    }
+    os << (first ? "]\n" : "\n  ]\n") << "}\n";
+}
+
+} // namespace obs
+} // namespace mcmgpu

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Chrome trace-event emitter (the JSON format chrome://tracing and
+ * Perfetto load directly).
+ *
+ * The model: processes group tracks, threads are tracks, spans are
+ * "X" (complete) events with a start timestamp and duration. One
+ * simulated cycle maps to one microsecond of trace time — the trace
+ * timeline reads directly in cycles.
+ *
+ * Everything is buffered and written once at end of run; emission
+ * order is insertion order, so documents are deterministic.
+ */
+
+#ifndef MCMGPU_OBS_TRACE_HH
+#define MCMGPU_OBS_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mcmgpu {
+namespace obs {
+
+/** Buffers spans and metadata; dumps trace.json. */
+class TraceEmitter
+{
+  public:
+    /** Register a process-level group ("runtime", "gpm0", "fabric").
+     *  @return its pid for span() calls. */
+    uint32_t addProcess(std::string name);
+
+    /** Register a track inside process @p pid.
+     *  @return its tid for span() calls. */
+    uint32_t addThread(uint32_t pid, std::string name);
+
+    /** Record one complete span [@p start, @p end] on a track.
+     *  Zero-length spans are widened to one cycle so they stay
+     *  visible (and valid) in viewers. */
+    void span(uint32_t pid, uint32_t tid, std::string name, Cycle start,
+              Cycle end);
+
+    size_t numSpans() const { return spans_.size(); }
+
+    /** Emit the {"traceEvents": [...]} document. */
+    void dumpJson(std::ostream &os) const;
+
+  private:
+    struct Process
+    {
+        std::string name;
+        uint32_t next_tid = 1;
+    };
+
+    struct Thread
+    {
+        uint32_t pid;
+        uint32_t tid;
+        std::string name;
+    };
+
+    struct Span
+    {
+        uint32_t pid;
+        uint32_t tid;
+        std::string name;
+        Cycle start;
+        Cycle dur;
+    };
+
+    std::vector<Process> procs_; //!< pid = index + 1
+    std::vector<Thread> threads_;
+    std::vector<Span> spans_;
+};
+
+} // namespace obs
+} // namespace mcmgpu
+
+#endif // MCMGPU_OBS_TRACE_HH

@@ -13,6 +13,7 @@
 #include "exec/job_graph.hh"
 #include "exec/progress.hh"
 #include "exec/result_cache.hh"
+#include "obs/options.hh"
 
 namespace mcmgpu {
 namespace experiment {
@@ -48,6 +49,13 @@ struct HarnessState
                                 : 1;
         const char *runs_env = std::getenv("MCMGPU_RUNS_JSON");
         runs_json = runs_env ? runs_env : "";
+        // Observability defaults come from MCMGPU_SAMPLE_PERIOD /
+        // MCMGPU_STATS_JSON / MCMGPU_TRACE_JSON / MCMGPU_OBS_DIR; CLI
+        // flags parsed later override them.
+        obs::initFromEnv();
+        // Funnel warn()/inform() through the single progress writer so
+        // pool-worker diagnostics never interleave mid-line on stderr.
+        exec::Progress::instance().installLogSink();
     }
 };
 
@@ -151,7 +159,21 @@ cliFlagHelp()
            "                             sweep (or set MCMGPU_RUNS_JSON)\n"
            "  --cache-dir <dir>          result cache location ('' "
            "disables;\n"
-           "                             or set MCMGPU_CACHE_DIR)\n";
+           "                             or set MCMGPU_CACHE_DIR)\n"
+           "  --sample-period <cycles>   sample windowed timelines every "
+           "N\n"
+           "                             cycles into <obs-dir>/"
+           "*.timeline.json\n"
+           "                             (or set MCMGPU_SAMPLE_PERIOD)\n"
+           "  --stats-json               dump per-run stats.json (or "
+           "set\n"
+           "                             MCMGPU_STATS_JSON=1)\n"
+           "  --trace-json               emit per-run Chrome trace.json "
+           "(or\n"
+           "                             set MCMGPU_TRACE_JSON=1)\n"
+           "  --obs-dir <dir>            observability output directory\n"
+           "                             (default obs-out; or set "
+           "MCMGPU_OBS_DIR)\n";
 }
 
 bool
@@ -170,6 +192,22 @@ parseCliFlag(int argc, char **argv, int &i)
         setRunsJsonPath(value());
     } else if (!std::strcmp(arg, "--cache-dir")) {
         setCacheDir(value());
+    } else if (!std::strcmp(arg, "--sample-period")) {
+        obs::Options o = obs::options();
+        o.sample_period = std::strtoull(value(), nullptr, 10);
+        obs::setOptions(o);
+    } else if (!std::strcmp(arg, "--stats-json")) {
+        obs::Options o = obs::options();
+        o.stats_json = true;
+        obs::setOptions(o);
+    } else if (!std::strcmp(arg, "--trace-json")) {
+        obs::Options o = obs::options();
+        o.trace_json = true;
+        obs::setOptions(o);
+    } else if (!std::strcmp(arg, "--obs-dir")) {
+        obs::Options o = obs::options();
+        o.out_dir = value();
+        obs::setOptions(o);
     } else {
         return false;
     }

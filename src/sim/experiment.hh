@@ -69,7 +69,8 @@ void setRunsJsonPath(std::string path);
 
 /**
  * Consume one shared experiment CLI flag at @p argv[i] (--quiet,
- * --jobs N, --runs-json PATH, --cache-dir DIR), advancing @p i past
+ * --jobs N, --runs-json PATH, --cache-dir DIR, --sample-period N,
+ * --stats-json, --trace-json, --obs-dir DIR), advancing @p i past
  * any value. Every bench binary routes unrecognized args through
  * this. @return true if the flag was consumed.
  */

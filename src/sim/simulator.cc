@@ -1,7 +1,11 @@
 #include "sim/simulator.hh"
 
+#include <memory>
+
 #include "gpu/gpu_system.hh"
 #include "gpu/runtime.hh"
+#include "obs/options.hh"
+#include "obs/recorder.hh"
 
 namespace mcmgpu {
 
@@ -10,6 +14,18 @@ Simulator::run(const GpuConfig &cfg, const workloads::Workload &workload)
 {
     GpuSystem gpu(cfg);
     Runtime rt(gpu);
+
+    // Observability is opt-in and purely passive: with everything off
+    // (the default) no recorder exists and the hot paths only test a
+    // null pointer. With it on, probes read state between events, so
+    // cycle counts match the unobserved run bit for bit.
+    const obs::Options obs_opt = obs::options();
+    std::unique_ptr<obs::Recorder> rec;
+    if (obs_opt.anyEnabled()) {
+        rec = std::make_unique<obs::Recorder>(
+            obs_opt, cfg.name, workload.abbr, cfg.num_modules);
+        gpu.attachRecorder(*rec);
+    }
 
     RunResult r;
     try {
@@ -39,6 +55,13 @@ Simulator::run(const GpuConfig &cfg, const workloads::Workload &workload)
         cfg.board_level_links ? Domain::Board : Domain::Package;
     r.energy_link_j = gpu.energy().joulesIn(link_domain);
     r.link_domain_bytes = gpu.energy().bytesIn(link_domain);
+
+    if (rec) {
+        gpu.finishObservability();
+        rec->writeOutputs([&gpu, &workload](std::ostream &os) {
+            gpu.statsJson(os, workload.abbr);
+        });
+    }
     return r;
 }
 
