@@ -1,0 +1,151 @@
+/**
+ * @file
+ * google-benchmark suite for the event-engine hot path introduced with
+ * the calendar queue: callback boxing (SmallFn vs std::function),
+ * schedule/drain throughput in the near-future common case, far-future
+ * window crossings, hit-under-fill cache probes, and the
+ * kernel-boundary flush. Companion to `tools/bench_baseline`, which
+ * measures the same machinery end to end; this suite isolates the
+ * primitives so a regression points at the component, not the system.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <memory>
+
+#include "common/event_queue.hh"
+#include "common/rng.hh"
+#include "common/smallfn.hh"
+#include "common/units.hh"
+#include "mem/cache.hh"
+
+using namespace mcmgpu;
+
+namespace {
+
+struct Sink
+{
+    uint64_t calls = 0;
+    void bump(uint64_t d) { calls += d; }
+};
+
+void
+BM_SmallFnConstructInvoke(benchmark::State &state)
+{
+    // The shape every warp continuation has: an owner pointer plus a
+    // shared_ptr (24 bytes) — beyond std::function's inline budget,
+    // comfortably inside SmallFn's.
+    Sink sink;
+    auto token = std::make_shared<uint64_t>(3);
+    for (auto _ : state) {
+        SmallFn fn([&sink, token] { sink.bump(*token); });
+        fn();
+        benchmark::DoNotOptimize(sink.calls);
+    }
+}
+BENCHMARK(BM_SmallFnConstructInvoke);
+
+void
+BM_StdFunctionConstructInvoke(benchmark::State &state)
+{
+    // Reference point: the pre-calendar engine boxed every callback in
+    // std::function, heap-allocating this very capture.
+    Sink sink;
+    auto token = std::make_shared<uint64_t>(3);
+    for (auto _ : state) {
+        std::function<void()> fn([&sink, token] { sink.bump(*token); });
+        fn();
+        benchmark::DoNotOptimize(sink.calls);
+    }
+}
+BENCHMARK(BM_StdFunctionConstructInvoke);
+
+void
+BM_EventQueueNearFuture(benchmark::State &state)
+{
+    // Steady-state drain: every executed event schedules its successor
+    // a few cycles out, the exact traffic of cache hits and link hops.
+    EventQueue eq;
+    uint64_t fired = 0;
+    for (auto _ : state) {
+        eq.schedule(eq.now() + 7, [&] { ++fired; });
+        eq.step();
+    }
+    benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventQueueNearFuture);
+
+void
+BM_EventQueueFanOut(benchmark::State &state)
+{
+    // Burst of same-cycle events (a CTA wave becoming ready at once):
+    // stresses bucket FIFO append plus tie-break ordering.
+    const int kFan = static_cast<int>(state.range(0));
+    EventQueue eq;
+    uint64_t fired = 0;
+    for (auto _ : state) {
+        const Cycle t = eq.now() + 3;
+        for (int i = 0; i < kFan; ++i)
+            eq.schedule(t, [&] { ++fired; });
+        while (eq.step()) {
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * kFan);
+    benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventQueueFanOut)->Arg(32)->Arg(256);
+
+void
+BM_EventQueueFarFuture(benchmark::State &state)
+{
+    // DRAM-latency-scale deferrals that cross the calendar window:
+    // exercises the far heap and the migrate-on-advance path.
+    EventQueue eq;
+    uint64_t fired = 0;
+    for (auto _ : state) {
+        eq.schedule(eq.now() + 6000, [&] { ++fired; });
+        eq.step();
+    }
+    benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventQueueFarFuture);
+
+void
+BM_CacheHitUnderFill(benchmark::State &state)
+{
+    // Probe lines whose fills are still in flight: the path that used
+    // to pay a hash lookup per access now reads the way's ready field.
+    CacheGeometry geo{4 * MiB, 128, 16, 30};
+    Cache cache(geo, "bm.hotpath.cache", true);
+    for (Addr a = 0; a < 1 * MiB; a += 128)
+        cache.fill(a, false, 1'000'000'000);
+    Rng rng(11);
+    Cycle t = 1;
+    for (auto _ : state) {
+        const Addr a = (rng.next() % (1 * MiB)) & ~127ull;
+        benchmark::DoNotOptimize(cache.lookup(a, false, t));
+        ++t;
+    }
+}
+BENCHMARK(BM_CacheHitUnderFill);
+
+void
+BM_CacheInvalidateAll(benchmark::State &state)
+{
+    // The software-coherence flush at every kernel boundary: epoch bump,
+    // not a tag sweep.
+    CacheGeometry geo{4 * MiB, 128, 16, 30};
+    Cache cache(geo, "bm.hotpath.flush", true);
+    for (Addr a = 0; a < 4 * MiB; a += 128)
+        cache.fill(a, true, 0);
+    for (auto _ : state) {
+        cache.invalidateAll();
+        cache.fill(0, false, 0);
+    }
+}
+BENCHMARK(BM_CacheInvalidateAll);
+
+} // namespace
+
+BENCHMARK_MAIN();

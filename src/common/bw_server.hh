@@ -51,8 +51,19 @@ class BandwidthServer
             return now;
 
         uint64_t abs_bucket = now / bucket_;
-        if (abs_bucket < base_)
-            abs_bucket = base_; // older than retained history: clamp
+        if (abs_bucket < base_) {
+            // Arrival older than the retained history: the reservation
+            // must be clamped to the oldest live bucket, which steals
+            // capacity from (and can delay) traffic legitimately queued
+            // there. Too-small kHistoryBuckets now fails loudly instead
+            // of silently warping completion times.
+            ++clamped_arrivals_;
+            warn_once("bandwidth server: arrival at cycle ", now,
+                      " predates retained history (oldest bucket ", base_,
+                      ", bucket size ", bucket_, " cycles); clamping — "
+                      "completion times may shift, enlarge kHistoryBuckets");
+            abs_bucket = base_;
+        }
 
         size_t idx = findAvail(static_cast<size_t>(abs_bucket - base_));
         double need = static_cast<double>(bytes);
@@ -82,7 +93,6 @@ class BandwidthServer
             done = min_done;
 
         bytes_served_ += bytes;
-        busy_time_ += static_cast<double>(bytes) / rate_;
         if (abs_bucket > newest_seen_)
             newest_seen_ = abs_bucket;
         maybeCompact();
@@ -97,8 +107,24 @@ class BandwidthServer
 
     double rateBytesPerCycle() const { return rate_; }
     uint64_t bytesServed() const { return bytes_served_; }
-    double busyCycles() const { return busy_time_; }
+
+    /**
+     * Total service time consumed, in cycles. Derived from the exact
+     * integer byte count in one division — never accumulated in
+     * floating point — so the utilization figure cannot drift however
+     * many requests a multi-billion-cycle run serves.
+     */
+    double
+    busyCycles() const
+    {
+        return static_cast<double>(bytes_served_) / rate_;
+    }
+
     Cycle bucketCycles() const { return bucket_; }
+
+    /** Arrivals clamped because they predate the retained history
+     *  window (each one may have shifted completion times). */
+    uint64_t clampedArrivals() const { return clamped_arrivals_; }
 
     /**
      * Record every request's queueing delay (completion minus unloaded
@@ -117,7 +143,7 @@ class BandwidthServer
         base_ = 0;
         newest_seen_ = 0;
         bytes_served_ = 0;
-        busy_time_ = 0.0;
+        clamped_arrivals_ = 0;
     }
 
   private:
@@ -195,7 +221,7 @@ class BandwidthServer
     std::vector<double> avail_; //!< remaining bytes per bucket
     std::vector<uint32_t> jump_; //!< skip pointers over drained buckets
     uint64_t bytes_served_ = 0;
-    double busy_time_ = 0.0;
+    uint64_t clamped_arrivals_ = 0;
     stats::Histogram *queue_hist_ = nullptr; //!< optional, not owned
 };
 

@@ -1,31 +1,168 @@
 #include "common/event_queue.hh"
 
+#include <algorithm>
+#include <bit>
+#include <new>
 #include <sstream>
 
 #include "common/log.hh"
 
 namespace mcmgpu {
 
+EventQueue::~EventQueue()
+{
+    destroyAllNodes();
+}
+
+void
+EventQueue::growSlab()
+{
+    auto chunk = std::make_unique<std::byte[]>(kSlabNodes * sizeof(Node));
+    std::byte *base = chunk.get();
+    // Thread every slot onto the freelist; slots store the next-free
+    // pointer in their first bytes while unused.
+    for (size_t i = 0; i < kSlabNodes; ++i) {
+        std::byte *slot = base + i * sizeof(Node);
+        *reinterpret_cast<std::byte **>(slot) = free_;
+        free_ = slot;
+    }
+    slabs_.push_back(std::move(chunk));
+}
+
+EventQueue::Node *
+EventQueue::allocNode()
+{
+    if (free_ == nullptr)
+        growSlab();
+    std::byte *slot = free_;
+    free_ = *reinterpret_cast<std::byte **>(slot);
+    return reinterpret_cast<Node *>(slot);
+}
+
+void
+EventQueue::freeNode(Node *n)
+{
+    n->~Node();
+    std::byte *slot = reinterpret_cast<std::byte *>(n);
+    *reinterpret_cast<std::byte **>(slot) = free_;
+    free_ = slot;
+}
+
+void
+EventQueue::bucketAppend(Node *n)
+{
+    const size_t pos = static_cast<size_t>(n->when - base_);
+    Bucket &b = buckets_[pos];
+    n->next = nullptr;
+    if (b.tail)
+        b.tail->next = n;
+    else
+        b.head = n;
+    b.tail = n;
+    occ_[pos >> 6] |= uint64_t(1) << (pos & 63);
+    ++in_window_;
+}
+
 void
 EventQueue::schedule(Cycle when, EventFn fn)
 {
     panic_if(when < now_, "scheduling event in the past: when=", when,
              " now=", now_);
-    heap_.push(Event{when, next_seq_++, std::move(fn)});
+    if (buckets_.empty())
+        buckets_.resize(kWindow);
+
+    Node *n = allocNode();
+    ::new (n) Node{when, next_seq_++, nullptr, std::move(fn)};
+    ++size_;
+
+    // base_ tracks executed time (it only advances in execNode), so
+    // when >= now_ >= base_ always holds and the window test is a
+    // single compare.
+    if (when - base_ < kWindow)
+        bucketAppend(n);
+    else {
+        far_.push_back(n);
+        std::push_heap(far_.begin(), far_.end(), FarLater{});
+    }
+}
+
+EventQueue::Node *
+EventQueue::peekNext()
+{
+    if (in_window_ != 0) {
+        // First occupied bucket at or past the drain cursor. Events
+        // execute in time order and schedule() cannot target the past,
+        // so no bucket below scan_pos_ is ever occupied.
+        size_t w = scan_pos_ >> 6;
+        uint64_t word = occ_[w] & (~uint64_t(0) << (scan_pos_ & 63));
+        while (word == 0)
+            word = occ_[++w];
+        const size_t pos = (w << 6) + std::countr_zero(word);
+        scan_pos_ = pos;
+        return buckets_[pos].head;
+    }
+    // Calendar drained: the far heap's top is globally next (every far
+    // event lies beyond every calendar event by construction).
+    return far_.empty() ? nullptr : far_.front();
+}
+
+void
+EventQueue::execNode(Node *n)
+{
+    const Cycle when = n->when;
+    if (in_window_ != 0) {
+        // n is the head of the bucket scan_pos_ points at.
+        Bucket &b = buckets_[scan_pos_];
+        b.head = n->next;
+        if (b.head == nullptr) {
+            b.tail = nullptr;
+            occ_[scan_pos_ >> 6] &= ~(uint64_t(1) << (scan_pos_ & 63));
+        }
+        --in_window_;
+    } else {
+        // n is the far-heap top: advance the window to its cycle and
+        // migrate everything that now fits. Popping migrates in
+        // (when, seq) order, so per-bucket FIFOs stay seq-sorted.
+        std::pop_heap(far_.begin(), far_.end(), FarLater{});
+        far_.pop_back();
+        base_ = when & ~Cycle(kWindow - 1);
+        scan_pos_ = static_cast<size_t>(when - base_);
+        while (!far_.empty() && far_.front()->when - base_ < kWindow) {
+            std::pop_heap(far_.begin(), far_.end(), FarLater{});
+            Node *m = far_.back();
+            far_.pop_back();
+            bucketAppend(m);
+        }
+    }
+    --size_;
+    now_ = when;
+    ++executed_;
+    EventFn fn = std::move(n->fn);
+    freeNode(n);
+    fn();
+}
+
+void
+EventQueue::fireBoundaries(Cycle when)
+{
+    // The event about to execute advances time to `when`; every window
+    // boundary at or before that point is crossed, so snapshot each one
+    // before the event mutates any state.
+    while (next_sample_ <= when) {
+        sample_hook_(next_sample_);
+        next_sample_ += sample_period_;
+    }
 }
 
 bool
 EventQueue::step()
 {
-    if (heap_.empty())
+    Node *n = peekNext();
+    if (n == nullptr)
         return false;
-    // priority_queue::top() is const; move out via const_cast, which is
-    // safe because we pop immediately and never re-heapify the moved node.
-    Event ev = std::move(const_cast<Event &>(heap_.top()));
-    heap_.pop();
-    now_ = ev.when;
-    ++executed_;
-    ev.fn();
+    if (sample_period_ != 0)
+        fireBoundaries(n->when);
+    execNode(n);
     return true;
 }
 
@@ -38,18 +175,11 @@ EventQueue::run(Cycle limit)
     watch_cycle_ = now_;
     watch_executed_ = executed_;
 
-    while (!heap_.empty()) {
-        if (heap_.top().when > limit)
+    while (Node *n = peekNext()) {
+        if (n->when > limit)
             return Outcome::LimitHit;
-        if (sample_period_ != 0) {
-            // The event about to execute advances time to its `when`;
-            // every window boundary at or before that point is crossed,
-            // so snapshot each one before the event mutates any state.
-            while (next_sample_ <= heap_.top().when) {
-                sample_hook_(next_sample_);
-                next_sample_ += sample_period_;
-            }
-        }
+        if (sample_period_ != 0)
+            fireBoundaries(n->when);
         if (watchdog_window_ != 0) {
             if (progress_ != watch_progress_) {
                 watch_progress_ = progress_;
@@ -62,7 +192,7 @@ EventQueue::run(Cycle limit)
                 throwStall(limit);
             }
         }
-        step();
+        execNode(n);
     }
     return Outcome::Drained;
 }
@@ -74,7 +204,7 @@ EventQueue::throwStall(Cycle limit)
     diag << "watchdog: no progress for " << (now_ - watch_cycle_)
          << " cycles / " << (executed_ - watch_executed_) << " events\n"
          << "  now " << now_ << ", limit " << limit << ", queue depth "
-         << heap_.size() << ", events executed " << executed_
+         << size_ << ", events executed " << executed_
          << ", progress marks " << progress_ << '\n';
     if (dump_machine_state_)
         diag << dump_machine_state_();
@@ -83,7 +213,7 @@ EventQueue::throwStall(Cycle limit)
     throw SimStall(
         log_detail::concat("SimStall: no progress over a ",
                            watchdog_window_, "-cycle watchdog window "
-                           "(queue depth ", heap_.size(), " at cycle ",
+                           "(queue depth ", size_, " at cycle ",
                            now_, ")"),
         std::move(d));
 }
@@ -108,9 +238,39 @@ EventQueue::setSampleHook(Cycle period, std::function<void(Cycle)> hook)
 }
 
 void
+EventQueue::destroyAllNodes()
+{
+    if (in_window_ != 0) {
+        for (size_t w = 0; w < kOccWords; ++w) {
+            uint64_t word = occ_[w];
+            while (word != 0) {
+                const size_t pos =
+                    (w << 6) + static_cast<size_t>(std::countr_zero(word));
+                word &= word - 1;
+                Node *n = buckets_[pos].head;
+                while (n != nullptr) {
+                    Node *next = n->next;
+                    freeNode(n);
+                    n = next;
+                }
+                buckets_[pos] = Bucket{};
+            }
+            occ_[w] = 0;
+        }
+        in_window_ = 0;
+    }
+    for (Node *n : far_)
+        freeNode(n);
+    far_.clear();
+    size_ = 0;
+}
+
+void
 EventQueue::reset()
 {
-    heap_ = {};
+    destroyAllNodes();
+    base_ = 0;
+    scan_pos_ = 0;
     now_ = 0;
     next_seq_ = 0;
     executed_ = 0;

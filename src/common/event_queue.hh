@@ -2,10 +2,25 @@
  * @file
  * Discrete-event engine driving the performance model.
  *
- * Events are (cycle, sequence, callback) tuples in a binary heap; ties on
- * cycle break by insertion order so execution is deterministic. Components
- * schedule continuations (e.g. "warp 17 becomes ready at cycle t") and the
+ * Events are (cycle, sequence, callback) tuples; ties on cycle break by
+ * insertion order so execution is deterministic. Components schedule
+ * continuations (e.g. "warp 17 becomes ready at cycle t") and the
  * simulator drains the queue until empty or until a cycle limit.
+ *
+ * The store is built for the drain loop's actual traffic. Almost every
+ * event lands within a few thousand cycles of now (cache hits, link
+ * hops, DRAM round trips), so events live in a calendar: a
+ * power-of-two window of per-cycle buckets, each an intrusive FIFO of
+ * slab-allocated nodes, with a 64-bit occupancy bitmap making
+ * "next non-empty cycle" a couple of word scans. Scheduling is O(1)
+ * (bump a freelist, append to a tail), popping is O(1) amortized, and
+ * the callback itself is a SmallFn stored inside the node — no heap
+ * allocation, no binary-heap sifting, no std::function boxing on the
+ * hot path. The rare event beyond the window waits in a (when, seq)
+ * binary heap of nodes and is migrated into the calendar when the
+ * window advances past it; migration pops in (when, seq) order, so the
+ * execution order is exactly the order the old pure-heap engine
+ * produced, event for event.
  *
  * A no-progress watchdog guards the drain: components mark real work
  * via noteProgress(), and if events keep executing for a whole window
@@ -17,18 +32,20 @@
 #ifndef MCMGPU_COMMON_EVENT_QUEUE_HH
 #define MCMGPU_COMMON_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "common/smallfn.hh"
 #include "common/types.hh"
 
 namespace mcmgpu {
 
 /** Callback type executed when an event fires. */
-using EventFn = std::function<void()>;
+using EventFn = SmallFn;
 
 /**
  * Raised by the event-queue watchdog when events keep firing but the
@@ -64,14 +81,19 @@ class EventQueue
         LimitHit, //!< next event lies beyond the cycle limit
     };
 
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+    ~EventQueue();
+
     /** Schedule @p fn to run at absolute cycle @p when (>= now()). */
     void schedule(Cycle when, EventFn fn);
 
     /** True when no events remain. */
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return size_ == 0; }
 
     /** Number of pending events. */
-    size_t size() const { return heap_.size(); }
+    size_t size() const { return size_; }
 
     /** Current simulated time (time of the last event executed). */
     Cycle now() const { return now_; }
@@ -83,7 +105,11 @@ class EventQueue
      */
     Outcome run(Cycle limit = kCycleMax);
 
-    /** Execute exactly one event if available; returns false when empty. */
+    /**
+     * Execute exactly one event if available; returns false when empty.
+     * Crosses the same sample-hook boundaries run() would, so mixing
+     * step() and run() never skips or double-fires a sample window.
+     */
     bool step();
 
     /** Drop all pending events and rewind time to zero. */
@@ -111,13 +137,13 @@ class EventQueue
 
     // --- Passive sampling hook -----------------------------------------------
     /**
-     * Fire @p hook once per @p period cycles while run() drains the
-     * queue. The hook is purely passive: it is invoked from the run()
-     * loop just before executing the first event at-or-past each
-     * window boundary, with the boundary cycle as argument. It never
-     * schedules events, so arming it cannot perturb event order,
-     * simulated time, or the executed() count. @p period == 0 disarms
-     * (the per-event cost collapses to one integer compare).
+     * Fire @p hook once per @p period cycles while the queue drains.
+     * The hook is purely passive: it is invoked just before executing
+     * the first event at-or-past each window boundary, with the
+     * boundary cycle as argument. It never schedules events, so arming
+     * it cannot perturb event order, simulated time, or the executed()
+     * count. @p period == 0 disarms (the per-event cost collapses to
+     * one integer compare).
      *
      * Boundaries land at period, 2*period, ... — a boundary fires only
      * once simulated time is known to have reached it; trailing
@@ -126,27 +152,76 @@ class EventQueue
     void setSampleHook(Cycle period, std::function<void(Cycle)> hook);
 
   private:
-    [[noreturn]] void throwStall(Cycle limit);
+    /** Calendar window: per-cycle buckets covering [base_, base_+kWindow). */
+    static constexpr size_t kWindowBits = 12;
+    static constexpr size_t kWindow = size_t(1) << kWindowBits;
+    static constexpr size_t kOccWords = kWindow / 64;
+    /** Nodes per slab chunk. */
+    static constexpr size_t kSlabNodes = 256;
 
-    struct Event
+    struct Node
     {
         Cycle when;
         uint64_t seq;
+        Node *next; //!< FIFO link within a calendar bucket
         EventFn fn;
     };
 
-    struct Later
+    struct Bucket
+    {
+        Node *head = nullptr;
+        Node *tail = nullptr;
+    };
+
+    /** Far-heap ordering: min (when, seq) at the top. */
+    struct FarLater
     {
         bool
-        operator()(const Event &a, const Event &b) const
+        operator()(const Node *a, const Node *b) const
         {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+            if (a->when != b->when)
+                return a->when > b->when;
+            return a->seq > b->seq;
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    Node *allocNode();
+    void freeNode(Node *n);
+    void growSlab();
+    void destroyAllNodes();
+
+    /** Append to the calendar bucket for @p n->when (must be in window). */
+    void bucketAppend(Node *n);
+
+    /**
+     * Next event in (when, seq) order, or nullptr. Does not advance the
+     * window; a far-heap node is returned in place and migrated only
+     * when actually executed, so a peek that ends in LimitHit leaves
+     * the calendar able to accept events at any cycle >= now().
+     */
+    Node *peekNext();
+
+    /** Unlink @p n (the current peekNext()), advance time, fire it. */
+    void execNode(Node *n);
+
+    /** Fire every unfired sample boundary at or before @p when. */
+    void fireBoundaries(Cycle when);
+
+    [[noreturn]] void throwStall(Cycle limit);
+
+    // Calendar state.
+    std::vector<Bucket> buckets_;  //!< lazily sized to kWindow
+    uint64_t occ_[kOccWords] = {}; //!< bucket-occupancy bitmap
+    Cycle base_ = 0;               //!< window start, multiple of kWindow
+    size_t scan_pos_ = 0;          //!< window-relative drain cursor
+    size_t in_window_ = 0;         //!< events resident in buckets
+    std::vector<Node *> far_;      //!< binary heap of far-future events
+    size_t size_ = 0;              //!< total pending events
+
+    // Slab allocator: raw chunks threaded into a freelist.
+    std::vector<std::unique_ptr<std::byte[]>> slabs_;
+    std::byte *free_ = nullptr;
+
     Cycle now_ = 0;
     uint64_t next_seq_ = 0;
     uint64_t executed_ = 0;

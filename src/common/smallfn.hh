@@ -1,0 +1,136 @@
+/**
+ * @file
+ * SmallFn: a move-only `void()` callable with inline storage, built for
+ * the event engine's hot path.
+ *
+ * `std::function` heap-allocates any capture larger than two words,
+ * which in practice means every continuation a warp schedules (an
+ * owner pointer plus a shared_ptr already exceeds the SBO budget).
+ * SmallFn widens the inline buffer so every callback the simulator
+ * actually creates is stored in place — scheduling an event never
+ * touches the global allocator — and drops the copyability requirement
+ * the event queue never needed. Callables too large for the buffer
+ * still work; they fall back to a heap box, so the type stays total.
+ *
+ * The dispatch surface is two function pointers held in a static ops
+ * table (invoke + relocate-or-destroy), one indirect call per fire:
+ * cheaper than `std::function`'s manager protocol and friendlier to
+ * slab-allocated event nodes, which relocate the callable at most once
+ * (schedule() into the node) and never copy it.
+ */
+
+#ifndef MCMGPU_COMMON_SMALLFN_HH
+#define MCMGPU_COMMON_SMALLFN_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mcmgpu {
+
+/** Move-only `void()` callable with inline small-buffer storage. */
+class SmallFn
+{
+  public:
+    /** Inline capture budget, bytes. Sized so the codebase's largest
+     *  hot-path capture (an owner pointer + a shared_ptr) and a whole
+     *  `std::function` both fit without spilling. */
+    static constexpr size_t kInlineBytes = 32;
+
+    SmallFn() = default;
+
+    template <typename F>
+        requires(!std::is_same_v<std::decay_t<F>, SmallFn> &&
+                 std::is_invocable_r_v<void, std::decay_t<F> &>)
+    SmallFn(F &&f) // NOLINT: implicit by design, mirrors std::function
+    {
+        using D = std::decay_t<F>;
+        if constexpr (sizeof(D) <= kInlineBytes &&
+                      alignof(D) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(buf_)) D(std::forward<F>(f));
+            ops_ = &inlineOps<D>;
+        } else {
+            *reinterpret_cast<D **>(buf_) = new D(std::forward<F>(f));
+            ops_ = &heapOps<D>;
+        }
+    }
+
+    SmallFn(SmallFn &&other) noexcept : ops_(other.ops_)
+    {
+        if (ops_) {
+            ops_->relocate(buf_, other.buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    SmallFn &
+    operator=(SmallFn &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            ops_ = other.ops_;
+            if (ops_) {
+                ops_->relocate(buf_, other.buf_);
+                other.ops_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    SmallFn(const SmallFn &) = delete;
+    SmallFn &operator=(const SmallFn &) = delete;
+
+    ~SmallFn() { reset(); }
+
+    /** Invoke the stored callable (must be non-empty). */
+    void operator()() { ops_->invoke(buf_); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** Destroy the stored callable, returning to the empty state. */
+    void
+    reset()
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *buf);
+        /** Move-construct dst from src, then destroy src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *buf);
+    };
+
+    template <typename D>
+    static constexpr Ops inlineOps = {
+        [](void *buf) { (*std::launder(reinterpret_cast<D *>(buf)))(); },
+        [](void *dst, void *src) {
+            D *s = std::launder(reinterpret_cast<D *>(src));
+            ::new (dst) D(std::move(*s));
+            s->~D();
+        },
+        [](void *buf) { std::launder(reinterpret_cast<D *>(buf))->~D(); },
+    };
+
+    template <typename D>
+    static constexpr Ops heapOps = {
+        [](void *buf) { (**reinterpret_cast<D **>(buf))(); },
+        [](void *dst, void *src) {
+            *reinterpret_cast<D **>(dst) = *reinterpret_cast<D **>(src);
+        },
+        [](void *buf) { delete *reinterpret_cast<D **>(buf); },
+    };
+
+    const Ops *ops_ = nullptr;
+    alignas(std::max_align_t) std::byte buf_[kInlineBytes];
+};
+
+} // namespace mcmgpu
+
+#endif // MCMGPU_COMMON_SMALLFN_HH

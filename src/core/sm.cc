@@ -1,5 +1,7 @@
 #include "core/sm.hh"
 
+#include <utility>
+
 #include "common/log.hh"
 
 namespace mcmgpu {
@@ -53,12 +55,14 @@ Sm::launchCta(const KernelDesc &kernel, CtaId cta, Cycle now)
         auto run = std::make_shared<WarpRun>();
         run->trace = kernel.make_trace(cta, w);
         run->cta = cta;
-        eq.schedule(now, [this, run] { stepWarp(run); });
+        eq.schedule(now, [this, run = std::move(run)]() mutable {
+            stepWarp(std::move(run));
+        });
     }
 }
 
 void
-Sm::stepWarp(const std::shared_ptr<WarpRun> &warp)
+Sm::stepWarp(std::shared_ptr<WarpRun> warp)
 {
     EventQueue &eq = ctx_.eventQueue();
     const Cycle now = eq.now();
@@ -72,7 +76,9 @@ Sm::stepWarp(const std::shared_ptr<WarpRun> &warp)
             drain = std::max(drain, c);
         if (drain > now) {
             warp->inflight.fill(0);
-            eq.schedule(drain, [this, warp] { stepWarp(warp); });
+            eq.schedule(drain, [this, w = std::move(warp)]() mutable {
+                stepWarp(std::move(w));
+            });
         } else {
             warpRetired(warp->cta);
         }
@@ -135,7 +141,9 @@ Sm::stepWarp(const std::shared_ptr<WarpRun> &warp)
         warp->inflight[slot] = done;
     }
 
-    eq.schedule(ready, [this, warp] { stepWarp(warp); });
+    eq.schedule(ready, [this, w = std::move(warp)]() mutable {
+        stepWarp(std::move(w));
+    });
 }
 
 void

@@ -92,8 +92,11 @@ class Sm
         uint32_t inflight_idx = 0;
     };
 
-    /** Advance one warp by one operation; self-reschedules. */
-    void stepWarp(const std::shared_ptr<WarpRun> &warp);
+    /** Advance one warp by one operation; self-reschedules. Takes the
+     *  run by value: each continuation moves ownership into the next
+     *  scheduled event, so the dominant event type pays no shared_ptr
+     *  refcount traffic after CTA launch. */
+    void stepWarp(std::shared_ptr<WarpRun> warp);
 
     void warpRetired(CtaId cta);
 

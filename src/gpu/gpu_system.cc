@@ -11,6 +11,8 @@ GpuSystem::GpuSystem(const GpuConfig &cfg)
     : cfg_(cfg), page_table_(cfg)
 {
     cfg_.validate();
+    link_domain_ =
+        cfg_.board_level_links ? Domain::Board : Domain::Package;
 
     fabric_ = Fabric::create(cfg_);
 
@@ -127,15 +129,15 @@ GpuSystem::memAccess(ModuleId src, Addr addr, uint32_t bytes, bool is_store,
     const PartitionId part = page_table_.partitionFor(addr, src);
     const ModuleId home = page_table_.moduleOf(part);
     const bool local = home == src;
-    const Domain link_domain =
-        cfg_.board_level_links ? Domain::Board : Domain::Package;
+    const Domain link_domain = link_domain_;
 
     // --- GPM-side L1.5 (section 5.1): filters remote traffic ----------------
     Cache &l15 = *l15_[src];
-    const bool l15_caches_this =
-        l15.enabled() && !is_store &&
-        (cfg_.l15_alloc == L15Alloc::All ||
-         (cfg_.l15_alloc == L15Alloc::RemoteOnly && !local));
+    const bool l15_wants =
+        l15.enabled() && (cfg_.l15_alloc == L15Alloc::All ||
+                          (cfg_.l15_alloc == L15Alloc::RemoteOnly &&
+                           !local));
+    const bool l15_caches_this = l15_wants && !is_store;
 
     Cycle t = now;
 
@@ -161,11 +163,10 @@ GpuSystem::memAccess(ModuleId src, Addr addr, uint32_t bytes, bool is_store,
         // a net loss for low-reuse, latency-bound applications (the
         // paper's DWT/NN regressions, section 5.4).
         t = now + cfg_.l15_miss_penalty;
-    } else if (l15.enabled() && is_store &&
-               (cfg_.l15_alloc == L15Alloc::All ||
-                (cfg_.l15_alloc == L15Alloc::RemoteOnly && !local))) {
-        // Write-through, no write-allocate: keep a present line coherent
-        // but do not wait on it and do not allocate.
+    } else if (l15_wants) {
+        // Store on a caching L1.5: write-through, no write-allocate —
+        // keep a present line coherent but do not wait and do not
+        // allocate.
         l15.lookup(addr, true, now);
     }
 

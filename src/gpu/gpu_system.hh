@@ -151,6 +151,9 @@ class GpuSystem : public SmContext
     PageTable page_table_;
     std::unique_ptr<Fabric> fabric_;
     EnergyModel energy_;
+    /** Energy domain of inter-module traffic; fixed by the config, so
+     *  hoisted out of the per-access path. */
+    Domain link_domain_ = Domain::Package;
 
     std::vector<std::unique_ptr<Sm>> sms_;
     std::vector<std::unique_ptr<Cache>> l15_;  //!< one per module

@@ -1,5 +1,7 @@
 #include "mem/cache.hh"
 
+#include <bit>
+
 #include "common/log.hh"
 
 namespace mcmgpu {
@@ -20,11 +22,15 @@ Cache::Cache(const CacheGeometry &geo, const std::string &name,
              (geo_.line_bytes & (geo_.line_bytes - 1)),
              "cache '", name, "': line size must be a power of two");
     line_mask_ = geo_.line_bytes - 1;
+    line_shift_ = static_cast<uint32_t>(std::countr_zero(geo_.line_bytes));
     if (geo_.size_bytes > 0) {
         num_sets_ = geo_.numSets();
         panic_if(num_sets_ == 0, "cache '", name,
                  "': capacity below one set (", geo_.size_bytes, " B)");
-        ways_.resize(static_cast<size_t>(num_sets_) * geo_.ways);
+        ways_per_set_ = geo_.ways;
+        sets_pow2_ = (num_sets_ & (num_sets_ - 1)) == 0;
+        set_mask_ = num_sets_ - 1;
+        ways_.resize(static_cast<size_t>(num_sets_) * ways_per_set_);
     }
 }
 
@@ -33,28 +39,36 @@ Cache::setIndex(Addr line) const
 {
     // Hash the line index a little so power-of-two strides do not camp on
     // one set; cheap multiplicative scramble keeps this deterministic.
-    uint64_t idx = line / geo_.line_bytes;
+    uint64_t idx = line >> line_shift_;
     idx ^= idx >> 17;
     idx *= 0x9e3779b97f4a7c15ull;
-    return static_cast<uint32_t>((idx >> 32) % num_sets_);
+    const uint64_t h = idx >> 32;
+    return static_cast<uint32_t>(sets_pow2_ ? (h & set_mask_)
+                                            : (h % num_sets_));
 }
 
 void
-Cache::reapPending(Cycle now)
+Cache::reapTracked(Cycle now)
 {
-    // Bound the pending map: drop entries whose fill completed long ago.
+    // Bound the record set: drop records whose fill completed long ago.
     // A countdown keeps the sweep amortized O(1) per lookup even when
-    // the map stays persistently large.
-    if (pending_.size() < 4096 || --reap_countdown_ > 0)
+    // the set stays persistently large.
+    if (tracked_count_ < 4096 || --reap_countdown_ > 0)
         return;
-    for (auto it = pending_.begin(); it != pending_.end();) {
-        if (it->second <= now) {
-            it = pending_.erase(it);
-        } else {
-            ++it;
+    size_t kept = 0;
+    for (size_t idx : tracked_ways_) {
+        Way &w = ways_[idx];
+        if (w.epoch != epoch_ || !w.tracked)
+            continue; // stale list entry: record already retired
+        if (w.ready <= now) {
+            w.tracked = false;
+            --tracked_count_;
+            continue;
         }
+        tracked_ways_[kept++] = idx;
     }
-    reap_countdown_ = static_cast<int64_t>(pending_.size()) + 4096;
+    tracked_ways_.resize(kept);
+    reap_countdown_ = static_cast<int64_t>(tracked_count_) + 4096;
 }
 
 CacheLookup
@@ -67,30 +81,32 @@ Cache::lookup(Addr addr, bool is_store, Cycle now)
 
     const Addr line = lineAddr(addr);
     const uint32_t set = setIndex(line);
-    Way *base = &ways_[static_cast<size_t>(set) * geo_.ways];
+    Way *base = &ways_[static_cast<size_t>(set) * ways_per_set_];
 
-    for (uint32_t w = 0; w < geo_.ways; ++w) {
+    for (uint32_t w = 0; w < ways_per_set_; ++w) {
         Way &way = base[w];
-        if (!way.valid || way.tag != line)
+        if (way.tag != line || !live(way))
             continue;
         way.last_use = ++use_clock_;
         if (is_store && write_back_)
             way.dirty = true;
 
-        auto it = pending_.find(line);
-        if (it != pending_.end()) {
-            if (it->second > now) {
+        if (way.tracked) {
+            if (way.ready > now) {
                 ++hits_pending_;
-                return {CacheOutcome::HitPending, it->second};
+                return {CacheOutcome::HitPending, way.ready};
             }
-            pending_.erase(it);
+            // Fill observed complete: retire the record, so the line
+            // counts as settled for every later probe.
+            way.tracked = false;
+            --tracked_count_;
         }
         ++hits_;
         return {CacheOutcome::Hit, now};
     }
 
     ++misses_;
-    reapPending(now);
+    reapTracked(now);
     return {CacheOutcome::Miss, 0};
 }
 
@@ -103,12 +119,12 @@ Cache::fill(Addr addr, bool is_store, Cycle ready)
 
     const Addr line = lineAddr(addr);
     const uint32_t set = setIndex(line);
-    Way *base = &ways_[static_cast<size_t>(set) * geo_.ways];
+    Way *base = &ways_[static_cast<size_t>(set) * ways_per_set_];
 
     // If the line is already present (e.g. racing fills), just refresh it.
     Way *target = nullptr;
-    for (uint32_t w = 0; w < geo_.ways; ++w) {
-        if (base[w].valid && base[w].tag == line) {
+    for (uint32_t w = 0; w < ways_per_set_; ++w) {
+        if (base[w].tag == line && live(base[w])) {
             target = &base[w];
             break;
         }
@@ -117,23 +133,27 @@ Cache::fill(Addr addr, bool is_store, Cycle ready)
     if (!target) {
         // Choose an invalid way, else the LRU way.
         Way *lru = &base[0];
-        for (uint32_t w = 0; w < geo_.ways; ++w) {
+        for (uint32_t w = 0; w < ways_per_set_; ++w) {
             Way &way = base[w];
-            if (!way.valid) {
+            if (!live(way)) {
                 lru = &way;
                 break;
             }
             if (way.last_use < lru->last_use)
                 lru = &way;
         }
-        if (lru->valid) {
+        if (live(*lru)) {
             victim.valid = true;
             victim.dirty = lru->dirty;
             victim.line_addr = lru->tag;
             if (lru->dirty)
                 ++evictions_dirty_;
-            pending_.erase(lru->tag);
+            if (lru->tracked)
+                --tracked_count_;
         }
+        // Stale-epoch or evicted either way: no record survives.
+        lru->tracked = false;
+        lru->epoch = epoch_;
         target = lru;
     }
 
@@ -141,18 +161,35 @@ Cache::fill(Addr addr, bool is_store, Cycle ready)
     target->valid = true;
     target->dirty = is_store && write_back_;
     target->last_use = ++use_clock_;
-    pending_[line] = ready;
+    if (!target->tracked) {
+        target->tracked = true;
+        ++tracked_count_;
+        tracked_ways_.push_back(
+            static_cast<size_t>(target - ways_.data()));
+    }
+    target->ready = ready;
     return victim;
 }
 
 void
 Cache::invalidateAll()
 {
-    for (auto &way : ways_) {
-        way.valid = false;
-        way.dirty = false;
+    // Epoch bump: every way whose epoch now mismatches is dead. O(1)
+    // instead of sweeping the whole tag array at each kernel boundary.
+    ++epoch_;
+    if (epoch_ == 0) {
+        // Epoch counter wrapped (after ~4e9 flushes): hard-clear so no
+        // ancient way is resurrected by the matching epoch value.
+        for (auto &way : ways_) {
+            way.valid = false;
+            way.dirty = false;
+            way.tracked = false;
+            way.epoch = 0;
+        }
+        epoch_ = 1;
     }
-    pending_.clear();
+    tracked_count_ = 0;
+    tracked_ways_.clear();
     if (enabled())
         ++invalidations_;
 }
@@ -162,7 +199,7 @@ Cache::validLines() const
 {
     uint64_t n = 0;
     for (const auto &way : ways_) {
-        if (way.valid)
+        if (way.valid && way.epoch == epoch_)
             ++n;
     }
     return n;

@@ -8,6 +8,16 @@
  * the access, the caller resolves the downstream path, then fill()
  * installs the line with its arrival time so later accesses that race
  * the fill observe the in-flight latency instead of re-fetching.
+ *
+ * Hot-path layout: everything lookup() and fill() touch lives inside
+ * the Way entry itself. In-flight fills are not a side map keyed by
+ * line address (a hash probe per access, plus insert/erase/rehash
+ * traffic per fill) but a (ready, tracked) pair in the way — the
+ * tracked flag reproduces the old map's membership semantics exactly,
+ * including the amortized reap that retires long-complete records.
+ * Whole-cache invalidation is an epoch bump: a way is live only when
+ * its epoch matches the cache's, so the software-coherence flush at
+ * every kernel boundary is O(1) instead of a sweep over every tag.
  */
 
 #ifndef MCMGPU_MEM_CACHE_HH
@@ -15,7 +25,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.hh"
@@ -117,25 +126,40 @@ class Cache
     struct Way
     {
         Addr tag = 0;
+        uint64_t last_use = 0;
+        Cycle ready = 0;     //!< fill arrival time while tracked
+        uint32_t epoch = 0;  //!< live only when equal to the cache epoch
         bool valid = false;
         bool dirty = false;
-        uint64_t last_use = 0;
+        /** An in-flight-fill record exists for this way (the analogue
+         *  of membership in the old pending map). */
+        bool tracked = false;
     };
 
     Addr lineAddr(Addr addr) const { return addr & ~line_mask_; }
     uint32_t setIndex(Addr line) const;
-    void reapPending(Cycle now);
+    bool live(const Way &w) const
+    { return w.valid && w.epoch == epoch_; }
+    void reapTracked(Cycle now);
 
     CacheGeometry geo_;
     bool write_back_;
     uint32_t num_sets_ = 0;
+    uint32_t ways_per_set_ = 0;
+    uint32_t set_mask_ = 0;      //!< num_sets_ - 1 when a power of two
+    bool sets_pow2_ = false;
+    uint32_t line_shift_ = 0;
     Addr line_mask_ = 0;
     uint64_t use_clock_ = 0;
+    uint32_t epoch_ = 1;         //!< bumped by invalidateAll()
     std::vector<Way> ways_; // num_sets * geo.ways, set-major
 
-    /** Lines installed but still in flight: line addr -> arrival cycle. */
-    std::unordered_map<Addr, Cycle> pending_;
+    /** Ways with a live fill record; drives the amortized reap. */
+    uint64_t tracked_count_ = 0;
     int64_t reap_countdown_ = 4096;
+    /** Way indices that may carry a record (lazily compacted by the
+     *  reap so a sweep visits candidates, not every tag). */
+    std::vector<size_t> tracked_ways_;
 
     stats::Group stats_;
     stats::Scalar &hits_;

@@ -1,5 +1,7 @@
 #include "mem/dram.hh"
 
+#include <bit>
+
 #include "common/log.hh"
 #include "common/units.hh"
 
@@ -19,6 +21,12 @@ DramPartition::DramPartition(PartitionId id, uint32_t num_channels,
 {
     fatal_if(num_channels == 0, "DRAM partition needs >= 1 channel");
     fatal_if(total_gbps <= 0.0, "DRAM partition needs positive bandwidth");
+    fatal_if(interleave_bytes == 0,
+             "DRAM partition needs a positive interleave granule");
+    ilv_pow2_ = (interleave_bytes & (interleave_bytes - 1)) == 0;
+    ilv_shift_ = static_cast<uint32_t>(std::countr_zero(interleave_bytes));
+    chans_pow2_ = (num_channels & (num_channels - 1)) == 0;
+    chan_mask_ = num_channels - 1;
     double per_channel = gbPerSecToBytesPerCycle(total_gbps) / num_channels;
     channels_.reserve(num_channels);
     for (uint32_t i = 0; i < num_channels; ++i)
@@ -28,11 +36,12 @@ DramPartition::DramPartition(PartitionId id, uint32_t num_channels,
 BandwidthServer &
 DramPartition::channelFor(Addr addr)
 {
-    uint64_t blk = addr / interleave_bytes_;
+    uint64_t blk = ilv_pow2_ ? addr >> ilv_shift_ : addr / interleave_bytes_;
     // Scramble so power-of-two page strides spread over channels.
     blk ^= blk >> 13;
     blk *= 0x9e3779b97f4a7c15ull;
-    return channels_[(blk >> 32) % channels_.size()];
+    const uint64_t h = blk >> 32;
+    return channels_[chans_pow2_ ? (h & chan_mask_) : (h % channels_.size())];
 }
 
 Cycle

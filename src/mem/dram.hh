@@ -74,6 +74,14 @@ class DramPartition
     double total_gbps_;
     Cycle latency_;
     uint32_t interleave_bytes_;
+    /** Fast-path strength reduction for channelFor(): shift instead of
+     *  divide and mask instead of modulo when the interleave granule /
+     *  channel count are powers of two (they are in every shipped
+     *  config; the general path stays as fallback). */
+    uint32_t ilv_shift_ = 0;
+    bool ilv_pow2_ = false;
+    uint32_t chan_mask_ = 0;
+    bool chans_pow2_ = false;
     std::vector<BandwidthServer> channels_;
 
     stats::Group stats_;

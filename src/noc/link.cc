@@ -15,7 +15,7 @@ Link::setTransientErrors(double error_rate, Cycle retry_cycles,
 }
 
 Cycle
-Link::traverse(Cycle now, uint64_t bytes)
+Link::traverseSlow(Cycle now, uint64_t bytes)
 {
     Cycle t = server_.acquire(now, bytes) + hop_cycles_;
     if (error_rate_ > 0.0 && rng_.chance(error_rate_)) {

@@ -55,7 +55,18 @@ class Link
      * Send @p bytes entering the link at @p now.
      * @return arrival time at the far end.
      */
-    Cycle traverse(Cycle now, uint64_t bytes);
+    Cycle
+    traverse(Cycle now, uint64_t bytes)
+    {
+        // Fault-free, untracked links (the overwhelmingly common
+        // config) reduce to one bandwidth reservation plus the hop
+        // latency; the error/replay and busy-interval machinery lives
+        // out of line. backoff_ is provably 0 here: it only rises
+        // inside the error branch and every rearm resets it.
+        if (error_rate_ == 0.0 && busy_merge_gap_ == 0) [[likely]]
+            return server_.acquire(now, bytes) + hop_cycles_;
+        return traverseSlow(now, bytes);
+    }
 
     uint64_t bytesCarried() const { return server_.bytesServed(); }
     double busyCycles() const { return server_.busyCycles(); }
@@ -93,6 +104,7 @@ class Link
     std::vector<BusyInterval> busyIntervals() const;
 
   private:
+    Cycle traverseSlow(Cycle now, uint64_t bytes);
     void noteBusy(Cycle start, Cycle end);
 
     BandwidthServer server_{1.0};

@@ -168,6 +168,90 @@ TEST(BandwidthServer, FractionalRate)
     EXPECT_EQ(s.acquire(0, 8), 16u);
 }
 
+// --- Timing-math regressions --------------------------------------------
+
+TEST(BandwidthServer, ClampedArrivalsAreCounted)
+{
+    // Drive the calendar far enough ahead that old buckets are
+    // compacted away, then arrive before the retained history: the
+    // reservation is clamped to the oldest live bucket, which must be
+    // accounted, not silent.
+    BandwidthServer s(2.0);
+    EXPECT_EQ(s.clampedArrivals(), 0u);
+    // Newest bucket must exceed base_ + 2 * history for compaction to
+    // drop anything: 1024-bucket history x 16-cycle buckets.
+    s.acquire(0, 8);
+    s.acquire(16 * 3000, 8);
+    EXPECT_EQ(s.clampedArrivals(), 0u);
+    s.acquire(0, 8); // predates retained history now
+    EXPECT_EQ(s.clampedArrivals(), 1u);
+    s.acquire(16 * 3000, 8); // in-window arrivals never count
+    EXPECT_EQ(s.clampedArrivals(), 1u);
+    s.reset();
+    EXPECT_EQ(s.clampedArrivals(), 0u);
+}
+
+TEST(BandwidthServer, BusyCyclesExactOverLongRun)
+{
+    // bytes/rate with a repeating binary fraction (7/3), accumulated
+    // millions of times: a running double sum drifts off the true
+    // service time, while the served-byte total must reproduce it to
+    // the last bit however long the run.
+    BandwidthServer s(3.0);
+    const uint64_t n = 2'000'000;
+    Cycle t = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+        s.acquire(t, 7);
+        t += 3; // ~service pace, so history compaction stays engaged
+    }
+    EXPECT_EQ(s.bytesServed(), 7 * n);
+    EXPECT_EQ(s.busyCycles(), static_cast<double>(7 * n) / 3.0);
+}
+
+// --- Bucket-straddling completion math ----------------------------------
+
+TEST(BandwidthServer, LastByteExactlyOnBucketEdge)
+{
+    // rate 2 B/cy, 16-cycle buckets: 32 bytes consume precisely one
+    // bucket, so completions land exactly on successive bucket edges.
+    BandwidthServer s(2.0);
+    EXPECT_EQ(s.acquire(0, 32), 16u);
+    EXPECT_EQ(s.acquire(0, 32), 32u);
+    EXPECT_EQ(s.acquire(0, 32), 48u);
+}
+
+TEST(BandwidthServer, RequestStraddlesBucketBoundary)
+{
+    // 48 bytes = 1.5 buckets: the last byte lands mid-second-bucket,
+    // and the next request picks up exactly where it left off.
+    BandwidthServer s(2.0);
+    EXPECT_EQ(s.acquire(0, 48), 24u);
+    EXPECT_EQ(s.acquire(0, 16), 32u);
+}
+
+TEST(BandwidthServer, ZeroByteRequestIsFreeAndImmediate)
+{
+    BandwidthServer s(2.0);
+    EXPECT_EQ(s.acquire(5, 0), 5u);
+    EXPECT_EQ(s.bytesServed(), 0u);
+    EXPECT_EQ(s.busyCycles(), 0.0);
+    // A zero-byte request must not consume capacity either.
+    EXPECT_EQ(s.acquire(0, 32), 16u);
+}
+
+TEST(BandwidthServer, MinDoneClampsBucketPositionMath)
+{
+    // A late arrival into a mostly-drained bucket: the bucket-position
+    // completion (bucket_start + used/rate) would land before the
+    // arrival's own unloaded service time, so the done < min_done clamp
+    // must take over.
+    BandwidthServer s(2.0);
+    EXPECT_EQ(s.acquire(0, 8), 4u); // bucket 0 now holds 24 bytes
+    // Arrive at cycle 8: last byte is the 16th of bucket 0, position
+    // 16/2 = 8 — before now + ceil(8/2) = 12. Expect the clamp.
+    EXPECT_EQ(s.acquire(8, 8), 12u);
+}
+
 class BandwidthServerSweep
     : public ::testing::TestWithParam<std::tuple<double, uint64_t>>
 {

@@ -163,6 +163,32 @@ TEST(Cache, InvalidateAllDropsEverything)
     EXPECT_EQ(c.statsGroup().get("invalidations"), 1.0);
 }
 
+TEST(Cache, RepeatedFlushReuseKeepsStateCoherent)
+{
+    // The flush is an epoch bump, not a tag sweep: lines filled before
+    // a flush must stay dead however their stale way contents look, and
+    // refills after the flush must behave like a cold cache — including
+    // in-flight fill tracking and dirty-victim accounting.
+    Cache c(smallGeo(), "t.epoch", true);
+    for (int round = 0; round < 4; ++round) {
+        for (Addr a = 0; a < 8 * KiB; a += 128)
+            c.fill(a, true, 5); // dirty, in flight until cycle 5
+        EXPECT_EQ(c.lookup(0, false, 2).outcome, CacheOutcome::HitPending);
+        EXPECT_EQ(c.lookup(0, false, 9).outcome, CacheOutcome::Hit);
+        c.invalidateAll();
+        EXPECT_EQ(c.validLines(), 0u);
+        // Dead lines: miss, and no stale pending record resurfaces.
+        EXPECT_EQ(c.lookup(0, false, 9).outcome, CacheOutcome::Miss);
+        // A post-flush refill of a previously-dirty line evicts nothing.
+        CacheVictim v = c.fill(0, true, 12);
+        EXPECT_FALSE(v.valid);
+        EXPECT_EQ(c.lookup(0, false, 10).outcome,
+                  CacheOutcome::HitPending);
+        c.invalidateAll();
+    }
+    EXPECT_EQ(c.statsGroup().get("invalidations"), 8.0);
+}
+
 TEST(Cache, DisabledCacheAlwaysMisses)
 {
     CacheGeometry g;

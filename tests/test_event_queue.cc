@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 #include "common/event_queue.hh"
@@ -192,6 +193,164 @@ TEST(EventQueue, WatchdogDisabledByDefault)
     eq.schedule(0, spin);
     EXPECT_EQ(eq.run(), EventQueue::Outcome::Drained);
     EXPECT_EQ(hops, 100000);
+}
+
+// --- Sample-hook boundary regressions -----------------------------------
+// The sample hook must behave identically however the queue is driven.
+// Historically step() bypassed the boundary logic entirely, so anything
+// single-stepping the queue (or mixing step() and run()) silently lost
+// sample windows.
+
+TEST(EventQueue, StepCrossesSampleBoundaries)
+{
+    EventQueue eq;
+    std::vector<Cycle> marks;
+    eq.setSampleHook(10, [&](Cycle c) { marks.push_back(c); });
+    int fired = 0;
+    eq.schedule(5, [&] { ++fired; });
+    eq.schedule(25, [&] { ++fired; });
+    EXPECT_TRUE(eq.step()); // event at 5: no boundary crossed yet
+    EXPECT_TRUE(marks.empty());
+    EXPECT_TRUE(eq.step()); // event at 25 crosses boundaries 10 and 20
+    EXPECT_EQ(marks, (std::vector<Cycle>{10, 20}));
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, StepAndRunAgreeOnBoundaries)
+{
+    // Crossing a boundary via step() must consume it: a following run()
+    // may not re-fire 10 or 20, and vice versa.
+    EventQueue eq;
+    std::vector<Cycle> marks;
+    eq.setSampleHook(10, [&](Cycle c) { marks.push_back(c); });
+    eq.schedule(25, [] {});
+    EXPECT_TRUE(eq.step());
+    eq.schedule(31, [] {});
+    EXPECT_EQ(eq.run(), EventQueue::Outcome::Drained);
+    EXPECT_EQ(marks, (std::vector<Cycle>{10, 20, 30}));
+}
+
+TEST(EventQueue, BoundaryExactFirstEventFiresHookOnce)
+{
+    // First event of a window lands exactly on a period multiple: the
+    // boundary fires once, before the event, and is then consumed.
+    EventQueue eq;
+    std::vector<Cycle> marks;
+    std::vector<Cycle> events;
+    eq.setSampleHook(10, [&](Cycle c) { marks.push_back(c); });
+    eq.schedule(10, [&] { events.push_back(eq.now()); });
+    eq.schedule(10, [&] { events.push_back(eq.now()); });
+    eq.schedule(20, [&] { events.push_back(eq.now()); });
+    EXPECT_EQ(eq.run(), EventQueue::Outcome::Drained);
+    EXPECT_EQ(marks, (std::vector<Cycle>{10, 20}));
+    EXPECT_EQ(events, (std::vector<Cycle>{10, 10, 20}));
+}
+
+TEST(EventQueue, ResetRearmsSampleHook)
+{
+    // reset() rewinds time to zero with the hook still armed: the next
+    // run must fire period, 2*period... afresh — exactly once each,
+    // with no leftover boundary from the previous run.
+    EventQueue eq;
+    std::vector<Cycle> marks;
+    eq.setSampleHook(10, [&](Cycle c) { marks.push_back(c); });
+    eq.schedule(35, [] {});
+    eq.run();
+    EXPECT_EQ(marks, (std::vector<Cycle>{10, 20, 30}));
+    eq.reset();
+    marks.clear();
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_EQ(marks, (std::vector<Cycle>{10}));
+}
+
+// --- Calendar/far-heap structural lock-ins ------------------------------
+
+TEST(EventQueue, TieBreakSurvivesWindowMigration)
+{
+    // Same-cycle events must run in insertion order even when the cycle
+    // is far enough ahead to sit in the far heap and be migrated into
+    // the calendar when the window advances.
+    EventQueue eq;
+    std::vector<int> order;
+    const Cycle far = 100000; // well past the calendar window
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(far, [&order, i] { order.push_back(i); });
+    eq.schedule(1, [&order] { order.push_back(-1); });
+    EXPECT_EQ(eq.run(), EventQueue::Outcome::Drained);
+    ASSERT_EQ(order.size(), 17u);
+    EXPECT_EQ(order.front(), -1);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i) + 1], i);
+}
+
+TEST(EventQueue, ScheduleAfterLimitHitBeforeFarEvent)
+{
+    // run(limit) stops with a far-future event still queued; the caller
+    // then schedules work between now and that event. The near event
+    // must execute first — the pending far event must not have dragged
+    // internal state past it.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(1000000, [&] { order.push_back(1); });
+    EXPECT_EQ(eq.run(100), EventQueue::Outcome::LimitHit);
+    eq.schedule(200, [&] { order.push_back(0); });
+    EXPECT_EQ(eq.run(), EventQueue::Outcome::Drained);
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    EXPECT_EQ(eq.now(), 1000000u);
+}
+
+TEST(EventQueue, InterleavedNearAndFarOrdering)
+{
+    // Pseudo-random mix of near/far schedules from inside events: the
+    // execution sequence must be non-decreasing in time and total.
+    EventQueue eq;
+    uint64_t x = 12345;
+    auto rnd = [&x] {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return x;
+    };
+    int fired = 0;
+    Cycle last = 0;
+    std::function<void()> spawn = [&] {
+        ++fired;
+        EXPECT_GE(eq.now(), last);
+        last = eq.now();
+        if (fired < 20000) {
+            // Mostly near, occasionally far beyond the window.
+            const Cycle d = (rnd() % 16 == 0) ? 5000 + rnd() % 20000
+                                              : rnd() % 64;
+            eq.schedule(eq.now() + d, spawn);
+        }
+    };
+    eq.schedule(0, spawn);
+    EXPECT_EQ(eq.run(), EventQueue::Outcome::Drained);
+    EXPECT_EQ(fired, 20000);
+    EXPECT_EQ(eq.executed(), 20000u);
+}
+
+TEST(EventQueue, ResetReclaimsAndRestartsCleanly)
+{
+    // Slab-allocated nodes must survive a reset-with-pending-events and
+    // keep executing correctly afterwards (stress the freelist).
+    EventQueue eq;
+    for (int round = 0; round < 3; ++round) {
+        int fired = 0;
+        for (int i = 0; i < 5000; ++i)
+            eq.schedule(static_cast<Cycle>(i % 97 + (i % 7) * 4096),
+                        [&] { ++fired; });
+        if (round < 2) {
+            eq.reset(); // pending events dropped, never fired
+            EXPECT_EQ(fired, 0);
+            EXPECT_TRUE(eq.empty());
+            EXPECT_EQ(eq.now(), 0u);
+        } else {
+            EXPECT_EQ(eq.run(), EventQueue::Outcome::Drained);
+            EXPECT_EQ(fired, 5000);
+        }
+    }
 }
 
 TEST(EventQueue, ResetClearsWatchdogWatermark)

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for SmallFn, the event engine's inline-storage callback
+ * type. The properties that matter: captures up to the inline budget
+ * never touch the heap-boxed path's pointer indirection semantics
+ * (both paths must behave identically), moves transfer ownership
+ * exactly once, and destruction releases captured resources exactly
+ * once — the event queue relocates callbacks between schedule() and
+ * fire, so double-destroy or leak bugs would corrupt every simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <utility>
+
+#include "common/smallfn.hh"
+
+namespace mcmgpu {
+namespace {
+
+TEST(SmallFn, DefaultIsEmpty)
+{
+    SmallFn fn;
+    EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(SmallFn, InvokesInlineCapture)
+{
+    int hits = 0;
+    SmallFn fn([&hits] { ++hits; });
+    ASSERT_TRUE(static_cast<bool>(fn));
+    fn();
+    fn();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFn, SharedPtrCaptureFitsInline)
+{
+    // The canonical simulator capture: owner pointer + shared_ptr.
+    // It must fit the inline budget (that is SmallFn's reason to exist).
+    auto token = std::make_shared<int>(0);
+    struct Capture
+    {
+        void *owner;
+        std::shared_ptr<int> token;
+    };
+    static_assert(sizeof(Capture) <= SmallFn::kInlineBytes);
+    {
+        SmallFn fn([t = token] { ++*t; });
+        EXPECT_EQ(token.use_count(), 2);
+        fn();
+        EXPECT_EQ(*token, 1);
+    }
+    // Destruction released the capture's reference.
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(SmallFn, OversizeCaptureFallsBackToHeapBox)
+{
+    auto token = std::make_shared<int>(0);
+    std::array<uint64_t, 16> big{};
+    big[15] = 7;
+    static_assert(sizeof(big) > SmallFn::kInlineBytes);
+    {
+        SmallFn fn([t = token, big] { *t += static_cast<int>(big[15]); });
+        fn();
+        fn();
+        EXPECT_EQ(*token, 14);
+        EXPECT_EQ(token.use_count(), 2);
+    }
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(SmallFn, MoveTransfersOwnershipOnce)
+{
+    auto token = std::make_shared<int>(0);
+    SmallFn a([t = token] { ++*t; });
+    EXPECT_EQ(token.use_count(), 2);
+
+    SmallFn b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a)); // NOLINT: testing moved-from
+    ASSERT_TRUE(static_cast<bool>(b));
+    EXPECT_EQ(token.use_count(), 2); // moved, not copied
+    b();
+    EXPECT_EQ(*token, 1);
+
+    SmallFn c;
+    c = std::move(b);
+    EXPECT_FALSE(static_cast<bool>(b)); // NOLINT: testing moved-from
+    c();
+    EXPECT_EQ(*token, 2);
+    c.reset();
+    EXPECT_FALSE(static_cast<bool>(c));
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(SmallFn, MoveAssignReplacesExistingCallable)
+{
+    auto first = std::make_shared<int>(0);
+    auto second = std::make_shared<int>(0);
+    SmallFn fn([t = first] { ++*t; });
+    fn = SmallFn([t = second] { ++*t; });
+    // The original capture was destroyed by the assignment.
+    EXPECT_EQ(first.use_count(), 1);
+    fn();
+    EXPECT_EQ(*first, 0);
+    EXPECT_EQ(*second, 1);
+}
+
+TEST(SmallFn, MoveOnlyCapturesWork)
+{
+    auto owned = std::make_unique<int>(41);
+    int got = 0;
+    SmallFn fn([p = std::move(owned), &got] { got = *p + 1; });
+    SmallFn moved(std::move(fn));
+    moved();
+    EXPECT_EQ(got, 42);
+}
+
+TEST(SmallFn, SelfMoveAssignIsSafe)
+{
+    int hits = 0;
+    SmallFn fn([&hits] { ++hits; });
+    SmallFn *alias = &fn;
+    fn = std::move(*alias);
+    ASSERT_TRUE(static_cast<bool>(fn));
+    fn();
+    EXPECT_EQ(hits, 1);
+}
+
+} // namespace
+} // namespace mcmgpu
