@@ -56,6 +56,10 @@ usage()
         "  --fabric <f>               ring | mesh | ports\n"
         "  --stats                    print summary statistics\n"
         "  --dump-stats               dump every component counter\n"
+        "memory pipeline:\n"
+        "  --mem-model <m>            chain | staged (default chain)\n"
+        "  --remote-mshrs <n>         staged: remote MSHRs per module\n"
+        "                             (0 = unbounded)\n"
         "fault injection:\n"
         "  --sweep-sms <n>            disable first n SMs of every GPM\n"
         "  --link-derate <f>          derate all links to f (0 < f <= 1)\n"
@@ -120,7 +124,8 @@ splitCommas(const std::string &s)
  * @return 0 when every job finished, 2 otherwise.
  */
 int
-runMatrixMode(const std::string &machines, const std::string &workload_set)
+runMatrixMode(const std::string &machines, const std::string &workload_set,
+              MemModel mem_model, uint32_t remote_mshrs)
 {
     std::vector<GpuConfig> cfgs;
     for (const std::string &m : splitCommas(machines)) {
@@ -129,6 +134,7 @@ runMatrixMode(const std::string &machines, const std::string &workload_set)
             std::fprintf(stderr, "unknown machine '%s'\n", m.c_str());
             return 1;
         }
+        c.withMemModel(mem_model, remote_mshrs);
         cfgs.push_back(std::move(c));
     }
     std::vector<const workloads::Workload *> ws;
@@ -244,6 +250,8 @@ main(int argc, char **argv)
     GpuConfig cfg = configs::mcmBasic();
     bool stats = false;
     bool dump = false;
+    MemModel mem_model = MemModel::Chain;
+    uint32_t remote_mshrs = 0;
     std::string matrix_machines;
     std::string matrix_workloads;
     std::string check_obs_dir;
@@ -313,6 +321,20 @@ main(int argc, char **argv)
             cfg.watchdog_cycles = std::stoull(next());
         } else if (arg == "--max-cycles") {
             cfg.cycle_limit = std::stoull(next());
+        } else if (arg == "--mem-model") {
+            std::string m = next();
+            if (m == "chain") {
+                mem_model = MemModel::Chain;
+            } else if (m == "staged") {
+                mem_model = MemModel::Staged;
+            } else {
+                std::fprintf(stderr,
+                             "unknown --mem-model '%s' (chain|staged)\n",
+                             m.c_str());
+                return 1;
+            }
+        } else if (arg == "--remote-mshrs") {
+            remote_mshrs = static_cast<uint32_t>(std::stoul(next()));
         } else if (arg == "--stats") {
             stats = true;
         } else if (arg == "--dump-stats") {
@@ -331,11 +353,17 @@ main(int argc, char **argv)
         }
     }
 
+    // Applied after the flag loop so --mem-model composes with
+    // --machine in either order.
+    cfg.withMemModel(mem_model, remote_mshrs);
+
     if (!check_obs_dir.empty())
         return checkObsMode(check_obs_dir);
 
-    if (!matrix_machines.empty())
-        return runMatrixMode(matrix_machines, matrix_workloads);
+    if (!matrix_machines.empty()) {
+        return runMatrixMode(matrix_machines, matrix_workloads, mem_model,
+                             remote_mshrs);
+    }
 
     const workloads::Workload *w = workloads::findByAbbr(workload);
     if (!w) {

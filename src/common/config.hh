@@ -116,6 +116,23 @@ enum class FabricKind
     Ideal,
 };
 
+/**
+ * How the memory system resolves a post-L1 access.
+ *
+ * Chain computes the whole L1.5 → fabric → L2 → DRAM round trip
+ * synchronously at issue (the historical model; bit-identical timing,
+ * zero extra events). Staged walks the same path as a split
+ * transaction — one calendar event per pipeline stage — which makes
+ * in-flight occupancy observable over simulated time and enables
+ * finite per-module remote MSHRs (`remote_mshrs`) with stall-on-full
+ * back-pressure into the SM scoreboard.
+ */
+enum class MemModel
+{
+    Chain,  //!< synchronous chain-equivalent composition (default)
+    Staged, //!< event-per-stage split transactions
+};
+
 /** Warp issue arbitration within an SM (Table 3: greedy-then-oldest). */
 enum class WarpSchedPolicy
 {
@@ -194,6 +211,16 @@ struct GpuConfig
     double package_pj_per_bit = 0.5;   //!< on-package GRS links
     double board_pj_per_bit = 10.0;    //!< on-board (multi-GPU) links
 
+    // --- Memory pipeline ---------------------------------------------------------
+    /** Split-transaction model selector; Chain reproduces the seed
+     *  timing bit-for-bit. */
+    MemModel mem_model = MemModel::Chain;
+    /** Per-module remote MSHRs under MemModel::Staged: requests homed
+     *  on a remote module wait for a free entry before entering the
+     *  fabric (section 4.1's outstanding-request pressure). 0 means
+     *  unbounded; ignored under MemModel::Chain. */
+    uint32_t remote_mshrs = 0;
+
     // --- Memory management ------------------------------------------------------
     PagePolicy page_policy = PagePolicy::FineInterleave;
     uint64_t page_bytes = 4 * KiB;
@@ -248,6 +275,13 @@ struct GpuConfig
     GpuConfig &withPagePolicy(PagePolicy p) { page_policy = p; return *this; }
     GpuConfig &withFault(FaultPlan plan)
     { fault = std::move(plan); return *this; }
+    GpuConfig &
+    withMemModel(MemModel m, uint32_t mshrs = 0)
+    {
+        mem_model = m;
+        remote_mshrs = mshrs;
+        return *this;
+    }
 };
 
 namespace configs {

@@ -1,12 +1,12 @@
 /**
  * @file
- * SmallFn: a move-only `void()` callable with inline storage, built for
- * the event engine's hot path.
+ * SmallFnT: a move-only `void(Args...)` callable with inline storage,
+ * built for the event engine's hot path.
  *
  * `std::function` heap-allocates any capture larger than two words,
  * which in practice means every continuation a warp schedules (an
  * owner pointer plus a shared_ptr already exceeds the SBO budget).
- * SmallFn widens the inline buffer so every callback the simulator
+ * SmallFnT widens the inline buffer so every callback the simulator
  * actually creates is stored in place — scheduling an event never
  * touches the global allocator — and drops the copyability requirement
  * the event queue never needed. Callables too large for the buffer
@@ -17,6 +17,11 @@
  * cheaper than `std::function`'s manager protocol and friendlier to
  * slab-allocated event nodes, which relocate the callable at most once
  * (schedule() into the node) and never copy it.
+ *
+ * The signature is a template parameter pack: `SmallFn` (= SmallFnT<>)
+ * is the event queue's `void()` continuation, `TxnDoneFn`
+ * (= SmallFnT<const MemTxn &, Cycle>) delivers memory-transaction
+ * completions without forcing the capture to carry the transaction.
  */
 
 #ifndef MCMGPU_COMMON_SMALLFN_HH
@@ -29,21 +34,23 @@
 
 namespace mcmgpu {
 
-/** Move-only `void()` callable with inline small-buffer storage. */
-class SmallFn
+/** Move-only `void(Args...)` callable with inline small-buffer storage. */
+template <typename... Args>
+class SmallFnT
 {
   public:
     /** Inline capture budget, bytes. Sized so the codebase's largest
-     *  hot-path capture (an owner pointer + a shared_ptr) and a whole
-     *  `std::function` both fit without spilling. */
+     *  hot-path capture (an owner pointer + a shared_ptr, or a
+     *  pointer + shared_ptr + slot index) and a whole `std::function`
+     *  both fit without spilling. */
     static constexpr size_t kInlineBytes = 32;
 
-    SmallFn() = default;
+    SmallFnT() = default;
 
     template <typename F>
-        requires(!std::is_same_v<std::decay_t<F>, SmallFn> &&
-                 std::is_invocable_r_v<void, std::decay_t<F> &>)
-    SmallFn(F &&f) // NOLINT: implicit by design, mirrors std::function
+        requires(!std::is_same_v<std::decay_t<F>, SmallFnT> &&
+                 std::is_invocable_r_v<void, std::decay_t<F> &, Args...>)
+    SmallFnT(F &&f) // NOLINT: implicit by design, mirrors std::function
     {
         using D = std::decay_t<F>;
         if constexpr (sizeof(D) <= kInlineBytes &&
@@ -56,7 +63,7 @@ class SmallFn
         }
     }
 
-    SmallFn(SmallFn &&other) noexcept : ops_(other.ops_)
+    SmallFnT(SmallFnT &&other) noexcept : ops_(other.ops_)
     {
         if (ops_) {
             ops_->relocate(buf_, other.buf_);
@@ -64,8 +71,8 @@ class SmallFn
         }
     }
 
-    SmallFn &
-    operator=(SmallFn &&other) noexcept
+    SmallFnT &
+    operator=(SmallFnT &&other) noexcept
     {
         if (this != &other) {
             reset();
@@ -78,13 +85,13 @@ class SmallFn
         return *this;
     }
 
-    SmallFn(const SmallFn &) = delete;
-    SmallFn &operator=(const SmallFn &) = delete;
+    SmallFnT(const SmallFnT &) = delete;
+    SmallFnT &operator=(const SmallFnT &) = delete;
 
-    ~SmallFn() { reset(); }
+    ~SmallFnT() { reset(); }
 
     /** Invoke the stored callable (must be non-empty). */
-    void operator()() { ops_->invoke(buf_); }
+    void operator()(Args... args) { ops_->invoke(buf_, args...); }
 
     explicit operator bool() const { return ops_ != nullptr; }
 
@@ -101,7 +108,7 @@ class SmallFn
   private:
     struct Ops
     {
-        void (*invoke)(void *buf);
+        void (*invoke)(void *buf, Args... args);
         /** Move-construct dst from src, then destroy src. */
         void (*relocate)(void *dst, void *src);
         void (*destroy)(void *buf);
@@ -109,7 +116,9 @@ class SmallFn
 
     template <typename D>
     static constexpr Ops inlineOps = {
-        [](void *buf) { (*std::launder(reinterpret_cast<D *>(buf)))(); },
+        [](void *buf, Args... args) {
+            (*std::launder(reinterpret_cast<D *>(buf)))(args...);
+        },
         [](void *dst, void *src) {
             D *s = std::launder(reinterpret_cast<D *>(src));
             ::new (dst) D(std::move(*s));
@@ -120,7 +129,9 @@ class SmallFn
 
     template <typename D>
     static constexpr Ops heapOps = {
-        [](void *buf) { (**reinterpret_cast<D **>(buf))(); },
+        [](void *buf, Args... args) {
+            (**reinterpret_cast<D **>(buf))(args...);
+        },
         [](void *dst, void *src) {
             *reinterpret_cast<D **>(dst) = *reinterpret_cast<D **>(src);
         },
@@ -130,6 +141,9 @@ class SmallFn
     const Ops *ops_ = nullptr;
     alignas(std::max_align_t) std::byte buf_[kInlineBytes];
 };
+
+/** The event queue's `void()` continuation type. */
+using SmallFn = SmallFnT<>;
 
 } // namespace mcmgpu
 

@@ -68,82 +68,143 @@ Sm::stepWarp(std::shared_ptr<WarpRun> warp)
     const Cycle now = eq.now();
 
     WarpOp op;
-    if (!warp->trace->next(op)) {
-        // Drain the scoreboard before retiring: outstanding loads and
-        // posted stores must land inside the kernel's lifetime.
-        Cycle drain = now;
-        for (Cycle c : warp->inflight)
-            drain = std::max(drain, c);
-        if (drain > now) {
-            warp->inflight.fill(0);
-            eq.schedule(drain, [this, w = std::move(warp)]() mutable {
-                stepWarp(std::move(w));
-            });
-        } else {
-            warpRetired(warp->cta);
+    Cycle issued;
+    if (warp->has_replay) {
+        // Resuming from a park: the instruction already went through
+        // fetch/issue accounting, only its memory access replays. The
+        // cycles between the original issue and the wake-up are the
+        // back-pressure stall.
+        warp->has_replay = false;
+        op = warp->replay_op;
+        issued = std::max(warp->replay_issued, now);
+        if (issued > warp->replay_issued)
+            mem_stall_cycles_ += issued - warp->replay_issued;
+    } else {
+        if (!warp->trace->next(op)) {
+            // Drain the scoreboard before retiring: outstanding loads
+            // and posted stores must land inside the kernel's lifetime.
+            Cycle drain = now;
+            bool pending = false;
+            for (Cycle c : warp->inflight) {
+                if (c == kOpPending)
+                    pending = true;
+                else
+                    drain = std::max(drain, c);
+            }
+            if (pending) {
+                // Staged model: some completion times are not known
+                // yet. Park; memDone() re-runs this drain check.
+                warp->drain_parked = true;
+            } else if (drain > now) {
+                warp->inflight.fill(0);
+                eq.schedule(drain, [this, w = std::move(warp)]() mutable {
+                    stepWarp(std::move(w));
+                });
+            } else {
+                warpRetired(warp->cta);
+            }
+            return;
         }
-        return;
+        ++warp_insts_;
+        // Forward progress for the simulation watchdog: as long as some
+        // warp keeps executing instructions, the machine is not stalled.
+        eq.noteProgress();
+
+        // The warp's compute segment occupies the shared issue pipeline;
+        // a trailing memory instruction takes one extra issue slot.
+        Cycle occupancy =
+            (op.compute_cycles + issue_width_ - 1) / issue_width_ +
+            (op.has_mem ? 1 : 0);
+        if (occupancy == 0)
+            occupancy = 1;
+
+        Cycle start = std::max(now, issue_free_);
+        issued = start + occupancy;
+        issue_free_ = issued;
     }
-    ++warp_insts_;
-    // Forward progress for the simulation watchdog: as long as some warp
-    // keeps executing instructions, the machine is not stalled.
-    eq.noteProgress();
-
-    // The warp's compute segment occupies the shared issue pipeline; a
-    // trailing memory instruction takes one extra issue slot.
-    Cycle occupancy =
-        (op.compute_cycles + issue_width_ - 1) / issue_width_ +
-        (op.has_mem ? 1 : 0);
-    if (occupancy == 0)
-        occupancy = 1;
-
-    Cycle start = std::max(now, issue_free_);
-    Cycle issued = start + occupancy;
-    issue_free_ = issued;
 
     Cycle ready = issued;
     if (op.has_mem) {
+        // Scoreboarded in-order execution: the warp keeps issuing past
+        // outstanding memory ops and stalls only when it would exceed
+        // its scoreboard depth — i.e. it waits for the op issued
+        // max_outstanding_per_warp instructions ago.
+        const uint32_t slot = warp->inflight_idx % max_outstanding_;
+        const Cycle prev = warp->inflight[slot];
+        if (prev == kOpPending) {
+            // That op has not even completed yet (staged model): park
+            // until its completion wakes us, then replay this access.
+            warp->replay_op = op;
+            warp->replay_issued = issued;
+            warp->park_slot = slot;
+            warp->has_replay = true;
+            return;
+        }
         ++mem_ops_;
-        Cycle done = issued;
+        warp->inflight_idx++;
+        ready = std::max(issued, prev);
+        if (ready > issued)
+            mem_stall_cycles_ += ready - issued;
+        warp->inflight[slot] = kOpPending;
+
         if (op.is_store) {
             ++store_ops_;
             // Write-through, no write-allocate: update the L1 copy if
             // present, then post the store downstream; the scoreboard
             // slot tracks its acceptance (finite store-buffer model).
             l1_.lookup(op.addr, true, issued);
-            done = ctx_.memAccess(module_, op.addr, op.bytes, true,
-                                  issued);
+            ctx_.memAccess(module_, op.addr, op.bytes, true, issued,
+                           [this, warp, slot](const MemTxn &txn,
+                                              Cycle done) {
+                               memDone(warp, slot, txn, done);
+                           });
         } else {
             CacheLookup res = l1_.lookup(op.addr, false, issued);
             switch (res.outcome) {
               case CacheOutcome::Hit:
-                done = issued + l1_.hitLatency();
+                warp->inflight[slot] = issued + l1_.hitLatency();
                 break;
               case CacheOutcome::HitPending:
-                done = std::max(res.ready, issued);
+                warp->inflight[slot] = std::max(res.ready, issued);
                 break;
               case CacheOutcome::Miss:
-                done = ctx_.memAccess(module_, op.addr, l1_.lineBytes(),
-                                      false, issued);
-                l1_.fill(op.addr, false, done);
+                ctx_.memAccess(module_, op.addr, l1_.lineBytes(), false,
+                               issued,
+                               [this, warp, slot](const MemTxn &txn,
+                                                  Cycle done) {
+                                   memDone(warp, slot, txn, done);
+                               });
                 break;
             }
         }
-        // Scoreboarded in-order execution: the warp keeps issuing past
-        // outstanding memory ops and stalls only when it would exceed
-        // its scoreboard depth — i.e. it waits for the op issued
-        // max_outstanding_per_warp instructions ago.
-        uint32_t slot = warp->inflight_idx % max_outstanding_;
-        warp->inflight_idx++;
-        ready = std::max(issued, warp->inflight[slot]);
-        if (ready > issued)
-            mem_stall_cycles_ += ready - issued;
-        warp->inflight[slot] = done;
     }
 
     eq.schedule(ready, [this, w = std::move(warp)]() mutable {
         stepWarp(std::move(w));
     });
+}
+
+void
+Sm::memDone(const std::shared_ptr<WarpRun> &warp, uint32_t slot,
+            const MemTxn &txn, Cycle done)
+{
+    // Loads install the returned line; the fill is timed at arrival so
+    // accesses racing it observe the in-flight latency.
+    if (!txn.is_store)
+        l1_.fill(txn.addr, false, done);
+    warp->inflight[slot] = done;
+
+    // Wake a warp parked on this completion (staged model only; under
+    // chain this continuation runs inside memAccess and no park exists).
+    if ((warp->has_replay && warp->park_slot == slot) ||
+        warp->drain_parked) {
+        warp->drain_parked = false;
+        EventQueue &eq = ctx_.eventQueue();
+        const Cycle wake = std::max(done, eq.now());
+        eq.schedule(wake, [this, w = warp]() mutable {
+            stepWarp(std::move(w));
+        });
+    }
 }
 
 void

@@ -8,6 +8,14 @@
  * the others exactly as on real hardware. Each SM has a private L1
  * (write-through, no write-allocate, flushed at kernel boundaries under
  * software coherence).
+ *
+ * Memory completions arrive through a continuation (TxnDoneFn): under
+ * the default chain model the continuation fires inside memAccess()
+ * itself, reproducing the historical synchronous timing event for
+ * event; under the staged model it fires at a later calendar event, and
+ * a warp whose scoreboard slot is still in flight parks until the
+ * completion wakes it — that is how finite remote MSHRs back-pressure
+ * the SM.
  */
 
 #ifndef MCMGPU_CORE_SM_HH
@@ -23,6 +31,7 @@
 #include "common/types.hh"
 #include "gpu/kernel.hh"
 #include "mem/cache.hh"
+#include "mem/txn.hh"
 
 namespace mcmgpu {
 
@@ -39,11 +48,13 @@ class SmContext
 
     /**
      * Resolve an L1 miss (load) or a write-through store issued by a SM
-     * on module @p src at time @p now.
-     * @return loads: cycle the data arrives; stores: acceptance cycle.
+     * on module @p src at time @p now. @p done fires exactly once with
+     * the finished transaction and its completion cycle (loads: data
+     * arrival; stores: home acceptance). Chain-model implementations
+     * invoke it before returning; staged ones at a later event.
      */
-    virtual Cycle memAccess(ModuleId src, Addr addr, uint32_t bytes,
-                            bool is_store, Cycle now) = 0;
+    virtual void memAccess(ModuleId src, Addr addr, uint32_t bytes,
+                           bool is_store, Cycle now, TxnDoneFn done) = 0;
 
     /** A CTA retired on @p sm; the scheduler may refill the slot. */
     virtual void ctaFinished(SmId sm) = 0;
@@ -81,6 +92,10 @@ class Sm
     const stats::Group &statsGroup() const { return stats_; }
 
   private:
+    /** Scoreboard-slot sentinel: the op owning the slot is still in
+     *  flight (only ever observed under the staged memory model). */
+    static constexpr Cycle kOpPending = kCycleMax;
+
     struct WarpRun
     {
         std::unique_ptr<WarpTrace> trace;
@@ -90,6 +105,16 @@ class Sm
          *  only when it would exceed its scoreboard depth. */
         std::array<Cycle, 8> inflight{};
         uint32_t inflight_idx = 0;
+
+        /** Parked-warp state (staged model): the memory op that could
+         *  not issue because its scoreboard slot was still in flight,
+         *  replayed when the completion wakes the warp. */
+        WarpOp replay_op{};
+        Cycle replay_issued = 0;
+        uint32_t park_slot = 0;
+        bool has_replay = false;
+        /** Parked at retirement waiting for outstanding completions. */
+        bool drain_parked = false;
     };
 
     /** Advance one warp by one operation; self-reschedules. Takes the
@@ -97,6 +122,12 @@ class Sm
      *  scheduled event, so the dominant event type pays no shared_ptr
      *  refcount traffic after CTA launch. */
     void stepWarp(std::shared_ptr<WarpRun> warp);
+
+    /** Memory completion: install the L1 line (loads), publish the
+     *  completion cycle into the scoreboard slot, and wake the warp if
+     *  it parked on this slot (issue or drain). */
+    void memDone(const std::shared_ptr<WarpRun> &warp, uint32_t slot,
+                 const MemTxn &txn, Cycle done);
 
     void warpRetired(CtaId cta);
 

@@ -54,6 +54,11 @@ GpuSystem::GpuSystem(const GpuConfig &cfg)
             p, cfg_.channels_per_partition, cfg_.dramGbpsPerPartition(),
             nsToCycles(cfg_.dram_latency_ns), cfg_.interleave_bytes));
     }
+
+    pipeline_ = std::make_unique<MemPipeline>(cfg_, eq_, page_table_,
+                                              *fabric_, energy_,
+                                              link_domain_, l15_, l2_,
+                                              dram_);
 }
 
 void
@@ -74,135 +79,23 @@ GpuSystem::flushKernelCaches()
         c->invalidateAll();
 }
 
-Cycle
-GpuSystem::accessHome(PartitionId p, Addr addr, uint32_t bytes,
-                      bool is_store, Cycle now)
+void
+GpuSystem::memAccess(ModuleId src, Addr addr, uint32_t bytes, bool is_store,
+                     Cycle now, TxnDoneFn done)
 {
-    Cache &l2 = *l2_[p];
-    DramPartition &dram = *dram_[p];
-    const uint32_t line = cfg_.l2.line_bytes;
-
-    // Every L2-slice access moves data on the local die.
-    energy_.account(Domain::Chip, bytes);
-
-    CacheLookup res = l2.lookup(addr, is_store, now);
-    switch (res.outcome) {
-      case CacheOutcome::Hit:
-        return now + l2.hitLatency();
-
-      case CacheOutcome::HitPending:
-        // Merge into the in-flight fill (memory-side MSHR).
-        return std::max(res.ready, now + l2.hitLatency());
-
-      case CacheOutcome::Miss: {
-        Cycle t = now + l2.hitLatency();
-        const bool full_line_store = is_store && bytes >= line;
-        if (!full_line_store) {
-            // Loads and partial stores fetch the line from DRAM.
-            t = dram.read(addr, line, t);
-            energy_.account(Domain::Chip, line);
-        }
-        if (l2.enabled()) {
-            CacheVictim victim = l2.fill(addr, is_store, t);
-            if (victim.valid && victim.dirty) {
-                // Posted writeback of the dirty victim.
-                dram.write(victim.line_addr, line, t);
-                energy_.account(Domain::Chip, line);
-            }
-        } else if (is_store) {
-            // No L2 at all: stores go straight to DRAM.
-            dram.write(addr, bytes, t);
-            energy_.account(Domain::Chip, bytes);
-        }
-        return t;
-      }
-    }
-    panic("unreachable L2 outcome");
+    pipeline_->launch(src, addr, bytes, is_store, now, std::move(done));
 }
 
 Cycle
 GpuSystem::memAccess(ModuleId src, Addr addr, uint32_t bytes, bool is_store,
                      Cycle now)
 {
-    panic_if(src >= cfg_.num_modules, "memAccess from bad module ", src);
-
-    const PartitionId part = page_table_.partitionFor(addr, src);
-    const ModuleId home = page_table_.moduleOf(part);
-    const bool local = home == src;
-    const Domain link_domain = link_domain_;
-
-    // --- GPM-side L1.5 (section 5.1): filters remote traffic ----------------
-    Cache &l15 = *l15_[src];
-    const bool l15_wants =
-        l15.enabled() && (cfg_.l15_alloc == L15Alloc::All ||
-                          (cfg_.l15_alloc == L15Alloc::RemoteOnly &&
-                           !local));
-    const bool l15_caches_this = l15_wants && !is_store;
-
-    Cycle t = now;
-
-    if (l15_caches_this) {
-        CacheLookup res = l15.lookup(addr, false, now);
-        if (res.outcome == CacheOutcome::Hit) {
-            Cycle done = now + l15.hitLatency();
-            // Classified by home partition (the paper's local/remote
-            // split) even though an L1.5 hit never reaches the fabric:
-            // the histogram shows what the L1.5 buys remote traffic.
-            if (rec_)
-                rec_->recordLoad(!local, done - now);
-            return done;
-        }
-        if (res.outcome == CacheOutcome::HitPending) {
-            Cycle done = std::max(res.ready, now + l15.hitLatency());
-            if (rec_)
-                rec_->recordLoad(!local, done - now);
-            return done;
-        }
-        // Miss: the serial tag check delays the request before it can
-        // head for the fabric — the added latency that makes the L1.5
-        // a net loss for low-reuse, latency-bound applications (the
-        // paper's DWT/NN regressions, section 5.4).
-        t = now + cfg_.l15_miss_penalty;
-    } else if (l15_wants) {
-        // Store on a caching L1.5: write-through, no write-allocate —
-        // keep a present line coherent but do not wait and do not
-        // allocate.
-        l15.lookup(addr, true, now);
-    }
-
-    // --- Request traversal ----------------------------------------------------
-    if (!local) {
-        const uint64_t req_bytes =
-            kHeaderBytes + (is_store ? bytes : 0u);
-        FabricTransfer tr = fabric_->send(src, home, req_bytes, t);
-        t = tr.arrival;
-        energy_.account(link_domain, req_bytes);
-    }
-
-    // --- Home memory partition ---------------------------------------------------
-    t = accessHome(part, addr, bytes, is_store, t);
-
-    if (is_store) {
-        // Stores are posted: the warp resumes once the home partition
-        // accepted the data; no response traverses the fabric.
-        return t;
-    }
-
-    // --- Response traversal -----------------------------------------------------
-    if (!local) {
-        const uint64_t resp_bytes = kHeaderBytes + bytes;
-        FabricTransfer tr = fabric_->send(home, src, resp_bytes, t);
-        t = tr.arrival;
-        energy_.account(link_domain, resp_bytes);
-    }
-
-    if (l15_caches_this)
-        l15.fill(addr, false, t);
-
-    if (rec_)
-        rec_->recordLoad(!local, t - now);
-
-    return t;
+    panic_if(pipeline_->staged(),
+             "synchronous memAccess helper requires MemModel::Chain");
+    Cycle done = kCycleMax;
+    pipeline_->launch(src, addr, bytes, is_store, now,
+                      [&done](const MemTxn &, Cycle d) { done = d; });
+    return done;
 }
 
 uint64_t
@@ -281,6 +174,10 @@ GpuSystem::dumpStats(std::ostream &os, bool per_sm) const
         c->statsGroup().dump(os);
     for (const auto &d : dram_)
         d->statsGroup().dump(os);
+    // The txn group only accumulates under the staged model; chain-mode
+    // dumps keep their historical shape.
+    if (pipeline_->staged())
+        pipeline_->statsGroup().dump(os);
 
     os << "energy.chip_joules " << energy_.joulesIn(Domain::Chip) << '\n';
     os << "energy.package_joules " << energy_.joulesIn(Domain::Package)
@@ -331,6 +228,7 @@ void
 GpuSystem::attachRecorder(obs::Recorder &rec)
 {
     rec_ = &rec;
+    pipeline_->setRecorder(&rec);
 
     // Queue-delay histograms at every bandwidth server. Recording is
     // observational: acquire() results are untouched.
@@ -361,6 +259,17 @@ GpuSystem::attachRecorder(obs::Recorder &rec)
     sampler->addCounter("sm.warp_insts", [this] {
         return static_cast<double>(totalWarpInstructions());
     });
+    sampler->addCounter("sm.store_ops", [this] {
+        double sum = 0.0;
+        for (const auto &sm : sms_)
+            sum += sm->statsGroup().get("store_ops");
+        return sum;
+    });
+    if (pipeline_->staged()) {
+        sampler->addGauge("mem.txn_inflight", [this] {
+            return static_cast<double>(pipeline_->inflight());
+        });
+    }
 
     auto cache_hits = [](const Cache &c) {
         return static_cast<double>(c.hitsTotal());
@@ -501,6 +410,8 @@ GpuSystem::statsJson(std::ostream &os, const std::string &workload) const
         emitGroup(c->statsGroup());
     for (const auto &d : dram_)
         emitGroup(d->statsGroup());
+    if (pipeline_->staged())
+        emitGroup(pipeline_->statsGroup());
     os << (first_group ? "},\n" : "\n  },\n");
 
     os << "  \"histograms\": [";

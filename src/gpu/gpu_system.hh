@@ -22,6 +22,7 @@
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "mem/page_table.hh"
+#include "mem/stages.hh"
 #include "noc/energy.hh"
 #include "noc/ring.hh"
 #include "obs/recorder.hh"
@@ -44,9 +45,18 @@ class GpuSystem : public SmContext
 
     // --- SmContext ---------------------------------------------------------
     EventQueue &eventQueue() override { return eq_; }
-    Cycle memAccess(ModuleId src, Addr addr, uint32_t bytes, bool is_store,
-                    Cycle now) override;
+    void memAccess(ModuleId src, Addr addr, uint32_t bytes, bool is_store,
+                   Cycle now, TxnDoneFn done) override;
     void ctaFinished(SmId sm) override;
+
+    /**
+     * Synchronous convenience overload (tests, probes): launches the
+     * transaction and returns its completion cycle. Valid only under
+     * MemModel::Chain, where completion is delivered before launch()
+     * returns; panics under MemModel::Staged.
+     */
+    Cycle memAccess(ModuleId src, Addr addr, uint32_t bytes, bool is_store,
+                    Cycle now);
 
     // --- Topology access -----------------------------------------------------
     const GpuConfig &config() const { return cfg_; }
@@ -72,6 +82,8 @@ class GpuSystem : public SmContext
     PageTable &pageTable() { return page_table_; }
     Fabric &fabric() { return *fabric_; }
     EnergyModel &energy() { return energy_; }
+    MemPipeline &memPipeline() { return *pipeline_; }
+    const MemPipeline &memPipeline() const { return *pipeline_; }
 
     /** Register/unregister the active kernel run. */
     void setCtaSink(CtaSink *sink) { sink_ = sink; }
@@ -137,15 +149,6 @@ class GpuSystem : public SmContext
     void statsJson(std::ostream &os, const std::string &workload) const;
 
   private:
-    struct PathTiming
-    {
-        Cycle done;
-    };
-
-    /** Home-partition service: L2 slice then DRAM. */
-    Cycle accessHome(PartitionId p, Addr addr, uint32_t bytes,
-                     bool is_store, Cycle now);
-
     GpuConfig cfg_;
     EventQueue eq_;
     PageTable page_table_;
@@ -160,15 +163,16 @@ class GpuSystem : public SmContext
     std::vector<std::unique_ptr<Cache>> l2_;   //!< one per partition
     std::vector<std::unique_ptr<DramPartition>> dram_;
 
+    /** The split-transaction memory path; constructed after the caches
+     *  and DRAM partitions it stages requests through. */
+    std::unique_ptr<MemPipeline> pipeline_;
+
     std::vector<bool> sm_enabled_;             //!< floorsweeping mask
     std::vector<uint32_t> enabled_per_module_;
     uint32_t enabled_sms_ = 0;
 
     CtaSink *sink_ = nullptr;
     obs::Recorder *rec_ = nullptr; //!< optional per-run recorder
-
-    /** Request/response packet header size on the fabric, bytes. */
-    static constexpr uint32_t kHeaderBytes = 16;
 };
 
 } // namespace mcmgpu

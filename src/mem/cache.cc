@@ -16,7 +16,11 @@ Cache::Cache(const CacheGeometry &geo, const std::string &name,
       hits_pending_(stats_.add("hits_pending", "hits merged into a fill")),
       evictions_dirty_(stats_.add("evictions_dirty",
                                   "dirty victims written back")),
-      invalidations_(stats_.add("invalidations", "whole-cache flushes"))
+      invalidations_(stats_.add("invalidations", "whole-cache flushes")),
+      write_hits_(stats_.add("write_hits",
+                             "store lookups that found the line")),
+      write_misses_(stats_.add("write_misses",
+                               "store lookups that missed"))
 {
     panic_if(geo_.line_bytes == 0 ||
              (geo_.line_bytes & (geo_.line_bytes - 1)),
@@ -76,6 +80,8 @@ Cache::lookup(Addr addr, bool is_store, Cycle now)
 {
     if (!enabled()) {
         ++misses_;
+        if (is_store)
+            ++write_misses_;
         return {CacheOutcome::Miss, 0};
     }
 
@@ -90,6 +96,8 @@ Cache::lookup(Addr addr, bool is_store, Cycle now)
         way.last_use = ++use_clock_;
         if (is_store && write_back_)
             way.dirty = true;
+        if (is_store)
+            ++write_hits_;
 
         if (way.tracked) {
             if (way.ready > now) {
@@ -106,6 +114,8 @@ Cache::lookup(Addr addr, bool is_store, Cycle now)
     }
 
     ++misses_;
+    if (is_store)
+        ++write_misses_;
     reapTracked(now);
     return {CacheOutcome::Miss, 0};
 }

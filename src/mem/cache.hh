@@ -167,6 +167,11 @@ class Cache
     stats::Scalar &hits_pending_;
     stats::Scalar &evictions_dirty_;
     stats::Scalar &invalidations_;
+    /** Store-lookup outcomes, split out because write-through levels
+     *  (L1, L1.5) probe on stores without allocating — the historical
+     *  inline path dropped this result entirely. */
+    stats::Scalar &write_hits_;
+    stats::Scalar &write_misses_;
 };
 
 } // namespace mcmgpu

@@ -1,0 +1,461 @@
+#include "mem/stages.hh"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/log.hh"
+#include "obs/recorder.hh"
+
+namespace mcmgpu {
+
+// --------------------------------------------------------------- L15Stage
+
+TxnPhase
+L15Stage::service(MemTxn &txn)
+{
+    Cache &l15 = *l15_[txn.src];
+    const bool wants =
+        l15.enabled() && (cfg_.l15_alloc == L15Alloc::All ||
+                          (cfg_.l15_alloc == L15Alloc::RemoteOnly &&
+                           txn.remote));
+
+    if (wants && !txn.is_store) {
+        CacheLookup res = l15.lookup(txn.addr, false, txn.t);
+        if (res.outcome == CacheOutcome::Hit) {
+            txn.t += l15.hitLatency();
+            return TxnPhase::Complete;
+        }
+        if (res.outcome == CacheOutcome::HitPending) {
+            txn.t = std::max(res.ready, txn.t + l15.hitLatency());
+            return TxnPhase::Complete;
+        }
+        // Miss: the serial tag check delays the request before it can
+        // head for the fabric — the added latency that makes the L1.5
+        // a net loss for low-reuse, latency-bound applications (the
+        // paper's DWT/NN regressions, section 5.4).
+        txn.t += cfg_.l15_miss_penalty;
+        txn.l15_fill = true;
+        return TxnPhase::FabReq;
+    }
+    if (wants) {
+        // Store on a caching L1.5: write-through, no write-allocate —
+        // keep a present line coherent but do not wait and do not
+        // allocate.
+        l15.lookup(txn.addr, true, txn.t);
+    }
+    return TxnPhase::FabReq;
+}
+
+// ------------------------------------------------------------ FabricStage
+
+TxnPhase
+FabricStage::service(MemTxn &txn)
+{
+    if (txn.phase == TxnPhase::FabReq) {
+        if (txn.remote) {
+            const uint64_t req_bytes =
+                kHeaderBytes + (txn.is_store ? txn.bytes : 0u);
+            txn.t = fabric_.send(txn.src, txn.home_module, req_bytes,
+                                 txn.t).arrival;
+            energy_.account(link_domain_, req_bytes);
+        }
+        return TxnPhase::L2Lookup;
+    }
+    // FabResp: loads only — stores are posted and complete at the home.
+    if (txn.remote) {
+        const uint64_t resp_bytes = kHeaderBytes + txn.bytes;
+        txn.t = fabric_.send(txn.home_module, txn.src, resp_bytes,
+                             txn.t).arrival;
+        energy_.account(link_domain_, resp_bytes);
+    }
+    return TxnPhase::Complete;
+}
+
+// ------------------------------------------------------------ L2HomeStage
+
+TxnPhase
+L2HomeStage::service(MemTxn &txn)
+{
+    Cache &l2 = *l2_[txn.home];
+    const uint32_t line = l2.lineBytes();
+
+    if (txn.phase == TxnPhase::L2Lookup) {
+        // Every L2-slice access moves data on the local die.
+        energy_.account(Domain::Chip, txn.bytes);
+
+        CacheLookup res = l2.lookup(txn.addr, txn.is_store, txn.t);
+        switch (res.outcome) {
+          case CacheOutcome::Hit:
+            txn.t += l2.hitLatency();
+            return txn.is_store ? TxnPhase::Complete : TxnPhase::FabResp;
+
+          case CacheOutcome::HitPending:
+            // Merge into the in-flight fill (memory-side MSHR).
+            txn.t = std::max(res.ready, txn.t + l2.hitLatency());
+            return txn.is_store ? TxnPhase::Complete : TxnPhase::FabResp;
+
+          case CacheOutcome::Miss:
+            txn.t += l2.hitLatency();
+            // A store covering the whole line overwrites it; nothing to
+            // fetch from DRAM first.
+            if (txn.is_store && txn.bytes >= line)
+                return TxnPhase::L2Fill;
+            return TxnPhase::DramRead;
+        }
+        panic("unreachable L2 outcome");
+    }
+
+    // L2Fill.
+    if (l2.enabled()) {
+        CacheVictim victim = l2.fill(txn.addr, txn.is_store, txn.t);
+        if (victim.valid && victim.dirty) {
+            // Posted writeback of the dirty victim.
+            dram_[txn.home]->write(victim.line_addr, line, txn.t);
+            energy_.account(Domain::Chip, line);
+        }
+    } else if (txn.is_store) {
+        // No L2 at all: stores go straight to DRAM.
+        dram_[txn.home]->write(txn.addr, txn.bytes, txn.t);
+        energy_.account(Domain::Chip, txn.bytes);
+    }
+    return txn.is_store ? TxnPhase::Complete : TxnPhase::FabResp;
+}
+
+// -------------------------------------------------------------- DramStage
+
+TxnPhase
+DramStage::service(MemTxn &txn)
+{
+    // Loads and partial stores fetch the whole line.
+    txn.t = dram_[txn.home]->read(txn.addr, line_bytes_, txn.t);
+    energy_.account(Domain::Chip, line_bytes_);
+    return TxnPhase::L2Fill;
+}
+
+// ------------------------------------------------------------ MemPipeline
+
+MemPipeline::MemPipeline(const GpuConfig &cfg, EventQueue &eq, PageTable &pt,
+                         Fabric &fabric, EnergyModel &energy,
+                         Domain link_domain,
+                         const std::vector<std::unique_ptr<Cache>> &l15,
+                         const std::vector<std::unique_ptr<Cache>> &l2,
+                         const std::vector<std::unique_ptr<DramPartition>>
+                             &dram)
+    : cfg_(cfg),
+      eq_(eq),
+      page_table_(pt),
+      l15_stage_(cfg, l15),
+      fabric_stage_(fabric, energy, link_domain),
+      l2_stage_(l2, dram, energy),
+      dram_stage_(dram, energy, cfg.l2.line_bytes),
+      l15_(l15),
+      staged_(cfg.mem_model == MemModel::Staged),
+      remote_mshrs_(staged_ ? cfg.remote_mshrs : 0),
+      stats_("mem"),
+      txn_launched_(stats_.add("txn_launched",
+                               "memory transactions launched")),
+      txn_completed_(stats_.add("txn_completed",
+                                "memory transactions completed")),
+      txn_l15_hits_(stats_.add("txn_l15_hits",
+                               "transactions satisfied at the L1.5")),
+      txn_inflight_peak_(stats_.add("txn_inflight_peak",
+                                    "peak transactions in flight")),
+      txn_occupancy_cycles_(stats_.add(
+          "txn_occupancy_cycles",
+          "time integral of in-flight transactions (txn-cycles)")),
+      txn_mshr_stalls_(stats_.add("txn_mshr_stalled",
+                                  "transactions that waited for a remote "
+                                  "MSHR")),
+      txn_mshr_stall_cycles_(stats_.add("txn_mshr_stall_cycles",
+                                        "cycles transactions spent waiting "
+                                        "for a remote MSHR")),
+      stage_l15_cycles_(stats_.add("txn_stage_l15_cycles",
+                                   "cycles spent in the L1.5 stage")),
+      stage_fab_req_cycles_(stats_.add("txn_stage_fab_req_cycles",
+                                       "cycles spent in request fabric "
+                                       "traversal")),
+      stage_l2_cycles_(stats_.add("txn_stage_l2_cycles",
+                                  "cycles spent in the home L2 slice")),
+      stage_dram_cycles_(stats_.add("txn_stage_dram_cycles",
+                                    "cycles spent in the home DRAM "
+                                    "partition")),
+      stage_fab_resp_cycles_(stats_.add("txn_stage_fab_resp_cycles",
+                                        "cycles spent in response fabric "
+                                        "traversal"))
+{
+    if (remote_mshrs_ > 0)
+        mshrs_.resize(cfg_.num_modules);
+}
+
+void
+MemPipeline::serviceOne(MemTxn &txn)
+{
+    switch (txn.phase) {
+      case TxnPhase::L15:
+        txn.phase = l15_stage_.service(txn);
+        return;
+      case TxnPhase::FabReq:
+      case TxnPhase::FabResp:
+        txn.phase = fabric_stage_.service(txn);
+        return;
+      case TxnPhase::L2Lookup:
+      case TxnPhase::L2Fill:
+        txn.phase = l2_stage_.service(txn);
+        return;
+      case TxnPhase::DramRead:
+        txn.phase = dram_stage_.service(txn);
+        return;
+      case TxnPhase::Complete:
+        break;
+    }
+    panic("serviceOne on a completed transaction");
+}
+
+void
+MemPipeline::initTxn(MemTxn &txn, ModuleId src, Addr addr, uint32_t bytes,
+                     bool is_store, PartitionId part, ModuleId home,
+                     Cycle now)
+{
+    txn.addr = addr;
+    txn.bytes = bytes;
+    txn.is_store = is_store;
+    txn.remote = home != src;
+    txn.l15_fill = false;
+    txn.holds_mshr = false;
+    txn.in_pipeline = false;
+    txn.src = src;
+    txn.home_module = home;
+    txn.home = part;
+    txn.id = next_id_++;
+    txn.issued = now;
+    txn.stall_start = 0;
+    txn.t = now;
+    txn.phase = TxnPhase::L15;
+}
+
+// Flattening folds the stage bodies back into one straight-line
+// function, which is what the pre-pipeline inline implementation
+// compiled to — without it the per-phase calls cost the chain hot
+// path measurably (icache and branch-target pressure).
+#if defined(__GNUC__)
+__attribute__((flatten))
+#endif
+void
+MemPipeline::launch(ModuleId src, Addr addr, uint32_t bytes, bool is_store,
+                    Cycle now, TxnDoneFn &&done)
+{
+    panic_if(src >= cfg_.num_modules, "memAccess from bad module ", src);
+
+    // Resolved first in both models: under FirstTouch the lookup itself
+    // pins an unmapped page, even when the access then hits the L1.5.
+    const PartitionId part = page_table_.partitionFor(addr, src);
+    const ModuleId home = page_table_.moduleOf(part);
+
+    if (!staged_) {
+        // Chain: walk every phase synchronously on a stack transaction.
+        // The call sequence on caches, bandwidth servers and the energy
+        // model is the historical inline round trip, zero events are
+        // scheduled and the arena is never touched — simulated time and
+        // stats stay bit-identical to it, at its speed.
+        MemTxn txn;
+        initTxn(txn, src, addr, bytes, is_store, part, home, now);
+        while (txn.phase != TxnPhase::Complete)
+            serviceOne(txn);
+        finishCommon(txn);
+        done(txn, txn.t);
+        return;
+    }
+
+    MemTxn &txn = arena_.alloc();
+    initTxn(txn, src, addr, bytes, is_store, part, home, now);
+    txn.done = std::move(done);
+
+    ++txn_launched_;
+    // The L1.5 sits on the SM side of the fabric and is probed at issue
+    // in both models; what gets staged is everything behind it.
+    const Cycle before = txn.t;
+    serviceOne(txn);
+    noteStage(TxnPhase::L15, before, txn);
+    if (txn.phase == TxnPhase::Complete) {
+        ++txn_l15_hits_;
+        completeTxn(txn);
+        return;
+    }
+
+    occTick();
+    ++inflight_;
+    txn.in_pipeline = true;
+    if (static_cast<double>(inflight_) > txn_inflight_peak_.value())
+        txn_inflight_peak_.set(static_cast<double>(inflight_));
+    admit(txn);
+}
+
+void
+MemPipeline::admit(MemTxn &txn)
+{
+    if (remote_mshrs_ > 0 && txn.remote) {
+        MshrState &m = mshrs_[txn.src];
+        if (m.in_use >= remote_mshrs_) {
+            // Stall-on-full: FIFO-wait for an entry. The SM observes the
+            // wait as a delayed completion in its scoreboard slot.
+            txn.stall_start = txn.t;
+            ++txn_mshr_stalls_;
+            txn.next = nullptr;
+            if (m.waitq_tail != nullptr)
+                m.waitq_tail->next = &txn;
+            else
+                m.waitq_head = &txn;
+            m.waitq_tail = &txn;
+            return;
+        }
+        ++m.in_use;
+        txn.holds_mshr = true;
+    }
+    scheduleAdvance(txn);
+}
+
+void
+MemPipeline::scheduleAdvance(MemTxn &txn)
+{
+    MemTxn *tp = &txn; // arena addresses are stable for the whole flight
+    eq_.schedule(txn.t, [this, tp] { stagedAdvance(*tp); });
+}
+
+#if defined(__GNUC__)
+__attribute__((flatten))
+#endif
+void
+MemPipeline::stagedAdvance(MemTxn &txn)
+{
+    for (;;) {
+        if (txn.phase == TxnPhase::Complete) {
+            // Deliver at the transaction's own done time: the last hop
+            // computes an arrival later than the event it ran inside.
+            if (txn.t > eq_.now()) {
+                scheduleAdvance(txn);
+                return;
+            }
+            completeTxn(txn);
+            return;
+        }
+        const Cycle before = txn.t;
+        const TxnPhase ph = txn.phase;
+        serviceOne(txn);
+        noteStage(ph, before, txn);
+        if (txn.t > before) {
+            scheduleAdvance(txn);
+            return;
+        }
+        // Zero-latency transition (e.g. the local-access fabric pass):
+        // keep walking inside the current event.
+    }
+}
+
+void
+MemPipeline::releaseMshr(MemTxn &txn)
+{
+    if (!txn.holds_mshr)
+        return;
+    txn.holds_mshr = false;
+    MshrState &m = mshrs_[txn.src];
+    MemTxn *w = m.waitq_head;
+    if (w == nullptr) {
+        --m.in_use;
+        return;
+    }
+    // Hand the entry straight to the queue head (FIFO).
+    m.waitq_head = w->next;
+    if (m.waitq_head == nullptr)
+        m.waitq_tail = nullptr;
+    w->next = nullptr;
+    w->holds_mshr = true;
+    const Cycle now = eq_.now();
+    if (w->t < now)
+        w->t = now;
+    txn_mshr_stall_cycles_ += static_cast<double>(w->t - w->stall_start);
+    scheduleAdvance(*w);
+}
+
+void
+MemPipeline::finishCommon(MemTxn &txn)
+{
+    if (txn.l15_fill)
+        l15_stage_.fill(txn);
+
+    if (rec_) {
+        if (txn.is_store)
+            rec_->recordStore(txn.remote, txn.t - txn.issued);
+        else
+            rec_->recordLoad(txn.remote, txn.t - txn.issued);
+    }
+}
+
+void
+MemPipeline::completeTxn(MemTxn &txn)
+{
+    ++txn_completed_;
+    if (txn.in_pipeline) {
+        occTick();
+        --inflight_;
+    }
+    releaseMshr(txn);
+    finishCommon(txn);
+
+    // Invoke before release: the continuation may read the transaction
+    // and may nest a new launch — the slot is not on the free list yet,
+    // so neither can observe a recycled transaction.
+    txn.done(txn, txn.t);
+    arena_.release(txn);
+}
+
+void
+MemPipeline::occTick()
+{
+    const Cycle now = eq_.now();
+    if (now > occ_last_) {
+        txn_occupancy_cycles_ += static_cast<double>(inflight_) *
+                                 static_cast<double>(now - occ_last_);
+        occ_last_ = now;
+    }
+}
+
+void
+MemPipeline::noteStage(TxnPhase ph, Cycle before, MemTxn &txn)
+{
+    const Cycle dt = txn.t - before;
+    switch (ph) {
+      case TxnPhase::L15: stage_l15_cycles_ += dt; break;
+      case TxnPhase::FabReq: stage_fab_req_cycles_ += dt; break;
+      case TxnPhase::L2Lookup:
+      case TxnPhase::L2Fill: stage_l2_cycles_ += dt; break;
+      case TxnPhase::DramRead: stage_dram_cycles_ += dt; break;
+      case TxnPhase::FabResp: stage_fab_resp_cycles_ += dt; break;
+      case TxnPhase::Complete: break;
+    }
+    if (dt > 0)
+        traceStage(ph, before, txn);
+}
+
+void
+MemPipeline::traceStage(TxnPhase ph, Cycle start, MemTxn &txn)
+{
+    // One track per stage, capped to the first transactions so tracing
+    // a long run cannot balloon the file.
+    if (rec_ == nullptr || !rec_->traceEnabled() || txn.id >= kMaxTraceTxns)
+        return;
+    if (!trace_ready_) {
+        obs::TraceEmitter &tr = rec_->trace();
+        trace_pid_ = tr.addProcess("mem.txn");
+        for (size_t i = 0;
+             i < static_cast<size_t>(TxnPhase::Complete); ++i) {
+            trace_tids_[i] = tr.addThread(
+                trace_pid_, txnPhaseName(static_cast<TxnPhase>(i)));
+        }
+        trace_ready_ = true;
+    }
+    rec_->trace().span(trace_pid_, trace_tids_[static_cast<size_t>(ph)],
+                       "txn" + std::to_string(txn.id), start, txn.t);
+}
+
+} // namespace mcmgpu

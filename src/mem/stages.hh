@@ -1,0 +1,246 @@
+/**
+ * @file
+ * The split-transaction memory pipeline: composable stages and the
+ * MemPipeline orchestrator that drives MemTxns through them.
+ *
+ * Stage order (loads): L15 → FabReq → L2Lookup → [DramRead] → L2Fill →
+ * FabResp → Complete. Stores stop at the home partition (posted, the
+ * paper's write-through L1.5 / memory-side L2 model): L15 → FabReq →
+ * L2Lookup → [DramRead → L2Fill] → Complete. Local transactions skip
+ * the fabric hops inside FabricStage rather than by a different phase
+ * sequence, so the phase machine is uniform.
+ *
+ * Two drivers share the stages:
+ *  - Chain (default): launch() walks every phase synchronously. The
+ *    call sequence on caches, bandwidth servers and the energy model
+ *    is exactly the historical GpuSystem::memAccess inline chain, and
+ *    no events are scheduled — simulated cycles, event counts and
+ *    stats are bit-identical to it.
+ *  - Staged: each time-advancing phase transition becomes a calendar
+ *    event. Finite per-module remote MSHRs (GpuConfig::remote_mshrs)
+ *    gate entry to the fabric with a FIFO wait queue; the stall is
+ *    back-pressure the SM scoreboard observes as delayed completions.
+ *    A "mem" stats group (txn_* scalars) records launches, in-flight
+ *    occupancy, MSHR stalls and per-stage latency.
+ */
+
+#ifndef MCMGPU_MEM_STAGES_HH
+#define MCMGPU_MEM_STAGES_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/page_table.hh"
+#include "mem/txn.hh"
+#include "noc/energy.hh"
+#include "noc/ring.hh"
+
+namespace mcmgpu {
+
+namespace obs { class Recorder; }
+
+/** GPM-side L1.5 probe (paper section 5.1): filters remote traffic,
+ *  charges the serial tag-check penalty on misses, and keeps present
+ *  lines coherent under write-through stores. */
+class L15Stage : public MemStage
+{
+  public:
+    L15Stage(const GpuConfig &cfg,
+             const std::vector<std::unique_ptr<Cache>> &l15)
+        : cfg_(cfg), l15_(l15) {}
+
+    const char *name() const override { return "l15"; }
+    TxnPhase service(MemTxn &txn) override;
+
+    /** Install the returning line (loads that missed a caching L1.5). */
+    void
+    fill(MemTxn &txn)
+    {
+        l15_[txn.src]->fill(txn.addr, false, txn.t);
+    }
+
+  private:
+    const GpuConfig &cfg_;
+    const std::vector<std::unique_ptr<Cache>> &l15_;
+};
+
+/** Inter-module traversal: request on the way out, response on the way
+ *  back. Local transactions pass through with no cost. */
+class FabricStage : public MemStage
+{
+  public:
+    /** Request/response packet header size on the fabric, bytes. */
+    static constexpr uint32_t kHeaderBytes = 16;
+
+    FabricStage(Fabric &fabric, EnergyModel &energy, Domain link_domain)
+        : fabric_(fabric), energy_(energy), link_domain_(link_domain) {}
+
+    const char *name() const override { return "fabric"; }
+    TxnPhase service(MemTxn &txn) override;
+
+  private:
+    Fabric &fabric_;
+    EnergyModel &energy_;
+    Domain link_domain_;
+};
+
+/** Home L2 slice: probe on L2Lookup, install + dirty-victim writeback
+ *  on L2Fill (memory-side MSHR merging happens inside the Cache). */
+class L2HomeStage : public MemStage
+{
+  public:
+    L2HomeStage(const std::vector<std::unique_ptr<Cache>> &l2,
+                const std::vector<std::unique_ptr<DramPartition>> &dram,
+                EnergyModel &energy)
+        : l2_(l2), dram_(dram), energy_(energy) {}
+
+    const char *name() const override { return "l2_home"; }
+    TxnPhase service(MemTxn &txn) override;
+
+  private:
+    const std::vector<std::unique_ptr<Cache>> &l2_;
+    const std::vector<std::unique_ptr<DramPartition>> &dram_;
+    EnergyModel &energy_;
+};
+
+/** Home DRAM partition: the line fetch an L2 miss pays. Posted writes
+ *  (stores without an L2, dirty victims) are issued by L2HomeStage
+ *  directly — they never delay the transaction. */
+class DramStage : public MemStage
+{
+  public:
+    DramStage(const std::vector<std::unique_ptr<DramPartition>> &dram,
+              EnergyModel &energy, uint32_t line_bytes)
+        : dram_(dram), energy_(energy), line_bytes_(line_bytes) {}
+
+    const char *name() const override { return "dram"; }
+    TxnPhase service(MemTxn &txn) override;
+
+  private:
+    const std::vector<std::unique_ptr<DramPartition>> &dram_;
+    EnergyModel &energy_;
+    uint32_t line_bytes_;
+};
+
+/**
+ * Owns the stages, the transaction arena and (staged mode) the MSHR
+ * state; GpuSystem::memAccess delegates here. One pipeline per
+ * GpuSystem, same single-owner threading contract as everything else.
+ */
+class MemPipeline
+{
+  public:
+    MemPipeline(const GpuConfig &cfg, EventQueue &eq, PageTable &pt,
+                Fabric &fabric, EnergyModel &energy, Domain link_domain,
+                const std::vector<std::unique_ptr<Cache>> &l15,
+                const std::vector<std::unique_ptr<Cache>> &l2,
+                const std::vector<std::unique_ptr<DramPartition>> &dram);
+
+    /**
+     * Start one post-L1 access. Under Chain the transaction completes
+     * (and @p done fires) before launch() returns; under Staged it
+     * completes at a later event unless it hits in the L1.5.
+     */
+    void launch(ModuleId src, Addr addr, uint32_t bytes, bool is_store,
+                Cycle now, TxnDoneFn &&done);
+
+    bool staged() const { return staged_; }
+
+    /** Observability sink for load/store latencies and (when tracing)
+     *  per-stage transaction spans. May be null. */
+    void setRecorder(obs::Recorder *rec) { rec_ = rec; }
+
+    /** Transactions currently between launch and completion (staged). */
+    uint64_t inflight() const { return inflight_; }
+
+    /** The "mem" stats group (txn_* scalars; staged mode only fills
+     *  them, chain mode leaves the group at zero). */
+    const stats::Group &statsGroup() const { return stats_; }
+
+  private:
+    struct MshrState
+    {
+        uint32_t in_use = 0;
+        MemTxn *waitq_head = nullptr;
+        MemTxn *waitq_tail = nullptr;
+    };
+
+    /** Service the transaction's current phase; updates txn.phase. */
+    void serviceOne(MemTxn &txn);
+
+    /** Initialize a transaction's request fields for a fresh launch. */
+    void initTxn(MemTxn &txn, ModuleId src, Addr addr, uint32_t bytes,
+                 bool is_store, PartitionId part, ModuleId home,
+                 Cycle now);
+
+    /** L1.5 fill + latency recording shared by both drivers. */
+    void finishCommon(MemTxn &txn);
+
+    /** Staged driver: service phases at the current event, schedule
+     *  the next event when simulated time must advance. */
+    void stagedAdvance(MemTxn &txn);
+    void scheduleAdvance(MemTxn &txn);
+
+    /** Staged admission: acquire a remote MSHR or join the wait queue. */
+    void admit(MemTxn &txn);
+    void releaseMshr(MemTxn &txn);
+
+    void completeTxn(MemTxn &txn);
+
+    void occTick();
+    void noteStage(TxnPhase ph, Cycle before, MemTxn &txn);
+    void traceStage(TxnPhase ph, Cycle start, MemTxn &txn);
+
+    const GpuConfig &cfg_;
+    EventQueue &eq_;
+    PageTable &page_table_;
+    TxnArena arena_;
+
+    L15Stage l15_stage_;
+    FabricStage fabric_stage_;
+    L2HomeStage l2_stage_;
+    DramStage dram_stage_;
+
+    const std::vector<std::unique_ptr<Cache>> &l15_;
+
+    bool staged_;
+    uint32_t remote_mshrs_;
+    std::vector<MshrState> mshrs_;
+
+    obs::Recorder *rec_ = nullptr;
+
+    uint64_t next_id_ = 0;
+    uint64_t inflight_ = 0;
+    Cycle occ_last_ = 0;
+
+    /** Per-transaction-stage trace spans are capped so tracing a long
+     *  run cannot balloon the trace file. */
+    static constexpr uint64_t kMaxTraceTxns = 512;
+    uint32_t trace_pid_ = 0;
+    std::array<uint32_t, 7> trace_tids_{};
+    bool trace_ready_ = false;
+
+    stats::Group stats_;
+    stats::Scalar &txn_launched_;
+    stats::Scalar &txn_completed_;
+    stats::Scalar &txn_l15_hits_;
+    stats::Scalar &txn_inflight_peak_;
+    stats::Scalar &txn_occupancy_cycles_;
+    stats::Scalar &txn_mshr_stalls_;
+    stats::Scalar &txn_mshr_stall_cycles_;
+    stats::Scalar &stage_l15_cycles_;
+    stats::Scalar &stage_fab_req_cycles_;
+    stats::Scalar &stage_l2_cycles_;
+    stats::Scalar &stage_dram_cycles_;
+    stats::Scalar &stage_fab_resp_cycles_;
+};
+
+} // namespace mcmgpu
+
+#endif // MCMGPU_MEM_STAGES_HH

@@ -76,6 +76,14 @@ Recorder::Recorder(const Options &opt, std::string config_name,
       remote_load_(stats::Histogram::makeLog2(
           "load_latency_remote", kLatencyBuckets,
           "post-L1 load latency, home partition remote (cycles)")),
+      local_store_(stats::Histogram::makeLog2(
+          "store_latency_local", kLatencyBuckets,
+          "posted-store acceptance latency, home partition local "
+          "(cycles)")),
+      remote_store_(stats::Histogram::makeLog2(
+          "store_latency_remote", kLatencyBuckets,
+          "posted-store acceptance latency, home partition remote "
+          "(cycles)")),
       link_queue_(stats::Histogram::makeLog2(
           "link_queue_delay", kLatencyBuckets,
           "queueing delay at inter-module links (cycles)")),
@@ -202,7 +210,8 @@ Recorder::histogramJson(std::ostream &os, const stats::Histogram &h)
 std::vector<const stats::Histogram *>
 Recorder::histograms() const
 {
-    return {&local_load_, &remote_load_, &link_queue_, &dram_queue_};
+    return {&local_load_,  &remote_load_, &local_store_,
+            &remote_store_, &link_queue_,  &dram_queue_};
 }
 
 std::string

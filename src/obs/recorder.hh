@@ -59,6 +59,10 @@ class Recorder
     stats::Histogram &localLoadLatency() { return local_load_; }
     /** Same, home partition on a remote GPM (crossed the fabric). */
     stats::Histogram &remoteLoadLatency() { return remote_load_; }
+    /** Posted-store acceptance latency, home partition on this GPM. */
+    stats::Histogram &localStoreLatency() { return local_store_; }
+    /** Same, home partition on a remote GPM. */
+    stats::Histogram &remoteStoreLatency() { return remote_store_; }
     /** Queueing delay at inter-module link bandwidth servers. */
     stats::Histogram &linkQueueDelay() { return link_queue_; }
     /** Queueing delay at DRAM channel bandwidth servers. */
@@ -69,6 +73,14 @@ class Recorder
     recordLoad(bool remote, Cycle latency)
     {
         (remote ? remote_load_ : local_load_).record(latency);
+    }
+
+    /** Record one posted store's acceptance latency (cycles from issue
+     *  to the home partition accepting the data). */
+    void
+    recordStore(bool remote, Cycle latency)
+    {
+        (remote ? remote_store_ : local_store_).record(latency);
     }
 
     // --- Trace hooks -------------------------------------------------------
@@ -108,7 +120,7 @@ class Recorder
     static void histogramJson(std::ostream &os,
                               const stats::Histogram &h);
 
-    /** The four histograms, in emission order. */
+    /** Every latency/queueing histogram, in emission order. */
     std::vector<const stats::Histogram *> histograms() const;
 
     /** Output path for @p artifact ("stats", "timeline", "trace"). */
@@ -125,6 +137,8 @@ class Recorder
 
     stats::Histogram local_load_;
     stats::Histogram remote_load_;
+    stats::Histogram local_store_;
+    stats::Histogram remote_store_;
     stats::Histogram link_queue_;
     stats::Histogram dram_queue_;
 

@@ -269,6 +269,13 @@ configKey(const GpuConfig &cfg)
         for (PartitionId p : f.dead_partitions)
             os << ";d" << p;
     }
+    // Memory-model selection changes timing under Staged; the default
+    // chain composition adds nothing so pre-pipeline cache entries for
+    // the same machine stay valid.
+    if (cfg.mem_model != MemModel::Chain || cfg.remote_mshrs != 0) {
+        os << "/M" << static_cast<int>(cfg.mem_model) << ','
+           << cfg.remote_mshrs;
+    }
     return os.str();
 }
 

@@ -113,6 +113,49 @@ TEST(Cache, StoreHitDirtiesLine)
     EXPECT_TRUE(saw_dirty);
 }
 
+TEST(Cache, WriteLookupStatsSplitHitsAndMisses)
+{
+    Cache c(smallGeo(), "t.wstats", false);
+    EXPECT_EQ(c.lookup(0x1000, true, 0).outcome, CacheOutcome::Miss);
+    EXPECT_EQ(c.statsGroup().get("write_misses"), 1.0);
+    c.fill(0x1000, false, 5);
+    EXPECT_EQ(c.lookup(0x1000, true, 10).outcome, CacheOutcome::Hit);
+    EXPECT_EQ(c.statsGroup().get("write_hits"), 1.0);
+    EXPECT_EQ(c.statsGroup().get("write_misses"), 1.0);
+
+    // Disabled caches probe-miss every store too.
+    CacheGeometry off = smallGeo(0);
+    Cache d(off, "t.wstats.off", false);
+    d.lookup(0x1000, true, 0);
+    EXPECT_EQ(d.statsGroup().get("write_misses"), 1.0);
+}
+
+TEST(Cache, StoreToPendingLineNeitherBlocksNorCorruptsTheFill)
+{
+    // Write-through level (L1/L1.5): a load fill is in flight, a store
+    // to the same line races it. The store must count as a write hit,
+    // must not dirty the line, and must leave the in-flight record
+    // intact so racing loads still observe the fill latency.
+    Cache c(smallGeo(), "t.wpending", false);
+    c.fill(0x2000, false, 100); // load fill, arrives at t=100
+
+    CacheLookup st = c.lookup(0x2000, true, 50);
+    EXPECT_EQ(st.outcome, CacheOutcome::HitPending);
+    EXPECT_EQ(st.ready, 100u) << "posted store must not stretch the fill";
+    EXPECT_EQ(c.statsGroup().get("write_hits"), 1.0);
+
+    CacheLookup ld = c.lookup(0x2000, false, 60);
+    EXPECT_EQ(ld.outcome, CacheOutcome::HitPending);
+    EXPECT_EQ(ld.ready, 100u) << "fill arrival unchanged by the store";
+    EXPECT_EQ(c.lookup(0x2000, false, 150).outcome, CacheOutcome::Hit);
+
+    // Write-through means the racing store never left dirt behind.
+    for (Addr a = 0x300000; a < 0x400000; a += 128) {
+        CacheVictim v = c.fill(a, false, 200);
+        EXPECT_FALSE(v.valid && v.dirty);
+    }
+}
+
 TEST(Cache, LruEvictsLeastRecentlyUsed)
 {
     // Single-set cache: 4 ways, 4 lines.

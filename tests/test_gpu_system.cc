@@ -166,6 +166,45 @@ TEST(GpuSystem, DirtyEvictionsWriteBack)
         << "evicted dirty lines must reach DRAM";
 }
 
+TEST(GpuSystem, StoreToPendingL15LineDoesNotDisturbTheFill)
+{
+    GpuSystem gpu(ftConfig(8 * MiB, L15Alloc::RemoteOnly));
+    gpu.memAccess(1, 0x200000, 128, false, 0); // pin to module 1
+
+    // Remote load from module 0: misses, fill lands in module 0's L1.5.
+    Cycle fill = gpu.memAccess(0, 0x200000, 128, false, 100);
+    ASSERT_GT(fill, 130u);
+
+    // A full-line store to the same line races the fill. Posted
+    // write-through: it completes without waiting for the fill, and it
+    // now shows up in the store-lookup stats instead of vanishing.
+    Cycle store_done = gpu.memAccess(0, 0x200000, 128, true, 110);
+    EXPECT_LT(store_done, fill)
+        << "posted store must not block on the in-flight fill";
+    EXPECT_EQ(gpu.l15(0).statsGroup().get("write_hits"), 1.0);
+
+    // And it must not corrupt the in-flight record: a load racing the
+    // fill still observes the original arrival time.
+    Cycle load = gpu.memAccess(0, 0x200000, 128, false, 120);
+    EXPECT_EQ(load, fill) << "fill arrival unchanged by the store";
+}
+
+TEST(GpuSystem, FullLineStoresBypassDramReadsAndChargeWritebacks)
+{
+    GpuSystem gpu(ftConfig());
+    // Dirty more full lines than one L2 slice holds (4MB = 32K lines).
+    const uint64_t lines = 40000;
+    for (uint64_t i = 0; i < lines; ++i)
+        gpu.memAccess(0, 0x1000000 + i * 128, 128, true, i);
+    EXPECT_EQ(gpu.dramReadBytes(), 0u)
+        << "full-line stores never fetch the line first";
+    EXPECT_GT(gpu.dramWriteBytes(), 0u);
+    // On-die movement: one line per L2 store access, plus one line per
+    // dirty-victim writeback — the writeback energy must be visible.
+    EXPECT_EQ(gpu.energy().bytesIn(Domain::Chip),
+              lines * 128u + gpu.dramWriteBytes());
+}
+
 TEST(GpuSystem, RemoteStoreCarriesDataOverLink)
 {
     GpuSystem gpu(ftConfig());

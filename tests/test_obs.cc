@@ -395,7 +395,7 @@ TEST_F(ObsRecorderTest, WritesValidArtifactsAndClosesTruncatedSpans)
     EXPECT_NE(trace.find("k0 #1"), std::string::npos);
     EXPECT_NE(trace.find("(truncated)"), std::string::npos);
     EXPECT_NE(trace.find("ring.cw0"), std::string::npos);
-    EXPECT_EQ(rec.histograms().size(), 4u);
+    EXPECT_EQ(rec.histograms().size(), 6u);
     EXPECT_EQ(rec.localLoadLatency().count(), 1u);
     EXPECT_EQ(rec.remoteLoadLatency().count(), 1u);
 }

@@ -98,6 +98,44 @@ TEST(PageTable, RoundRobinPagePolicy)
     }
 }
 
+TEST(PageTable, FirstTouchFallsBackToSurvivingLocalPartitions)
+{
+    // Module 0 loses two of its four DRAM stacks. First-touch pages
+    // from module 0 must stay on the surviving local partitions —
+    // bandwidth shrinks, locality does not.
+    GpuConfig c = configs::multiGpuBaseline();
+    c.page_policy = PagePolicy::FirstTouch;
+    c.fault.killPartition(1).killPartition(2);
+    PageTable pt(c);
+    std::map<PartitionId, int> hist;
+    for (uint64_t page = 0; page < 64; ++page)
+        hist[pt.partitionFor(page * c.page_bytes, 0)]++;
+    EXPECT_EQ(hist.size(), 2u) << "only the two survivors are used";
+    EXPECT_GT(hist[0], 0);
+    EXPECT_GT(hist[3], 0);
+    for (auto [p, n] : hist)
+        EXPECT_EQ(pt.moduleOf(p), 0u) << "never re-homed off module";
+    // Consecutive pages round-robin over 4 preferred partitions, so
+    // exactly half preferred a dead one and were re-homed locally.
+    EXPECT_EQ(pt.rehomedPages(), 32u);
+    EXPECT_EQ(pt.pagesOn(1), 0u);
+    EXPECT_EQ(pt.pagesOn(2), 0u);
+}
+
+TEST(PageTable, FirstTouchCrossesModulesOnlyWhenAllLocalDead)
+{
+    GpuConfig c = configs::multiGpuBaseline();
+    c.page_policy = PagePolicy::FirstTouch;
+    for (PartitionId p = 0; p < c.partitions_per_module; ++p)
+        c.fault.killPartition(p); // floorsweep the whole of module 0
+    PageTable pt(c);
+    for (uint64_t page = 0; page < 64; ++page) {
+        PartitionId p = pt.partitionFor(page * c.page_bytes, 0);
+        EXPECT_EQ(pt.moduleOf(p), 1u) << "page " << page;
+    }
+    EXPECT_EQ(pt.rehomedPages(), 64u);
+}
+
 TEST(PageTable, ResetForgetsPins)
 {
     PageTable pt(mcm(PagePolicy::FirstTouch));

@@ -70,12 +70,20 @@ class MockContext : public SmContext
   public:
     EventQueue &eventQueue() override { return eq; }
 
-    Cycle
+    void
     memAccess(ModuleId src, Addr addr, uint32_t bytes, bool is_store,
-              Cycle now) override
+              Cycle now, TxnDoneFn done) override
     {
         accesses.push_back({src, addr, bytes, is_store, now});
-        return now + (is_store ? store_latency : load_latency);
+        MemTxn txn;
+        txn.addr = addr;
+        txn.bytes = bytes;
+        txn.is_store = is_store;
+        txn.src = src;
+        txn.issued = now;
+        txn.t = now + (is_store ? store_latency : load_latency);
+        txn.phase = TxnPhase::Complete;
+        done(txn, txn.t);
     }
 
     void ctaFinished(SmId sm) override { finished.push_back(sm); }

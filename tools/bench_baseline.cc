@@ -283,6 +283,8 @@ usage()
         "mcm-basic,mcm-optimized)\n"
         "  --workloads x,y    workload abbreviations (default: all 48)\n"
         "  --repeat N         repeats per pair, fastest kept (default 1)\n"
+        "  --mem-model M      chain | staged | both (default chain);\n"
+        "                     staged pairs carry a +staged config suffix\n"
         "  --out FILE         write BENCH json (default "
         "BENCH_hotpath.json)\n"
         "  --baseline FILE    committed baseline to regress against\n"
@@ -306,6 +308,8 @@ main(int argc, char **argv)
     bool use_threshold = true;
     bool quiet = false;
     int repeats = 1;
+    bool run_chain = true;
+    bool run_staged = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -324,7 +328,16 @@ main(int argc, char **argv)
             workload_names = splitCommas(next());
         else if (a == "--repeat")
             repeats = std::max(1, std::atoi(next().c_str()));
-        else if (a == "--out")
+        else if (a == "--mem-model") {
+            const std::string m = next();
+            run_chain = m == "chain" || m == "both";
+            run_staged = m == "staged" || m == "both";
+            if (!run_chain && !run_staged) {
+                std::cerr << "unknown --mem-model " << m
+                          << " (chain | staged | both)\n";
+                return 2;
+            }
+        } else if (a == "--out")
             out_path = next();
         else if (a == "--baseline")
             baseline_path = next();
@@ -369,7 +382,14 @@ main(int argc, char **argv)
             std::cerr << "unknown machine " << m << "\n";
             return 2;
         }
-        cfgs.push_back(cfg);
+        if (run_chain)
+            cfgs.push_back(cfg);
+        if (run_staged) {
+            GpuConfig st = cfg;
+            st.withMemModel(MemModel::Staged, 0);
+            st.name += "+staged";
+            cfgs.push_back(st);
+        }
     }
 
     std::vector<PairResult> pairs;
@@ -439,7 +459,14 @@ main(int argc, char **argv)
                 base_ms += static_cast<double>(b.events) /
                            (b.events_per_sec > 0.0 ? b.events_per_sec
                                                    : 1.0) * 1000.0;
-                if (b.cycles != p.cycles || b.events != p.events)
+                // Chain pairs are the frozen reference timing and must
+                // stay bit-identical. Staged pairs are gated on
+                // throughput only: the staged model's cycle counts are
+                // expected to move as its queueing model is refined.
+                const bool staged =
+                    p.config.find("+staged") != std::string::npos;
+                if (!staged &&
+                    (b.cycles != p.cycles || b.events != p.events))
                     ++cycle_mismatches;
                 break;
             }
