@@ -82,11 +82,36 @@ printAxis(const char *title, const std::vector<GpuConfig> &settings,
 int
 main(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i)
-        experiment::parseCliFlag(argc, argv, i);
+    MemModel mem_model = MemModel::Chain;
+    uint32_t remote_mshrs = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--mem-model") && i + 1 < argc) {
+            const std::string m = argv[++i];
+            if (m == "staged") {
+                mem_model = MemModel::Staged;
+            } else if (m != "chain") {
+                std::cerr << "unknown --mem-model '" << m
+                          << "' (chain|staged)\n";
+                return 1;
+            }
+        } else if (!std::strcmp(argv[i], "--remote-mshrs") &&
+                   i + 1 < argc) {
+            remote_mshrs = uint32_t(std::strtoul(argv[++i], nullptr, 10));
+        } else {
+            experiment::parseCliFlag(argc, argv, i);
+        }
+    }
     setQuietLogging(true);
 
-    const GpuConfig pristine = configs::mcmOptimized();
+    // Every machine on every axis — the pristine reference included —
+    // runs under the selected memory model, so `--mem-model staged`
+    // exercises the split-transaction path under each fault plan.
+    auto makeOpt = [&]() {
+        return configs::mcmOptimized().withMemModel(mem_model,
+                                                    remote_mshrs);
+    };
+
+    const GpuConfig pristine = makeOpt();
     const std::vector<Row> rows = {
         {"M-Intensive", workloads::byCategory(Category::MemoryIntensive)},
         {"C-Intensive", workloads::byCategory(Category::ComputeIntensive)},
@@ -102,7 +127,7 @@ main(int argc, char **argv)
         std::vector<GpuConfig> settings;
         std::vector<std::string> labels;
         for (uint32_t n : {4u, 8u, 16u, 32u}) {
-            GpuConfig cfg = configs::mcmOptimized().withName(
+            GpuConfig cfg = makeOpt().withName(
                 "mcm-opt-swept" + std::to_string(n));
             cfg.fault.sweepSmsEveryModule(cfg.num_modules, n);
             settings.push_back(cfg);
@@ -117,7 +142,7 @@ main(int argc, char **argv)
         std::vector<GpuConfig> settings;
         std::vector<std::string> labels;
         for (double d : {0.75, 0.5, 0.25}) {
-            GpuConfig cfg = configs::mcmOptimized().withName(
+            GpuConfig cfg = makeOpt().withName(
                 "mcm-opt-derate" + Table::fmt(d, 2));
             cfg.fault.derateLinks(d);
             settings.push_back(cfg);
@@ -132,7 +157,7 @@ main(int argc, char **argv)
         std::vector<GpuConfig> settings;
         std::vector<std::string> labels;
         for (double p : {1e-3, 5e-3, 2e-2}) {
-            GpuConfig cfg = configs::mcmOptimized().withName(
+            GpuConfig cfg = makeOpt().withName(
                 "mcm-opt-err" + Table::fmt(p, 4));
             cfg.fault.injectLinkErrors(p);
             settings.push_back(cfg);
@@ -144,7 +169,7 @@ main(int argc, char **argv)
 
     // --- Axis 3: dead DRAM partition ----------------------------------------
     {
-        GpuConfig cfg = configs::mcmOptimized().withName("mcm-opt-dead1");
+        GpuConfig cfg = makeOpt().withName("mcm-opt-dead1");
         cfg.fault.killPartition(3);
         printAxis("DRAM channel failure (1 of 4 partitions dead)",
                   {cfg}, {"3 of 4 alive"}, pristine, rows);

@@ -60,11 +60,17 @@ usage()
         "  --mem-model <m>            chain | staged (default chain)\n"
         "  --remote-mshrs <n>         staged: remote MSHRs per module\n"
         "                             (0 = unbounded)\n"
+        "  --fabric-vcs <n>           staged: fabric virtual channels\n"
+        "                             (0 = off, 1 = shared pool —\n"
+        "                             deliberately deadlock-prone,\n"
+        "                             2 = req/resp, deadlock-free)\n"
+        "  --vc-credits <n>           credits per VC pool per GPM pair\n"
+        "                             (default 64)\n"
         "fault injection:\n"
         "  --sweep-sms <n>            disable first n SMs of every GPM\n"
         "  --link-derate <f>          derate all links to f (0 < f <= 1)\n"
         "  --link-error-rate <p>      transient CRC-error chance per\n"
-        "                             traversal (0 <= p < 1)\n"
+        "                             traversal (0 <= p <= 1)\n"
         "  --kill-partition <p>       mark DRAM partition p dead\n"
         "  --fault-seed <s>           seed for link error streams\n"
         "  --watchdog-cycles <n>      no-progress window (0 disables)\n"
@@ -78,6 +84,14 @@ usage()
         "  --check-obs <dir>          validate every .json under dir "
         "and\n"
         "                             exit (0 = all well-formed)\n"
+        "scripting:\n"
+        "  --expect-status <s>        single-run: exit 0 iff the run "
+        "ends\n"
+        "                             with this status (finished | "
+        "stalled |\n"
+        "                             deadlock | timeout | cycle_limit "
+        "|\n"
+        "                             error), else exit 3\n"
         "%s",
         experiment::cliFlagHelp());
 }
@@ -125,7 +139,8 @@ splitCommas(const std::string &s)
  */
 int
 runMatrixMode(const std::string &machines, const std::string &workload_set,
-              MemModel mem_model, uint32_t remote_mshrs)
+              MemModel mem_model, uint32_t remote_mshrs,
+              uint32_t fabric_vcs, uint32_t vc_credits)
 {
     std::vector<GpuConfig> cfgs;
     for (const std::string &m : splitCommas(machines)) {
@@ -135,6 +150,7 @@ runMatrixMode(const std::string &machines, const std::string &workload_set,
             return 1;
         }
         c.withMemModel(mem_model, remote_mshrs);
+        c.withFabricVcs(fabric_vcs, vc_credits);
         cfgs.push_back(std::move(c));
     }
     std::vector<const workloads::Workload *> ws;
@@ -252,9 +268,12 @@ main(int argc, char **argv)
     bool dump = false;
     MemModel mem_model = MemModel::Chain;
     uint32_t remote_mshrs = 0;
+    uint32_t fabric_vcs = 0;
+    uint32_t vc_credits = 64;
     std::string matrix_machines;
     std::string matrix_workloads;
     std::string check_obs_dir;
+    std::string expect_status;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -335,6 +354,12 @@ main(int argc, char **argv)
             }
         } else if (arg == "--remote-mshrs") {
             remote_mshrs = static_cast<uint32_t>(std::stoul(next()));
+        } else if (arg == "--fabric-vcs") {
+            fabric_vcs = static_cast<uint32_t>(std::stoul(next()));
+        } else if (arg == "--vc-credits") {
+            vc_credits = static_cast<uint32_t>(std::stoul(next()));
+        } else if (arg == "--expect-status") {
+            expect_status = next();
         } else if (arg == "--stats") {
             stats = true;
         } else if (arg == "--dump-stats") {
@@ -353,16 +378,17 @@ main(int argc, char **argv)
         }
     }
 
-    // Applied after the flag loop so --mem-model composes with
-    // --machine in either order.
+    // Applied after the flag loop so --mem-model / --fabric-vcs
+    // compose with --machine in either order.
     cfg.withMemModel(mem_model, remote_mshrs);
+    cfg.withFabricVcs(fabric_vcs, vc_credits);
 
     if (!check_obs_dir.empty())
         return checkObsMode(check_obs_dir);
 
     if (!matrix_machines.empty()) {
         return runMatrixMode(matrix_machines, matrix_workloads, mem_model,
-                             remote_mshrs);
+                             remote_mshrs, fabric_vcs, vc_credits);
     }
 
     const workloads::Workload *w = workloads::findByAbbr(workload);
@@ -393,10 +419,11 @@ main(int argc, char **argv)
                 w->abbr.c_str());
     std::printf("machine         : %s\n", cfg.name.c_str());
     std::printf("status          : %s\n", toString(r.status));
-    if (r.status == RunStatus::Stalled)
+    if (r.status == RunStatus::Stalled || r.status == RunStatus::Deadlock)
         std::printf("--- stall diagnostic ---\n%s",
                     r.stall_diagnostic.c_str());
-    else if (r.status == RunStatus::Error)
+    else if (r.status == RunStatus::Error ||
+             r.status == RunStatus::Timeout)
         std::printf("--- error ---\n%s\n", r.stall_diagnostic.c_str());
     std::printf("cycles          : %llu\n",
                 static_cast<unsigned long long>(r.cycles));
@@ -418,6 +445,16 @@ main(int argc, char **argv)
                     100.0 * r.l2_hit_rate);
         std::printf("energy          : chip %.4f J, links %.4f J\n",
                     r.energy_chip_j, r.energy_link_j);
+    }
+    if (!expect_status.empty()) {
+        // Scripting contract (resilience-smoke ctest): exit 0 iff the
+        // run ended exactly as predicted, 3 on any other outcome.
+        if (expect_status != toString(r.status)) {
+            std::fprintf(stderr,
+                         "expected status '%s' but run ended '%s'\n",
+                         expect_status.c_str(), toString(r.status));
+            return 3;
+        }
     }
     return 0;
 }

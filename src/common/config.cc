@@ -80,6 +80,13 @@ GpuConfig::check() const
              "per-partition L2 smaller than one set");
     }
 
+    if (fabric_vcs > 2)
+        flag(ConfigErrc::BadFabricVcs, "fabric_vcs ", fabric_vcs,
+             " unsupported (0 = off, 1 = shared pool, 2 = req/resp)");
+    if (fabric_vcs > 0 && vc_credits == 0)
+        flag(ConfigErrc::BadVcCredits,
+             "vc_credits must be positive when virtual channels are on");
+
     // --- Fault-plan sanity -------------------------------------------------
     for (const FaultPlan::SweptSm &s : fault.swept_sms) {
         if (s.module >= num_modules)
@@ -106,9 +113,9 @@ GpuConfig::check() const
         if (f.bw_derate <= 0.0 || f.bw_derate > 1.0)
             flag(ConfigErrc::FaultBadLinkDerate, "link derate ",
                  f.bw_derate, " outside (0, 1]");
-        if (f.error_rate < 0.0 || f.error_rate >= 1.0)
+        if (f.error_rate < 0.0 || f.error_rate > 1.0)
             flag(ConfigErrc::FaultBadLinkErrorRate, "link error rate ",
-                 f.error_rate, " outside [0, 1)");
+                 f.error_rate, " outside [0, 1]");
     }
     if (num_modules > 0 && partitions_per_module > 0) {
         uint32_t alive = 0;

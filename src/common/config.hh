@@ -44,6 +44,8 @@ enum class ConfigErrc
     FaultBadLinkErrorRate,
     FaultBadPartition,
     FaultAllPartitionsDead,
+    BadFabricVcs,
+    BadVcCredits,
 };
 
 /** One defect found by GpuConfig::check(): a code plus prose. */
@@ -220,6 +222,18 @@ struct GpuConfig
      *  fabric (section 4.1's outstanding-request pressure). 0 means
      *  unbounded; ignored under MemModel::Chain. */
     uint32_t remote_mshrs = 0;
+    /** Fabric virtual channels under MemModel::Staged. 0 disables
+     *  credit flow control entirely (the default: transactions enter
+     *  the fabric unconditionally, timing identical to today). 1 runs
+     *  requests and responses through one shared credit pool — a
+     *  deliberately deadlock-prone protocol used for diagnosis tests.
+     *  2 gives responses their own channel, making the fabric
+     *  protocol-deadlock-free by construction (see docs/FABRIC.md). */
+    uint32_t fabric_vcs = 0;
+    /** Credits (buffer slots) per VC per directed GPM pair; a class
+     *  out of credits parks in a bounded FIFO until a credit frees.
+     *  Ignored when fabric_vcs == 0. */
+    uint32_t vc_credits = 64;
 
     // --- Memory management ------------------------------------------------------
     PagePolicy page_policy = PagePolicy::FineInterleave;
@@ -280,6 +294,13 @@ struct GpuConfig
     {
         mem_model = m;
         remote_mshrs = mshrs;
+        return *this;
+    }
+    GpuConfig &
+    withFabricVcs(uint32_t vcs, uint32_t credits = 64)
+    {
+        fabric_vcs = vcs;
+        vc_credits = credits;
         return *this;
     }
 };

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "common/wait_graph.hh"
 
 namespace mcmgpu {
 
@@ -180,6 +181,13 @@ EventQueue::run(Cycle limit)
             return Outcome::LimitHit;
         if (sample_period_ != 0)
             fireBoundaries(n->when);
+        if (deadline_armed_ && (executed_ & 0xFFF) == 0 &&
+            std::chrono::steady_clock::now() >= deadline_) {
+            throw SimTimeout(log_detail::concat(
+                "SimTimeout: wall-clock budget of ", wall_timeout_s_,
+                " s exhausted at cycle ", now_, " (", executed_,
+                " events executed, queue depth ", size_, ")"));
+        }
         if (watchdog_window_ != 0) {
             if (progress_ != watch_progress_) {
                 watch_progress_ = progress_;
@@ -200,22 +208,80 @@ EventQueue::run(Cycle limit)
 void
 EventQueue::throwStall(Cycle limit)
 {
+    std::ostringstream why;
+    why << "watchdog: no progress for " << (now_ - watch_cycle_)
+        << " cycles / " << (executed_ - watch_executed_) << " events"
+        << " (limit " << limit << ")";
+    raiseStall(why.str());
+}
+
+void
+EventQueue::raiseStall(std::string why)
+{
     std::ostringstream diag;
-    diag << "watchdog: no progress for " << (now_ - watch_cycle_)
-         << " cycles / " << (executed_ - watch_executed_) << " events\n"
-         << "  now " << now_ << ", limit " << limit << ", queue depth "
-         << size_ << ", events executed " << executed_
-         << ", progress marks " << progress_ << '\n';
+    diag << why << '\n'
+         << "  now " << now_ << ", queue depth " << size_
+         << ", events executed " << executed_ << ", progress marks "
+         << progress_ << '\n';
     if (dump_machine_state_)
         diag << dump_machine_state_();
+
+    // Assemble the wait-for graph from every registered reporter. A
+    // closed hold-and-wait cycle upgrades the generic stall to a typed
+    // FabricDeadlock naming the resources involved.
+    WaitGraph wg;
+    for (const auto &reporter : wait_reporters_)
+        reporter(wg);
+    std::string cycle_names;
+    if (!wg.empty()) {
+        diag << wg.render();
+        const std::vector<std::string> cycle = wg.findCycle();
+        for (size_t i = 0; i < cycle.size(); ++i) {
+            if (i)
+                cycle_names += " -> ";
+            cycle_names += cycle[i];
+        }
+    }
+
     std::string d = diag.str();
+    if (!cycle_names.empty()) {
+        warn("fabric deadlock:\n", d);
+        throw FabricDeadlock(
+            log_detail::concat("FabricDeadlock: resource cycle ",
+                               cycle_names, " (queue depth ", size_,
+                               " at cycle ", now_, ")"),
+            std::move(d), std::move(cycle_names));
+    }
     warn("simulation stalled:\n", d);
     throw SimStall(
-        log_detail::concat("SimStall: no progress over a ",
-                           watchdog_window_, "-cycle watchdog window "
-                           "(queue depth ", size_, " at cycle ",
-                           now_, ")"),
+        log_detail::concat("SimStall: ", why, " (queue depth ", size_,
+                           " at cycle ", now_, ")"),
         std::move(d));
+}
+
+void
+EventQueue::diagnoseWedge(const std::string &why)
+{
+    raiseStall(log_detail::concat("wedged: ", why));
+}
+
+void
+EventQueue::addWaitReporter(std::function<void(WaitGraph &)> reporter)
+{
+    wait_reporters_.push_back(std::move(reporter));
+}
+
+void
+EventQueue::setWallDeadline(double seconds)
+{
+    deadline_armed_ = seconds > 0.0;
+    wall_timeout_s_ = deadline_armed_ ? seconds : 0.0;
+    if (deadline_armed_) {
+        deadline_ = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(seconds));
+    }
 }
 
 void

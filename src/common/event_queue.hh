@@ -32,6 +32,7 @@
 #ifndef MCMGPU_COMMON_EVENT_QUEUE_HH
 #define MCMGPU_COMMON_EVENT_QUEUE_HH
 
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -43,6 +44,8 @@
 #include "common/types.hh"
 
 namespace mcmgpu {
+
+class WaitGraph;
 
 /** Callback type executed when an event fires. */
 using EventFn = SmallFn;
@@ -68,6 +71,43 @@ class SimStall : public std::runtime_error
 
   private:
     std::string diagnostic_;
+};
+
+/**
+ * A SimStall whose wait-for graph closed a hold-and-wait cycle: a true
+ * protocol deadlock, not congestion. Deterministic for a given config
+ * and workload — retrying cannot help — so runners surface it as
+ * RunStatus::Deadlock and never retry. cycle() names the resource
+ * cycle ("vc0:gpm0->gpm1 -> mshr:gpm1 -> ..."); the diagnostic carries
+ * the full graph with per-pool occupancy.
+ */
+class FabricDeadlock : public SimStall
+{
+  public:
+    FabricDeadlock(std::string what, std::string diagnostic,
+                   std::string cycle)
+        : SimStall(std::move(what), std::move(diagnostic)),
+          cycle_(std::move(cycle))
+    {
+    }
+
+    /** The resource cycle, " -> "-joined, first node repeated last. */
+    const std::string &cycle() const { return cycle_; }
+
+  private:
+    std::string cycle_;
+};
+
+/**
+ * Raised when a run() exceeds its wall-clock deadline (see
+ * setWallDeadline()). Deliberately NOT a SimStall: the simulation made
+ * progress, the host just ran out of patience, so runners map it to a
+ * retryable RunStatus::Timeout rather than a stall diagnosis.
+ */
+class SimTimeout : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
 };
 
 /** Deterministic priority queue of timed callbacks. */
@@ -134,6 +174,34 @@ class EventQueue
 
     /** Progress marks recorded so far (for tests). */
     uint64_t progressMarks() const { return progress_; }
+
+    // --- Deadlock diagnosis --------------------------------------------------
+    /**
+     * Register a wait-for-graph reporter: a component that parks
+     * waiters on finite resources (MSHR pools, VC credit pools) adds a
+     * callback that, given a WaitGraph, emits one hold->wait edge per
+     * parked waiter plus occupancy notes. Reporters run only when a
+     * stall is being declared — never on the hot path.
+     */
+    void addWaitReporter(std::function<void(WaitGraph &)> reporter);
+
+    /**
+     * Declare a wedge from outside the drain loop: the queue drained
+     * but the machine still holds unfinished work (every remaining
+     * transaction is parked, so no event will ever fire). Builds the
+     * wait-for graph and throws FabricDeadlock when it closes a cycle,
+     * SimStall otherwise. @p why describes what the caller observed.
+     */
+    [[noreturn]] void diagnoseWedge(const std::string &why);
+
+    // --- Wall-clock deadline -------------------------------------------------
+    /**
+     * Abort run() with SimTimeout once @p seconds of host wall-clock
+     * have elapsed from this call. Checked every 4096 executed events,
+     * so the overhead with a deadline armed is one flag test per event.
+     * @p seconds <= 0 disarms.
+     */
+    void setWallDeadline(double seconds);
 
     // --- Passive sampling hook -----------------------------------------------
     /**
@@ -209,6 +277,13 @@ class EventQueue
 
     [[noreturn]] void throwStall(Cycle limit);
 
+    /**
+     * Shared stall-raising tail: append queue state and the machine
+     * dump to @p why, build the wait-for graph from the registered
+     * reporters, and throw FabricDeadlock (cycle found) or SimStall.
+     */
+    [[noreturn]] void raiseStall(std::string why);
+
     // Calendar state.
     std::vector<Bucket> buckets_;  //!< lazily sized to kWindow
     uint64_t occ_[kOccWords] = {}; //!< bucket-occupancy bitmap
@@ -240,6 +315,14 @@ class EventQueue
     Cycle sample_period_ = 0;
     Cycle next_sample_ = 0;
     std::function<void(Cycle)> sample_hook_;
+
+    // Deadlock-diagnosis reporters (cold path only).
+    std::vector<std::function<void(WaitGraph &)>> wait_reporters_;
+
+    // Wall-clock deadline state.
+    bool deadline_armed_ = false;
+    std::chrono::steady_clock::time_point deadline_{};
+    double wall_timeout_s_ = 0.0;
 };
 
 } // namespace mcmgpu

@@ -1,0 +1,103 @@
+#include "common/wait_graph.hh"
+
+#include <sstream>
+
+namespace mcmgpu {
+
+size_t
+WaitGraph::intern(const std::string &name)
+{
+    for (size_t i = 0; i < names_.size(); ++i)
+        if (names_[i] == name)
+            return i;
+    names_.push_back(name);
+    adj_.emplace_back();
+    return names_.size() - 1;
+}
+
+void
+WaitGraph::edge(const std::string &holds, const std::string &waits_for,
+                std::string detail)
+{
+    const size_t from = intern(holds);
+    const size_t to = intern(waits_for);
+    for (size_t e : adj_[from])
+        if (edges_[e].to == to)
+            return;
+    adj_[from].push_back(edges_.size());
+    edges_.push_back(Edge{from, to, std::move(detail)});
+}
+
+void
+WaitGraph::note(const std::string &node, std::string text)
+{
+    notes_.emplace_back(intern(node), std::move(text));
+}
+
+std::vector<std::string>
+WaitGraph::findCycle() const
+{
+    // Iterative three-color DFS; the explicit stack carries (node,
+    // next-edge-cursor) so the gray path is recoverable when a back
+    // edge closes a cycle.
+    enum : uint8_t { kWhite, kGray, kBlack };
+    std::vector<uint8_t> color(names_.size(), kWhite);
+    for (size_t root = 0; root < names_.size(); ++root) {
+        if (color[root] != kWhite)
+            continue;
+        std::vector<std::pair<size_t, size_t>> stack{{root, 0}};
+        color[root] = kGray;
+        while (!stack.empty()) {
+            auto &[node, cursor] = stack.back();
+            if (cursor < adj_[node].size()) {
+                const size_t to = edges_[adj_[node][cursor++]].to;
+                if (color[to] == kGray) {
+                    // Back edge: the gray path from `to` down to `node`
+                    // is the cycle.
+                    std::vector<std::string> cycle;
+                    size_t at = 0;
+                    while (stack[at].first != to)
+                        ++at;
+                    for (; at < stack.size(); ++at)
+                        cycle.push_back(names_[stack[at].first]);
+                    cycle.push_back(names_[to]);
+                    return cycle;
+                }
+                if (color[to] == kWhite) {
+                    color[to] = kGray;
+                    stack.emplace_back(to, 0);
+                }
+            } else {
+                color[node] = kBlack;
+                stack.pop_back();
+            }
+        }
+    }
+    return {};
+}
+
+std::string
+WaitGraph::render() const
+{
+    std::ostringstream os;
+    os << "wait-for graph (" << names_.size() << " resources, "
+       << edges_.size() << " edges):\n";
+    for (const Edge &e : edges_) {
+        os << "  " << names_[e.from] << " -> " << names_[e.to];
+        if (!e.detail.empty())
+            os << "  [" << e.detail << "]";
+        os << '\n';
+    }
+    for (const auto &[node, text] : notes_)
+        os << "  # " << names_[node] << ": " << text << '\n';
+    const std::vector<std::string> cycle = findCycle();
+    if (!cycle.empty()) {
+        os << "  CYCLE:";
+        for (size_t i = 0; i < cycle.size(); ++i)
+            os << (i ? " -> " : " ") << cycle[i];
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace mcmgpu

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Wait-for graph assembled at stall time for deadlock diagnosis.
+ *
+ * Nodes are resource pools (an MSHR pool, a per-pair VC credit pool);
+ * a directed edge H -> W says "some parked transaction HOLDS a unit of
+ * H while WAITING for a unit of W". A cycle in this graph is a
+ * hold-and-wait cycle — a true protocol deadlock — as opposed to mere
+ * congestion, which shows up as a tree of edges draining toward a busy
+ * resource. Components register reporters with
+ * EventQueue::addWaitReporter(); the queue builds the graph only when
+ * a stall is being declared, so the structure costs nothing on the hot
+ * path.
+ */
+
+#ifndef MCMGPU_COMMON_WAIT_GRAPH_HH
+#define MCMGPU_COMMON_WAIT_GRAPH_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mcmgpu {
+
+/** Directed graph of resource pools with cycle detection. */
+class WaitGraph
+{
+  public:
+    /**
+     * Record that a waiter holding a unit of @p holds is blocked on a
+     * unit of @p waits_for. @p detail (may be empty) describes the
+     * waiter, e.g. "txn 41 (load, gpm0->gpm1)". Duplicate edges
+     * collapse; the first detail wins (it belongs to the oldest
+     * reported waiter, which reporters emit first).
+     */
+    void edge(const std::string &holds, const std::string &waits_for,
+              std::string detail = {});
+
+    /** Attach a free-form occupancy annotation to @p node. */
+    void note(const std::string &node, std::string text);
+
+    /** True when no edges have been reported. */
+    bool empty() const { return edges_.empty(); }
+
+    /**
+     * Find a directed cycle, if any, and return it as the node names
+     * in order (first node repeated at the end for readability:
+     * a -> b -> a). Deterministic: DFS roots and adjacency both follow
+     * insertion order. Empty when the graph is acyclic.
+     */
+    std::vector<std::string> findCycle() const;
+
+    /** Multi-line dump: edges with details, notes, and any cycle. */
+    std::string render() const;
+
+  private:
+    struct Edge
+    {
+        size_t from;
+        size_t to;
+        std::string detail;
+    };
+
+    size_t intern(const std::string &name);
+
+    std::vector<std::string> names_;           //!< insertion-ordered nodes
+    std::vector<std::vector<size_t>> adj_;     //!< edge indices per node
+    std::vector<Edge> edges_;
+    std::vector<std::pair<size_t, std::string>> notes_;
+};
+
+} // namespace mcmgpu
+
+#endif // MCMGPU_COMMON_WAIT_GRAPH_HH

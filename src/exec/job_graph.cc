@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <thread>
 
 #include "common/log.hh"
 #include "exec/progress.hh"
@@ -96,7 +97,8 @@ JobGraph::runJob(Job &job, int worker_index)
     for (int attempt = 0;; ++attempt) {
         job.error = nullptr;
         try {
-            job.result = Simulator::run(job.cfg, *job.workload);
+            job.result = Simulator::run(job.cfg, *job.workload,
+                                        job_timeout_s_);
         } catch (const std::exception &e) {
             job.error = std::current_exception();
             job.result = RunResult{};
@@ -112,11 +114,20 @@ JobGraph::runJob(Job &job, int worker_index)
             job.result.status = RunStatus::Error;
             job.result.stall_diagnostic = "non-standard exception";
         }
+        // Timeouts fold into the same retry path as stalls and errors.
+        // Deadlocks do NOT: the wait-for cycle is deterministic for
+        // (config, workload), so a retry reproduces it exactly.
         const bool retryable = job.result.status == RunStatus::Stalled ||
-                               job.result.status == RunStatus::Error;
+                               job.result.status == RunStatus::Error ||
+                               job.result.status == RunStatus::Timeout;
         if (!retryable || attempt >= max_retries_)
             break;
         ++job.retries;
+        // Exponential backoff between attempts: transient host-side
+        // causes (CPU contention behind a timeout, resource spikes)
+        // get room to clear before the rerun.
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            25LL << std::min(attempt, 5)));
     }
     job.wall_ms = msSince(start);
 

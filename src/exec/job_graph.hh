@@ -62,8 +62,14 @@ class JobGraph
 
     size_t size() const { return jobs_.size(); }
 
-    /** Extra attempts after a stall or exception (default 0). */
+    /** Extra attempts after a stall, timeout or exception (default 0).
+     *  Deadlocks are deterministic and never retried. */
     void setMaxRetries(int n) { max_retries_ = n < 0 ? 0 : n; }
+
+    /** Per-job wall-clock budget in seconds; a job exceeding it ends
+     *  as RunStatus::Timeout (retryable). <= 0 disables (default). */
+    void setJobTimeout(double seconds)
+    { job_timeout_s_ = seconds > 0.0 ? seconds : 0.0; }
 
     /**
      * Label for progress lines ("fig15", "suite"); empty disables
@@ -115,6 +121,7 @@ class JobGraph
     const ResultCache *cache_;
     TelemetrySink *sink_;
     int max_retries_ = 0;
+    double job_timeout_s_ = 0.0;
     std::string progress_label_;
     std::atomic<uint64_t> progress_done_{0};
 

@@ -32,6 +32,10 @@ TelemetrySink::stats() const
             ++s.executed;
         if (r.status != "finished")
             ++s.failed;
+        if (r.status == "timeout")
+            ++s.timeouts;
+        if (r.status == "deadlock")
+            ++s.deadlocks;
         s.retries += uint64_t(r.retries);
         s.wall_ms += r.wall_ms;
     }
@@ -74,6 +78,8 @@ TelemetrySink::dumpJson(std::ostream &os, unsigned jobs) const
        << "  \"executed\": " << agg.executed << ",\n"
        << "  \"cache_hits\": " << agg.cache_hits << ",\n"
        << "  \"failed\": " << agg.failed << ",\n"
+       << "  \"timeouts\": " << agg.timeouts << ",\n"
+       << "  \"deadlocks\": " << agg.deadlocks << ",\n"
        << "  \"retries\": " << agg.retries << ",\n"
        << "  \"wall_ms\": " << agg.wall_ms << ",\n"
        << "  \"runs\": [";

@@ -43,7 +43,9 @@ struct SweepStats
     uint64_t jobs = 0;       //!< records in the sink
     uint64_t executed = 0;   //!< actually simulated
     uint64_t cache_hits = 0; //!< served from the disk cache
-    uint64_t failed = 0;     //!< status stalled / cycle_limit / error
+    uint64_t failed = 0;     //!< any status other than "finished"
+    uint64_t timeouts = 0;   //!< status "timeout" (also counted failed)
+    uint64_t deadlocks = 0;  //!< status "deadlock" (also counted failed)
     uint64_t retries = 0;    //!< total retry attempts
     double wall_ms = 0.0;    //!< summed simulation wall time
 

@@ -48,7 +48,7 @@ struct FaultPlan
     {
         ModuleId module = kAllModules; //!< kAllModules = every link
         double bw_derate = 1.0;        //!< bandwidth multiplier, (0, 1]
-        double error_rate = 0.0;       //!< transient-error chance, [0, 1)
+        double error_rate = 0.0;       //!< transient-error chance, [0, 1]
     };
 
     std::vector<SweptSm> swept_sms;

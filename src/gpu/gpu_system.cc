@@ -213,6 +213,8 @@ GpuSystem::occupancyDiagnostic() const
            << cfg_.sms_per_module << '\n';
     }
     fabric_->dumpOccupancy(os);
+    if (pipeline_->numVcs() > 0)
+        pipeline_->dumpVcOccupancy(os);
     for (PartitionId p = 0; p < cfg_.totalPartitions(); ++p) {
         os << "  dram.part" << p
            << (cfg_.fault.partitionDead(p) ? " DEAD" : "")
@@ -268,6 +270,18 @@ GpuSystem::attachRecorder(obs::Recorder &rec)
     if (pipeline_->staged()) {
         sampler->addGauge("mem.txn_inflight", [this] {
             return static_cast<double>(pipeline_->inflight());
+        });
+    }
+    // Per-VC occupancy series only when credit flow control exists, so
+    // default staged runs keep their exact sample-series set.
+    for (uint32_t vc = 0; vc < pipeline_->numVcs() && vc < 2; ++vc) {
+        sampler->addGauge("mem.vc" + std::to_string(vc) + "_parked",
+                          [this, vc] {
+            return static_cast<double>(pipeline_->vcParkedNow(vc));
+        });
+        sampler->addGauge("mem.vc" + std::to_string(vc) + "_credits",
+                          [this, vc] {
+            return static_cast<double>(pipeline_->vcCreditsInUse(vc));
         });
     }
 

@@ -113,6 +113,17 @@ Runtime::runKernel(const KernelDesc &kernel)
         return;
     }
 
+    if (gpu_.memPipeline().inflight() != 0) {
+        // The queue drained but transactions are still in flight: every
+        // one of them is parked on a full resource (MSHR pool, VC
+        // credit pool) with no pending event left to free it. That is
+        // a wedge, not a finished grid — diagnose it as one.
+        eq.diagnoseWedge(log_detail::concat(
+            gpu_.memPipeline().inflight(), " memory transaction(s) "
+            "parked with no pending events (kernel '", kernel.name,
+            "')"));
+    }
+
     panic_if(sched_->remaining() != 0,
              "kernel '", kernel.name, "' finished with ",
              sched_->remaining(), " CTAs never scheduled");

@@ -1,10 +1,12 @@
 #include "mem/stages.hh"
 
 #include <algorithm>
+#include <ostream>
 #include <string>
 #include <utility>
 
 #include "common/log.hh"
+#include "common/wait_graph.hh"
 #include "obs/recorder.hh"
 
 namespace mcmgpu {
@@ -70,6 +72,145 @@ FabricStage::service(MemTxn &txn)
         energy_.account(link_domain_, resp_bytes);
     }
     return TxnPhase::Complete;
+}
+
+void
+FabricStage::configureVcs(uint32_t modules, uint32_t vcs, uint32_t credits)
+{
+    modules_ = modules;
+    vcs_ = vcs;
+    credits_ = credits;
+    num_slots_ = vcs >= 2 ? 2 : 1;
+    if (vcs_ > 0)
+        pools_.assign(static_cast<size_t>(modules) * modules * num_slots_,
+                      VcPool{});
+}
+
+bool
+FabricStage::tryAcquire(ModuleId src, ModuleId dst, bool response)
+{
+    VcPool &p = pools_[poolIndex(src, dst, response)];
+    if (p.in_use >= credits_)
+        return false;
+    ++p.in_use;
+    ++in_use_now_[vcSlot(response)];
+    return true;
+}
+
+void
+FabricStage::park(ModuleId src, ModuleId dst, bool response, MemTxn &txn)
+{
+    VcPool &p = pools_[poolIndex(src, dst, response)];
+    txn.next = nullptr;
+    if (p.tail != nullptr)
+        p.tail->next = &txn;
+    else
+        p.head = &txn;
+    p.tail = &txn;
+    ++p.parked;
+    ++parked_now_[vcSlot(response)];
+}
+
+MemTxn *
+FabricStage::release(ModuleId src, ModuleId dst, bool response)
+{
+    const uint32_t slot = vcSlot(response);
+    VcPool &p = pools_[poolIndex(src, dst, response)];
+    --in_use_now_[slot];
+    MemTxn *w = p.head;
+    if (w == nullptr) {
+        --p.in_use;
+        return nullptr;
+    }
+    // Hand the credit straight to the FIFO head: p.in_use stays put,
+    // the waiter now holds the slot its class was blocked on.
+    p.head = w->next;
+    if (p.head == nullptr)
+        p.tail = nullptr;
+    w->next = nullptr;
+    --p.parked;
+    --parked_now_[slot];
+    ++in_use_now_[slot];
+    if (w->phase == TxnPhase::FabReq)
+        w->holds_req_credit = true;
+    else
+        w->holds_resp_credit = true;
+    return w;
+}
+
+std::string
+FabricStage::poolName(ModuleId src, ModuleId dst, bool response) const
+{
+    return "vc" + std::to_string(vcSlot(response)) + ":gpm" +
+           std::to_string(src) + "->gpm" + std::to_string(dst);
+}
+
+void
+FabricStage::reportWaits(WaitGraph &wg) const
+{
+    for (ModuleId s = 0; s < modules_; ++s) {
+        for (ModuleId d = 0; d < modules_; ++d) {
+            for (uint32_t slot = 0; slot < num_slots_; ++slot) {
+                const bool response = slot == 1;
+                const VcPool &p =
+                    pools_[poolIndex(s, d, response)];
+                if (p.parked == 0)
+                    continue;
+                const std::string pool = poolName(s, d, response);
+                wg.note(pool, log_detail::concat(
+                    p.in_use, "/", credits_, " credits in use, ",
+                    p.parked, " parked, oldest txn ", p.head->id,
+                    " parked since cycle ", p.head->stall_start));
+                for (const MemTxn *w = p.head; w != nullptr;
+                     w = w->next) {
+                    std::string detail = log_detail::concat(
+                        "txn ", w->id, w->is_store ? " store" : " load",
+                        " gpm", w->src, "->gpm", w->home_module);
+                    // Edge per resource the waiter holds; a waiter
+                    // holding nothing still occupies its SM scoreboard
+                    // slot, which is what the back-pressure reaches.
+                    bool held = false;
+                    if (w->holds_mshr) {
+                        wg.edge("mshr:gpm" + std::to_string(w->src),
+                                pool, detail);
+                        held = true;
+                    }
+                    if (w->holds_req_credit) {
+                        wg.edge(poolName(w->src, w->home_module, false),
+                                pool, detail);
+                        held = true;
+                    }
+                    if (!held)
+                        wg.edge("sm:gpm" + std::to_string(w->src), pool,
+                                std::move(detail));
+                }
+            }
+        }
+    }
+}
+
+void
+FabricStage::dumpOccupancy(std::ostream &os) const
+{
+    os << "  fabric VCs: " << vcs_ << " (" << credits_
+       << " credits per pool)\n";
+    for (ModuleId s = 0; s < modules_; ++s) {
+        for (ModuleId d = 0; d < modules_; ++d) {
+            for (uint32_t slot = 0; slot < num_slots_; ++slot) {
+                const bool response = slot == 1;
+                const VcPool &p = pools_[poolIndex(s, d, response)];
+                if (p.in_use == 0 && p.parked == 0)
+                    continue;
+                os << "    " << poolName(s, d, response) << ": "
+                   << p.in_use << "/" << credits_ << " credits, "
+                   << p.parked << " parked";
+                if (p.head != nullptr)
+                    os << " (oldest txn " << p.head->id
+                       << " since cycle " << p.head->stall_start << ")";
+                os << '\n';
+            }
+        }
+    }
 }
 
 // ------------------------------------------------------------ L2HomeStage
@@ -152,6 +293,7 @@ MemPipeline::MemPipeline(const GpuConfig &cfg, EventQueue &eq, PageTable &pt,
       l15_(l15),
       staged_(cfg.mem_model == MemModel::Staged),
       remote_mshrs_(staged_ ? cfg.remote_mshrs : 0),
+      vcs_(staged_ ? cfg.fabric_vcs : 0),
       stats_("mem"),
       txn_launched_(stats_.add("txn_launched",
                                "memory transactions launched")),
@@ -186,6 +328,60 @@ MemPipeline::MemPipeline(const GpuConfig &cfg, EventQueue &eq, PageTable &pt,
 {
     if (remote_mshrs_ > 0)
         mshrs_.resize(cfg_.num_modules);
+    if (vcs_ > 0) {
+        fabric_stage_.configureVcs(cfg_.num_modules, vcs_,
+                                   cfg_.vc_credits);
+        // Registered only with credit flow control on: the default
+        // staged stats.json must stay byte-identical.
+        txn_vc_parked_ = &stats_.add(
+            "txn_vc_parked", "transactions that waited for a VC credit");
+        txn_vc_park_cycles_ = &stats_.add(
+            "txn_vc_park_cycles",
+            "cycles transactions spent parked for a VC credit");
+        txn_vc_parked_peak_ = &stats_.add(
+            "txn_vc_parked_peak", "peak transactions parked across all "
+            "VC pools");
+    }
+    if (staged_ && (vcs_ > 0 || remote_mshrs_ > 0)) {
+        // Cold path only: reporters run when a stall is being declared.
+        eq_.addWaitReporter([this](WaitGraph &wg) { reportWaits(wg); });
+    }
+}
+
+void
+MemPipeline::reportWaits(WaitGraph &wg) const
+{
+    for (ModuleId m = 0; m < static_cast<ModuleId>(mshrs_.size()); ++m) {
+        const MshrState &s = mshrs_[m];
+        if (s.waitq_head == nullptr)
+            continue;
+        const std::string pool = "mshr:gpm" + std::to_string(m);
+        uint32_t waiting = 0;
+        for (const MemTxn *w = s.waitq_head; w != nullptr; w = w->next)
+            ++waiting;
+        wg.note(pool, log_detail::concat(
+            s.in_use, "/", remote_mshrs_, " in use, ", waiting,
+            " waiting, oldest txn ", s.waitq_head->id,
+            " waiting since cycle ", s.waitq_head->stall_start));
+        // MSHR waiters hold no pipeline resource yet — only their SM
+        // scoreboard slot, the edge the back-pressure propagates over.
+        for (const MemTxn *w = s.waitq_head; w != nullptr; w = w->next) {
+            wg.edge("sm:gpm" + std::to_string(w->src), pool,
+                    log_detail::concat("txn ", w->id,
+                                       w->is_store ? " store" : " load",
+                                       " gpm", w->src, "->gpm",
+                                       w->home_module));
+        }
+    }
+    if (vcs_ > 0)
+        fabric_stage_.reportWaits(wg);
+}
+
+void
+MemPipeline::dumpVcOccupancy(std::ostream &os) const
+{
+    if (vcs_ > 0)
+        fabric_stage_.dumpOccupancy(os);
 }
 
 void
@@ -224,6 +420,8 @@ MemPipeline::initTxn(MemTxn &txn, ModuleId src, Addr addr, uint32_t bytes,
     txn.l15_fill = false;
     txn.holds_mshr = false;
     txn.in_pipeline = false;
+    txn.holds_req_credit = false;
+    txn.holds_resp_credit = false;
     txn.src = src;
     txn.home_module = home;
     txn.home = part;
@@ -339,10 +537,24 @@ MemPipeline::stagedAdvance(MemTxn &txn)
             completeTxn(txn);
             return;
         }
+        // Credit gate: a remote packet may not enter the fabric until
+        // its class holds a credit on its direction. Parked txns
+        // schedule no events — a full hold-and-wait cycle therefore
+        // drains the queue, which is what the deadlock diagnoser keys
+        // off.
+        if (vcs_ > 0 && txn.remote && vcGate(txn))
+            return;
         const Cycle before = txn.t;
         const TxnPhase ph = txn.phase;
         serviceOne(txn);
         noteStage(ph, before, txn);
+        // The response is on the wire: the request's buffer slot at the
+        // home module is free the moment the reply is injected, not at
+        // delivery — the release order that keeps VC 1 a pure sink.
+        if (ph == TxnPhase::FabResp && txn.holds_req_credit) {
+            txn.holds_req_credit = false;
+            releaseVcCredit(txn.src, txn.home_module, false);
+        }
         if (txn.t > before) {
             scheduleAdvance(txn);
             return;
@@ -350,6 +562,55 @@ MemPipeline::stagedAdvance(MemTxn &txn)
         // Zero-latency transition (e.g. the local-access fabric pass):
         // keep walking inside the current event.
     }
+}
+
+bool
+MemPipeline::vcGate(MemTxn &txn)
+{
+    if (txn.phase == TxnPhase::FabReq && !txn.holds_req_credit) {
+        if (!fabric_stage_.tryAcquire(txn.src, txn.home_module, false)) {
+            parkForCredit(txn, txn.src, txn.home_module, false);
+            return true;
+        }
+        txn.holds_req_credit = true;
+    } else if (txn.phase == TxnPhase::FabResp && !txn.holds_resp_credit) {
+        if (!fabric_stage_.tryAcquire(txn.home_module, txn.src, true)) {
+            parkForCredit(txn, txn.home_module, txn.src, true);
+            return true;
+        }
+        txn.holds_resp_credit = true;
+    }
+    return false;
+}
+
+void
+MemPipeline::parkForCredit(MemTxn &txn, ModuleId src, ModuleId dst,
+                           bool response)
+{
+    txn.stall_start = txn.t;
+    ++*txn_vc_parked_;
+    fabric_stage_.park(src, dst, response, txn);
+    const double parked =
+        static_cast<double>(fabric_stage_.parkedNow(0)) +
+        static_cast<double>(fabric_stage_.parkedNow(1));
+    if (parked > txn_vc_parked_peak_->value())
+        txn_vc_parked_peak_->set(parked);
+}
+
+void
+MemPipeline::releaseVcCredit(ModuleId src, ModuleId dst, bool response)
+{
+    MemTxn *w = fabric_stage_.release(src, dst, response);
+    if (w == nullptr)
+        return;
+    // The credit passed straight to the parked head; resume it at the
+    // release time (its own clock stopped when it parked).
+    const Cycle now = eq_.now();
+    if (w->t < now)
+        w->t = now;
+    *txn_vc_park_cycles_ += static_cast<double>(w->t - w->stall_start);
+    traceVcWait(*w);
+    scheduleAdvance(*w);
 }
 
 void
@@ -399,6 +660,16 @@ MemPipeline::completeTxn(MemTxn &txn)
         occTick();
         --inflight_;
     }
+    // Loads return their response credit at delivery; stores (which
+    // never inject a response) return their request credit here.
+    if (txn.holds_resp_credit) {
+        txn.holds_resp_credit = false;
+        releaseVcCredit(txn.home_module, txn.src, true);
+    }
+    if (txn.holds_req_credit) {
+        txn.holds_req_credit = false;
+        releaseVcCredit(txn.src, txn.home_module, false);
+    }
     releaseMshr(txn);
     finishCommon(txn);
 
@@ -438,24 +709,45 @@ MemPipeline::noteStage(TxnPhase ph, Cycle before, MemTxn &txn)
 }
 
 void
+MemPipeline::ensureTraceTracks()
+{
+    if (trace_ready_)
+        return;
+    obs::TraceEmitter &tr = rec_->trace();
+    trace_pid_ = tr.addProcess("mem.txn");
+    for (size_t i = 0; i < static_cast<size_t>(TxnPhase::Complete); ++i) {
+        trace_tids_[i] = tr.addThread(
+            trace_pid_, txnPhaseName(static_cast<TxnPhase>(i)));
+    }
+    // Credit-stall track only when flow control can produce spans, so
+    // traces of VC-less runs keep their exact track set.
+    if (vcs_ > 0)
+        trace_vc_tid_ = tr.addThread(trace_pid_, "vc_wait");
+    trace_ready_ = true;
+}
+
+void
 MemPipeline::traceStage(TxnPhase ph, Cycle start, MemTxn &txn)
 {
     // One track per stage, capped to the first transactions so tracing
     // a long run cannot balloon the file.
     if (rec_ == nullptr || !rec_->traceEnabled() || txn.id >= kMaxTraceTxns)
         return;
-    if (!trace_ready_) {
-        obs::TraceEmitter &tr = rec_->trace();
-        trace_pid_ = tr.addProcess("mem.txn");
-        for (size_t i = 0;
-             i < static_cast<size_t>(TxnPhase::Complete); ++i) {
-            trace_tids_[i] = tr.addThread(
-                trace_pid_, txnPhaseName(static_cast<TxnPhase>(i)));
-        }
-        trace_ready_ = true;
-    }
+    ensureTraceTracks();
     rec_->trace().span(trace_pid_, trace_tids_[static_cast<size_t>(ph)],
                        "txn" + std::to_string(txn.id), start, txn.t);
+}
+
+void
+MemPipeline::traceVcWait(const MemTxn &txn)
+{
+    if (rec_ == nullptr || !rec_->traceEnabled() ||
+        txn.id >= kMaxTraceTxns || txn.t <= txn.stall_start)
+        return;
+    ensureTraceTracks();
+    rec_->trace().span(trace_pid_, trace_vc_tid_,
+                       "txn" + std::to_string(txn.id), txn.stall_start,
+                       txn.t);
 }
 
 } // namespace mcmgpu

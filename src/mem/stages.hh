@@ -28,7 +28,9 @@
 #define MCMGPU_MEM_STAGES_HH
 
 #include <array>
+#include <iosfwd>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/config.hh"
@@ -42,6 +44,8 @@
 #include "noc/ring.hh"
 
 namespace mcmgpu {
+
+class WaitGraph;
 
 namespace obs { class Recorder; }
 
@@ -71,7 +75,18 @@ class L15Stage : public MemStage
 };
 
 /** Inter-module traversal: request on the way out, response on the way
- *  back. Local transactions pass through with no cost. */
+ *  back. Local transactions pass through with no cost.
+ *
+ *  With virtual channels configured (staged mode, fabric_vcs > 0) the
+ *  stage also owns the credit state: one pool of `credits` buffer
+ *  slots per directed GPM pair per VC. fabric_vcs == 2 puts requests
+ *  on VC 0 and responses on VC 1 (deadlock-free by construction:
+ *  responses never wait on request progress); fabric_vcs == 1 shares
+ *  one pool between both classes — a deliberately deadlock-prone
+ *  protocol kept for diagnosis tests. The pipeline acquires a credit
+ *  before injecting a packet and parks the transaction in the pool's
+ *  FIFO when none is free; releases hand the credit straight to the
+ *  parked head. See docs/FABRIC.md. */
 class FabricStage : public MemStage
 {
   public:
@@ -84,10 +99,73 @@ class FabricStage : public MemStage
     const char *name() const override { return "fabric"; }
     TxnPhase service(MemTxn &txn) override;
 
+    // --- Credit flow control --------------------------------------------
+    /** Size the per-pair credit pools; vcs == 0 leaves them off. */
+    void configureVcs(uint32_t modules, uint32_t vcs, uint32_t credits);
+
+    bool vcsEnabled() const { return vcs_ > 0; }
+    uint32_t numVcs() const { return vcs_; }
+
+    /** Take one credit on src->dst for the class; false if exhausted. */
+    bool tryAcquire(ModuleId src, ModuleId dst, bool response);
+
+    /** FIFO-park @p txn until a credit on (src->dst, class) frees. */
+    void park(ModuleId src, ModuleId dst, bool response, MemTxn &txn);
+
+    /**
+     * Return one credit on (src->dst, class). When waiters are parked
+     * the credit passes directly to the FIFO holds (the waiter's
+     * holds_*_credit flag is set from its phase) and the waiter is
+     * returned for the pipeline to reschedule; nullptr otherwise.
+     */
+    MemTxn *release(ModuleId src, ModuleId dst, bool response);
+
+    /** Transactions currently parked waiting for a credit on @p vc. */
+    uint32_t parkedNow(uint32_t vc) const { return parked_now_[vc]; }
+    /** Credits currently held across all pools of @p vc. */
+    uint32_t creditsInUse(uint32_t vc) const { return in_use_now_[vc]; }
+
+    /** Diagnosis name of one pool, e.g. "vc0:gpm1->gpm3". */
+    std::string poolName(ModuleId src, ModuleId dst, bool response) const;
+
+    /** Emit hold->wait edges + occupancy notes for every parked txn. */
+    void reportWaits(WaitGraph &wg) const;
+
+    /** Human-readable per-pool occupancy (stall diagnostics). */
+    void dumpOccupancy(std::ostream &os) const;
+
   private:
+    /** Per-(directed pair, VC) credit pool with its parked FIFO. */
+    struct VcPool
+    {
+        uint32_t in_use = 0;
+        uint32_t parked = 0;
+        MemTxn *head = nullptr;
+        MemTxn *tail = nullptr;
+    };
+
+    /** Response traffic only gets its own lane with >= 2 VCs. */
+    uint32_t vcSlot(bool response) const
+    { return (response && vcs_ >= 2) ? 1 : 0; }
+
+    size_t
+    poolIndex(ModuleId src, ModuleId dst, bool response) const
+    {
+        return (static_cast<size_t>(src) * modules_ + dst) * num_slots_ +
+               vcSlot(response);
+    }
+
     Fabric &fabric_;
     EnergyModel &energy_;
     Domain link_domain_;
+
+    uint32_t modules_ = 0;
+    uint32_t vcs_ = 0;
+    uint32_t credits_ = 0;
+    uint32_t num_slots_ = 1;
+    std::vector<VcPool> pools_;
+    uint32_t parked_now_[2] = {0, 0};
+    uint32_t in_use_now_[2] = {0, 0};
 };
 
 /** Home L2 slice: probe on L2Lookup, install + dirty-victim writeback
@@ -159,6 +237,21 @@ class MemPipeline
     /** Transactions currently between launch and completion (staged). */
     uint64_t inflight() const { return inflight_; }
 
+    /** Virtual channels in play (0 = credit flow control off). */
+    uint32_t numVcs() const { return vcs_; }
+
+    /** Transactions parked for a credit on @p vc right now (gauges). */
+    uint32_t vcParkedNow(uint32_t vc) const
+    { return fabric_stage_.parkedNow(vc); }
+
+    /** Credits held across all pools of @p vc right now (gauges). */
+    uint32_t vcCreditsInUse(uint32_t vc) const
+    { return fabric_stage_.creditsInUse(vc); }
+
+    /** Per-pool VC occupancy dump for stall diagnostics; no-op with
+     *  credit flow control off. */
+    void dumpVcOccupancy(std::ostream &os) const;
+
     /** The "mem" stats group (txn_* scalars; staged mode only fills
      *  them, chain mode leaves the group at zero). */
     const stats::Group &statsGroup() const { return stats_; }
@@ -193,9 +286,23 @@ class MemPipeline
 
     void completeTxn(MemTxn &txn);
 
+    // --- Credit flow control (staged with fabric_vcs > 0) ---------------
+    /** Gate a remote FabReq/FabResp on its VC credit; true = parked. */
+    bool vcGate(MemTxn &txn);
+    /** Park @p txn until a credit on (src->dst, class) frees. */
+    void parkForCredit(MemTxn &txn, ModuleId src, ModuleId dst,
+                       bool response);
+    /** Return a credit; wakes and reschedules the parked head. */
+    void releaseVcCredit(ModuleId src, ModuleId dst, bool response);
+
+    /** Wait-for-graph reporter (MSHR queues + VC pools). */
+    void reportWaits(WaitGraph &wg) const;
+
     void occTick();
     void noteStage(TxnPhase ph, Cycle before, MemTxn &txn);
     void traceStage(TxnPhase ph, Cycle start, MemTxn &txn);
+    void ensureTraceTracks();
+    void traceVcWait(const MemTxn &txn);
 
     const GpuConfig &cfg_;
     EventQueue &eq_;
@@ -211,6 +318,7 @@ class MemPipeline
 
     bool staged_;
     uint32_t remote_mshrs_;
+    uint32_t vcs_;
     std::vector<MshrState> mshrs_;
 
     obs::Recorder *rec_ = nullptr;
@@ -224,6 +332,7 @@ class MemPipeline
     static constexpr uint64_t kMaxTraceTxns = 512;
     uint32_t trace_pid_ = 0;
     std::array<uint32_t, 7> trace_tids_{};
+    uint32_t trace_vc_tid_ = 0;
     bool trace_ready_ = false;
 
     stats::Group stats_;
@@ -239,6 +348,12 @@ class MemPipeline
     stats::Scalar &stage_l2_cycles_;
     stats::Scalar &stage_dram_cycles_;
     stats::Scalar &stage_fab_resp_cycles_;
+
+    // Registered only when credit flow control is on, so the default
+    // staged stats.json stays byte-identical with VCs off.
+    stats::Scalar *txn_vc_parked_ = nullptr;
+    stats::Scalar *txn_vc_park_cycles_ = nullptr;
+    stats::Scalar *txn_vc_parked_peak_ = nullptr;
 };
 
 } // namespace mcmgpu

@@ -72,6 +72,11 @@ struct MemTxn
     /** Transaction went past the L1.5 into the pipeline (staged
      *  occupancy accounting). */
     bool in_pipeline = false;
+    /** Holds a request-VC credit on the src->home direction (staged
+     *  with fabric_vcs > 0). */
+    bool holds_req_credit = false;
+    /** Holds a response-VC credit on the home->src direction. */
+    bool holds_resp_credit = false;
 
     ModuleId src = 0;        //!< issuing module
     ModuleId home_module = 0;
@@ -85,7 +90,7 @@ struct MemTxn
     TxnPhase phase = TxnPhase::L15;
     TxnDoneFn done;          //!< completion continuation
 
-    MemTxn *next = nullptr;  //!< arena freelist / MSHR wait queue link
+    MemTxn *next = nullptr;  //!< arena freelist / MSHR or VC park link
 };
 
 /**

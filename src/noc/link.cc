@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/log.hh"
+
 namespace mcmgpu {
 
 void
@@ -12,6 +14,7 @@ Link::setTransientErrors(double error_rate, Cycle retry_cycles,
     retry_cycles_ = retry_cycles;
     rng_ = Rng(seed);
     backoff_ = 0;
+    consec_errors_ = 0;
 }
 
 Cycle
@@ -30,13 +33,37 @@ Link::traverseSlow(Cycle now, uint64_t bytes)
         if (backoff_ < kMaxBackoffShift)
             ++backoff_;
         replay_cycles_ += penalty;
+        // A streak this long is not transient noise: at any realistic
+        // error rate the probability is nil, so declare the link
+        // wedged and fail typed + named instead of throttling forever.
+        if (++consec_errors_ >= kWedgeLimit)
+            throwWedged(now);
         t = server_.acquire(t + penalty, bytes) + hop_cycles_;
     } else {
         backoff_ = 0;
+        consec_errors_ = 0;
     }
     if (busy_merge_gap_ != 0)
         noteBusy(now, t);
     return t;
+}
+
+void
+Link::throwWedged(Cycle now)
+{
+    const std::string link = name_.empty() ? "unnamed link" : name_;
+    std::string diag = log_detail::concat(
+        "LinkWedged: link '", link, "' wedged: ", consec_errors_,
+        " consecutive transient errors without a clean delivery\n",
+        "  error_rate ", error_rate_, ", total errors ", errors_,
+        ", replay cycles charged ", replay_cycles_, ", last traversal "
+        "entered at cycle ", now, '\n');
+    warn("link wedged:\n", diag);
+    throw LinkWedged(
+        log_detail::concat("LinkWedged: link '", link, "' hit ",
+                           consec_errors_, " consecutive transient "
+                           "errors (error_rate ", error_rate_, ")"),
+        std::move(diag), link);
 }
 
 void

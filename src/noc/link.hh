@@ -21,11 +21,36 @@
 #include <vector>
 
 #include "common/bw_server.hh"
+#include "common/event_queue.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
 #include "common/units.hh"
 
 namespace mcmgpu {
+
+/**
+ * A SimStall raised by a link whose transient-error process stopped
+ * being transient: kWedgeLimit consecutive traversals errored without
+ * one clean delivery. At realistic error rates the streak is
+ * unreachable; a (mis)configured 100%-error link hits it within a few
+ * hundred traversals and fails loudly with the link named, instead of
+ * silently crawling to the cycle limit on maxed-out replay penalties.
+ */
+class LinkWedged : public SimStall
+{
+  public:
+    LinkWedged(std::string what, std::string diagnostic, std::string link)
+        : SimStall(std::move(what), std::move(diagnostic)),
+          link_(std::move(link))
+    {
+    }
+
+    /** Debug name of the wedged link (e.g. "ring.cw2"). */
+    const std::string &link() const { return link_; }
+
+  private:
+    std::string link_;
+};
 
 /** One directional link. */
 class Link
@@ -78,6 +103,10 @@ class Link
     /** Total replay-penalty cycles charged to traffic on this link. */
     uint64_t replayCycles() const { return replay_cycles_; }
 
+    /** Debug name used in wedge diagnostics ("ring.cw0", ...). */
+    void setName(std::string name) { name_ = std::move(name); }
+    const std::string &name() const { return name_; }
+
     /** Record every traversal's queueing delay into @p hist (not
      *  owned; nullptr detaches). See BandwidthServer. */
     void setQueueHistogram(stats::Histogram *hist)
@@ -105,16 +134,19 @@ class Link
 
   private:
     Cycle traverseSlow(Cycle now, uint64_t bytes);
+    [[noreturn]] void throwWedged(Cycle now);
     void noteBusy(Cycle start, Cycle end);
 
     BandwidthServer server_{1.0};
     Cycle hop_cycles_ = 0;
+    std::string name_;
 
     // Transient-error state (inert while error_rate_ == 0).
     double error_rate_ = 0.0;
     Cycle retry_cycles_ = 0;
     Rng rng_{1};
     uint32_t backoff_ = 0; //!< consecutive errors, exponent of the penalty
+    uint32_t consec_errors_ = 0; //!< errored traversals without one clean
     uint64_t errors_ = 0;
     uint64_t replay_cycles_ = 0;
 
@@ -127,6 +159,10 @@ class Link
 
     /** Backoff exponent cap: penalties stop doubling past this. */
     static constexpr uint32_t kMaxBackoffShift = 6;
+
+  public:
+    /** Consecutive errored traversals declaring the link wedged. */
+    static constexpr uint32_t kWedgeLimit = 256;
 };
 
 } // namespace mcmgpu

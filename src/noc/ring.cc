@@ -15,12 +15,16 @@ namespace {
  * egress/ingress — on distinct error streams).
  */
 Link
-makeLink(double gbps, Cycle hop_cycles, const FaultPlan *plan,
-         ModuleId upstream, uint64_t salt)
+makeLink(std::string name, double gbps, Cycle hop_cycles,
+         const FaultPlan *plan, ModuleId upstream, uint64_t salt)
 {
-    if (!plan)
-        return Link(gbps, hop_cycles);
+    if (!plan) {
+        Link l(gbps, hop_cycles);
+        l.setName(std::move(name));
+        return l;
+    }
     Link l(gbps * plan->linkDerate(upstream), hop_cycles);
+    l.setName(std::move(name));
     const double rate = plan->linkErrorRate(upstream);
     if (rate > 0.0) {
         l.setTransientErrors(rate, plan->link_retry_cycles,
@@ -80,8 +84,10 @@ RingFabric::RingFabric(uint32_t nodes, double gbps, Cycle hop_cycles,
     cw_.reserve(nodes);
     ccw_.reserve(nodes);
     for (uint32_t i = 0; i < nodes; ++i) {
-        cw_.push_back(makeLink(per_direction, hop_cycles, plan, i, 1));
-        ccw_.push_back(makeLink(per_direction, hop_cycles, plan, i, 2));
+        cw_.push_back(makeLink("ring.cw" + std::to_string(i),
+                               per_direction, hop_cycles, plan, i, 1));
+        ccw_.push_back(makeLink("ring.ccw" + std::to_string(i),
+                                per_direction, hop_cycles, plan, i, 2));
     }
 }
 
@@ -202,8 +208,9 @@ MeshFabric::MeshFabric(uint32_t nodes, double gbps, Cycle hop_cycles,
             if (dist == 1) {
                 link_of_[static_cast<size_t>(a) * nodes + b] =
                     static_cast<int32_t>(links_.size());
-                links_.push_back(
-                    makeLink(per_direction, hop_cycles, plan, a, 3 + b));
+                links_.push_back(makeLink(
+                    "mesh." + std::to_string(a) + "->" + std::to_string(b),
+                    per_direction, hop_cycles, plan, a, 3 + b));
             }
         }
     }
@@ -297,9 +304,11 @@ PortsFabric::PortsFabric(uint32_t nodes, double gbps, Cycle hop_cycles,
     for (uint32_t i = 0; i < nodes; ++i) {
         // Split the hop latency across the two port traversals so one
         // send costs exactly hop_cycles of latency end to end.
-        egress_.push_back(
-            makeLink(per_direction, hop_cycles / 2, plan, i, 4));
-        ingress_.push_back(makeLink(per_direction,
+        egress_.push_back(makeLink("ports.egress" + std::to_string(i),
+                                   per_direction, hop_cycles / 2, plan, i,
+                                   4));
+        ingress_.push_back(makeLink("ports.ingress" + std::to_string(i),
+                                    per_direction,
                                     hop_cycles - hop_cycles / 2, plan, i,
                                     5));
     }

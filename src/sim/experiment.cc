@@ -37,6 +37,7 @@ struct HarnessState
     exec::TelemetrySink sink;
     unsigned jobs_setting; //!< 0 = one per hardware thread
     std::string runs_json;
+    double job_timeout_s = 0.0; //!< per-job wall budget; 0 disables
 
     HarnessState()
     {
@@ -49,6 +50,9 @@ struct HarnessState
                                 : 1;
         const char *runs_env = std::getenv("MCMGPU_RUNS_JSON");
         runs_json = runs_env ? runs_env : "";
+        const char *timeout_env = std::getenv("MCMGPU_JOB_TIMEOUT_S");
+        if (timeout_env)
+            job_timeout_s = std::strtod(timeout_env, nullptr);
         // Observability defaults come from MCMGPU_SAMPLE_PERIOD /
         // MCMGPU_STATS_JSON / MCMGPU_TRACE_JSON / MCMGPU_OBS_DIR; CLI
         // flags parsed later override them.
@@ -87,6 +91,7 @@ struct SweepContext
     std::shared_ptr<exec::ResultCache> cache;
     unsigned jobs;
     std::string runs_json;
+    double job_timeout_s;
 };
 
 SweepContext
@@ -94,7 +99,8 @@ sweepContext()
 {
     HarnessState &s = state();
     std::lock_guard<std::mutex> lk(s.mu);
-    return {s.cache, resolveJobs(s.jobs_setting), s.runs_json};
+    return {s.cache, resolveJobs(s.jobs_setting), s.runs_json,
+            s.job_timeout_s};
 }
 
 void
@@ -145,6 +151,14 @@ setRunsJsonPath(std::string path)
     s.runs_json = std::move(path);
 }
 
+void
+setJobTimeout(double seconds)
+{
+    HarnessState &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.job_timeout_s = seconds > 0.0 ? seconds : 0.0;
+}
+
 const char *
 cliFlagHelp()
 {
@@ -160,6 +174,13 @@ cliFlagHelp()
            "  --cache-dir <dir>          result cache location ('' "
            "disables;\n"
            "                             or set MCMGPU_CACHE_DIR)\n"
+           "  --job-timeout-s <s>        per-job wall-clock budget; a "
+           "run over\n"
+           "                             budget ends as 'timeout' and "
+           "retries\n"
+           "                             with backoff (or set\n"
+           "                             MCMGPU_JOB_TIMEOUT_S; 0 "
+           "disables)\n"
            "  --sample-period <cycles>   sample windowed timelines every "
            "N\n"
            "                             cycles into <obs-dir>/"
@@ -192,6 +213,8 @@ parseCliFlag(int argc, char **argv, int &i)
         setRunsJsonPath(value());
     } else if (!std::strcmp(arg, "--cache-dir")) {
         setCacheDir(value());
+    } else if (!std::strcmp(arg, "--job-timeout-s")) {
+        setJobTimeout(std::strtod(value(), nullptr));
     } else if (!std::strcmp(arg, "--sample-period")) {
         obs::Options o = obs::options();
         o.sample_period = std::strtoull(value(), nullptr, 10);
@@ -276,6 +299,11 @@ configKey(const GpuConfig &cfg)
         os << "/M" << static_cast<int>(cfg.mem_model) << ','
            << cfg.remote_mshrs;
     }
+    // Fabric virtual channels change staged timing; VCs off (the
+    // default, and the only behaviour the chain model has) adds
+    // nothing so pre-VC cache entries stay valid.
+    if (cfg.fabric_vcs != 0)
+        os << "/V" << cfg.fabric_vcs << ',' << cfg.vc_credits;
     return os.str();
 }
 
@@ -295,6 +323,7 @@ run(const GpuConfig &cfg, const workloads::Workload &w)
 
     const SweepContext ctx = sweepContext();
     exec::JobGraph graph(ctx.cache.get(), &s.sink);
+    graph.setJobTimeout(ctx.job_timeout_s);
     if (exec::Progress::instance().enabled())
         graph.setProgressLabel("sim");
     const size_t slot = graph.add(cfg, w, key, cacheableKey(key));
@@ -322,6 +351,7 @@ runGrid(std::span<const GpuConfig> cfgs,
     HarnessState &s = state();
     const SweepContext ctx = sweepContext();
     exec::JobGraph graph(ctx.cache.get(), &s.sink);
+    graph.setJobTimeout(ctx.job_timeout_s);
     if (exec::Progress::instance().enabled())
         graph.setProgressLabel("sweep");
 

@@ -68,10 +68,18 @@ unsigned jobs();
 void setRunsJsonPath(std::string path);
 
 /**
+ * Per-job wall-clock budget in seconds; a simulation that exceeds it
+ * ends as RunStatus::Timeout and takes the same retry-with-backoff
+ * path as a stall. <= 0 (the default) disables. Initialized from
+ * MCMGPU_JOB_TIMEOUT_S.
+ */
+void setJobTimeout(double seconds);
+
+/**
  * Consume one shared experiment CLI flag at @p argv[i] (--quiet,
- * --jobs N, --runs-json PATH, --cache-dir DIR, --sample-period N,
- * --stats-json, --trace-json, --obs-dir DIR), advancing @p i past
- * any value. Every bench binary routes unrecognized args through
+ * --jobs N, --runs-json PATH, --cache-dir DIR, --job-timeout-s S,
+ * --sample-period N, --stats-json, --trace-json, --obs-dir DIR),
+ * advancing @p i past any value. Every bench binary routes unrecognized args through
  * this. @return true if the flag was consumed.
  */
 bool parseCliFlag(int argc, char **argv, int &i);

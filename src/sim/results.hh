@@ -24,6 +24,9 @@ enum class RunStatus
     CycleLimit, //!< cfg.cycle_limit hit with work still in flight
     Stalled,    //!< watchdog detected no forward progress (SimStall)
     Error,      //!< the simulation threw; see stall_diagnostic
+    Deadlock,   //!< wait-for graph closed a cycle (FabricDeadlock);
+                //!< deterministic, never retried
+    Timeout,    //!< per-job wall-clock budget expired (SimTimeout)
 };
 
 /** Human-readable status name ("finished"/"cycle_limit"/...). */
@@ -35,6 +38,8 @@ toString(RunStatus s)
       case RunStatus::CycleLimit: return "cycle_limit";
       case RunStatus::Stalled: return "stalled";
       case RunStatus::Error: return "error";
+      case RunStatus::Deadlock: return "deadlock";
+      case RunStatus::Timeout: return "timeout";
     }
     return "unknown";
 }

@@ -10,10 +10,13 @@
 namespace mcmgpu {
 
 RunResult
-Simulator::run(const GpuConfig &cfg, const workloads::Workload &workload)
+Simulator::run(const GpuConfig &cfg, const workloads::Workload &workload,
+               double wall_timeout_s)
 {
     GpuSystem gpu(cfg);
     Runtime rt(gpu);
+    if (wall_timeout_s > 0.0)
+        gpu.eventQueue().setWallDeadline(wall_timeout_s);
 
     // Observability is opt-in and purely passive: with everything off
     // (the default) no recorder exists and the hot paths only test a
@@ -31,12 +34,23 @@ Simulator::run(const GpuConfig &cfg, const workloads::Workload &workload)
     try {
         rt.runAll(workload.launches);
         r.status = rt.status();
+    } catch (const FabricDeadlock &deadlock) {
+        // The wait-for graph closed a hold-and-wait cycle: a protocol
+        // deadlock, deterministic for this config + workload. Callers
+        // must not retry — the same cycle will form again.
+        r.status = RunStatus::Deadlock;
+        r.stall_diagnostic = deadlock.diagnostic();
     } catch (const SimStall &stall) {
         // The watchdog saw pending events but no retired work: report a
         // typed, diagnosable outcome with the partial metrics instead of
         // spinning forever.
         r.status = RunStatus::Stalled;
         r.stall_diagnostic = stall.diagnostic();
+    } catch (const SimTimeout &timeout) {
+        // Host wall-clock budget expired; the simulation itself was
+        // healthy, so this outcome is retryable.
+        r.status = RunStatus::Timeout;
+        r.stall_diagnostic = timeout.what();
     }
 
     r.workload = workload.abbr;

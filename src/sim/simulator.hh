@@ -19,10 +19,12 @@ class Simulator
   public:
     /**
      * Simulate @p workload to completion on a fresh machine described
-     * by @p cfg.
+     * by @p cfg. A positive @p wall_timeout_s bounds host wall-clock:
+     * the run is cut short with RunStatus::Timeout when it expires.
      */
     static RunResult run(const GpuConfig &cfg,
-                         const workloads::Workload &workload);
+                         const workloads::Workload &workload,
+                         double wall_timeout_s = 0.0);
 };
 
 } // namespace mcmgpu

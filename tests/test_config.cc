@@ -265,9 +265,15 @@ TEST(ConfigIssues, FaultPlanSanity)
         ConfigError(c.check()).has(ConfigErrc::FaultBadLinkDerate));
 
     c = configs::mcmBasic();
-    c.fault = FaultPlan{}.injectLinkErrors(1.0); // p=1 never delivers
+    c.fault = FaultPlan{}.injectLinkErrors(1.5); // probabilities top at 1
     EXPECT_TRUE(
         ConfigError(c.check()).has(ConfigErrc::FaultBadLinkErrorRate));
+
+    // p = 1.0 is legal: an always-erroring link is a valid fault plan
+    // and surfaces as a typed LinkWedged stall, not a config error.
+    c = configs::mcmBasic();
+    c.fault = FaultPlan{}.injectLinkErrors(1.0);
+    EXPECT_TRUE(c.check().empty());
 
     c = configs::mcmBasic();
     c.fault = FaultPlan{}.killPartition(c.totalPartitions());

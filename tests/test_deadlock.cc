@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Tests for the deadlock-safe fabric: the WaitGraph cycle detector,
+ * the EventQueue wait-for diagnoser (watchdog and post-drain wedge
+ * paths), virtual-channel credit flow control in the staged memory
+ * pipeline, deadlock injection + recovery, and the wall-clock timeout
+ * plumbed through Simulator::run().
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/event_queue.hh"
+#include "common/log.hh"
+#include "common/units.hh"
+#include "common/wait_graph.hh"
+#include "gpu/gpu_system.hh"
+#include "gpu/runtime.hh"
+#include "sim/simulator.hh"
+#include "workloads/patterns.hh"
+#include "workloads/registry.hh"
+
+namespace mcmgpu {
+namespace {
+
+using workloads::ArrayRef;
+using workloads::Category;
+using workloads::KernelSpec;
+using workloads::Workload;
+using workloads::WorkloadBuilder;
+
+// --- WaitGraph ---------------------------------------------------------------
+
+TEST(WaitGraph, EmptyGraphHasNoCycle)
+{
+    WaitGraph wg;
+    EXPECT_TRUE(wg.empty());
+    EXPECT_TRUE(wg.findCycle().empty());
+}
+
+TEST(WaitGraph, AcyclicGraphFindsNoCycle)
+{
+    WaitGraph wg;
+    wg.edge("a", "b");
+    wg.edge("b", "c");
+    wg.edge("a", "c");
+    EXPECT_FALSE(wg.empty());
+    EXPECT_TRUE(wg.findCycle().empty());
+    const std::string r = wg.render();
+    EXPECT_NE(r.find("a -> b"), std::string::npos);
+    EXPECT_EQ(r.find("CYCLE"), std::string::npos);
+}
+
+TEST(WaitGraph, CycleIsFoundAndClosed)
+{
+    WaitGraph wg;
+    wg.edge("sink", "a");
+    wg.edge("a", "b", "txn 1");
+    wg.edge("b", "c");
+    wg.edge("c", "a");
+    const std::vector<std::string> cyc = wg.findCycle();
+    ASSERT_FALSE(cyc.empty());
+    EXPECT_EQ(cyc.front(), cyc.back()) << "cycle is reported closed";
+    EXPECT_GE(cyc.size(), 4u) << "a -> b -> c -> a";
+    const std::string r = wg.render();
+    EXPECT_NE(r.find("CYCLE:"), std::string::npos);
+    EXPECT_NE(r.find("[txn 1]"), std::string::npos);
+}
+
+TEST(WaitGraph, SelfLoopIsACycle)
+{
+    WaitGraph wg;
+    wg.edge("pool", "pool");
+    const std::vector<std::string> cyc = wg.findCycle();
+    ASSERT_EQ(cyc.size(), 2u);
+    EXPECT_EQ(cyc[0], "pool");
+    EXPECT_EQ(cyc[1], "pool");
+}
+
+TEST(WaitGraph, DuplicateEdgesCollapseAndNotesRender)
+{
+    WaitGraph wg;
+    wg.edge("a", "b", "first");
+    wg.edge("a", "b", "second");
+    wg.note("a", "4/4 in use");
+    const std::string r = wg.render();
+    EXPECT_NE(r.find("1 edges"), std::string::npos)
+        << "duplicates collapse:\n" << r;
+    EXPECT_NE(r.find("[first]"), std::string::npos)
+        << "first detail wins";
+    EXPECT_EQ(r.find("second"), std::string::npos);
+    EXPECT_NE(r.find("# a: 4/4 in use"), std::string::npos);
+}
+
+TEST(WaitGraph, DeterministicAcrossInsertionOrder)
+{
+    WaitGraph wg;
+    wg.edge("x", "y");
+    wg.edge("y", "z");
+    wg.edge("z", "x");
+    const std::vector<std::string> cyc = wg.findCycle();
+    ASSERT_FALSE(cyc.empty());
+    EXPECT_EQ(cyc.front(), "x") << "DFS from first-interned node";
+}
+
+// --- EventQueue diagnoser ----------------------------------------------------
+
+TEST(Diagnoser, WedgeWithCycleRaisesFabricDeadlock)
+{
+    EventQueue eq;
+    eq.addWaitReporter([](WaitGraph &wg) {
+        wg.edge("vc0:gpm0->gpm1", "vc0:gpm1->gpm0", "txn 3");
+        wg.edge("vc0:gpm1->gpm0", "vc0:gpm0->gpm1", "txn 9");
+    });
+    try {
+        eq.diagnoseWedge("2 transactions parked with no pending events");
+        FAIL() << "diagnoseWedge must throw";
+    } catch (const FabricDeadlock &d) {
+        EXPECT_NE(std::string(d.what()).find("FabricDeadlock"),
+                  std::string::npos);
+        EXPECT_NE(d.cycle().find("vc0:gpm0->gpm1"), std::string::npos);
+        EXPECT_NE(d.diagnostic().find("wait-for graph"),
+                  std::string::npos);
+        EXPECT_NE(d.diagnostic().find("CYCLE:"), std::string::npos);
+    }
+}
+
+TEST(Diagnoser, WedgeWithoutCycleStaysGenericSimStall)
+{
+    EventQueue eq;
+    eq.addWaitReporter([](WaitGraph &wg) {
+        wg.edge("sm:gpm0", "mshr:gpm0", "txn 5");
+    });
+    try {
+        eq.diagnoseWedge("1 transaction parked");
+        FAIL() << "diagnoseWedge must throw";
+    } catch (const FabricDeadlock &) {
+        FAIL() << "an acyclic wait graph is not a deadlock";
+    } catch (const SimStall &s) {
+        EXPECT_NE(s.diagnostic().find("sm:gpm0 -> mshr:gpm0"),
+                  std::string::npos);
+    }
+}
+
+TEST(Diagnoser, WatchdogPathAlsoRunsReporters)
+{
+    // Livelock flavour: events keep firing but nothing progresses, so
+    // the watchdog (not the post-drain check) trips — and it must run
+    // the same reporters and find the same cycle.
+    EventQueue eq;
+    eq.setWatchdog(64);
+    eq.addWaitReporter([](WaitGraph &wg) {
+        wg.edge("p", "q");
+        wg.edge("q", "p");
+    });
+    std::function<void()> spin = [&] {
+        eq.schedule(eq.now() + 1, spin);
+    };
+    eq.schedule(0, spin);
+    EXPECT_THROW(eq.run(), FabricDeadlock);
+}
+
+TEST(Diagnoser, WallDeadlineRaisesSimTimeout)
+{
+    EventQueue eq;
+    eq.setWallDeadline(1e-9); // already expired at the first check
+    std::function<void()> spin = [&] {
+        eq.schedule(eq.now() + 1, spin);
+    };
+    eq.schedule(0, spin);
+    EXPECT_THROW(eq.run(), SimTimeout);
+
+    // Disarming restores normal behaviour.
+    EventQueue ok;
+    ok.setWallDeadline(0.0);
+    ok.schedule(1, [] {});
+    EXPECT_EQ(ok.run(), EventQueue::Outcome::Drained);
+}
+
+// --- Deadlock injection and recovery -----------------------------------------
+
+class DeadlockFabric : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuietLogging(true); }
+
+    /** Remote-heavy streaming kernel: every GPM reads both arrays, so
+     *  request/response traffic crosses every GPM pair both ways. */
+    static Workload
+    stream(uint32_t ctas = 512)
+    {
+        WorkloadBuilder b("dstream", "dstream",
+                          Category::MemoryIntensive);
+        ArrayRef in{b.alloc(8 * MiB), 8 * MiB};
+        ArrayRef out{b.alloc(8 * MiB), 8 * MiB};
+        KernelSpec k;
+        k.name = "dstream";
+        k.num_ctas = ctas;
+        k.warps_per_cta = 4;
+        k.items_per_warp = 8;
+        k.compute_per_item = 2;
+        k.arrays = {in, out};
+        k.accesses = {workloads::part(0), workloads::part(1, true)};
+        k.seed = 3;
+        b.launch(k, 2);
+        return b.build();
+    }
+
+    /** 1 shared VC, minimal credits, tiny MSHR pool: the canonical
+     *  deadlock-prone machine. */
+    static GpuConfig
+    prone()
+    {
+        GpuConfig cfg = configs::mcmBasic();
+        cfg.withMemModel(MemModel::Staged, 4);
+        cfg.withFabricVcs(1, 1);
+        return cfg;
+    }
+};
+
+TEST_F(DeadlockFabric, SharedVcWithMinimalCreditsDeadlocks)
+{
+    GpuConfig cfg = prone();
+    cfg.validate();
+    RunResult r = Simulator::run(cfg, stream());
+    ASSERT_EQ(r.status, RunStatus::Deadlock) << r.stall_diagnostic;
+    // The diagnostic names the resource cycle, per-VC occupancy, and
+    // the oldest parked transaction.
+    EXPECT_NE(r.stall_diagnostic.find("CYCLE:"), std::string::npos)
+        << r.stall_diagnostic;
+    EXPECT_NE(r.stall_diagnostic.find("vc0:gpm"), std::string::npos)
+        << r.stall_diagnostic;
+    EXPECT_NE(r.stall_diagnostic.find("credits in use"),
+              std::string::npos)
+        << r.stall_diagnostic;
+    EXPECT_NE(r.stall_diagnostic.find("oldest txn"), std::string::npos)
+        << r.stall_diagnostic;
+}
+
+TEST_F(DeadlockFabric, DeadlockIsDeterministic)
+{
+    GpuConfig cfg = prone();
+    RunResult a = Simulator::run(cfg, stream());
+    RunResult b = Simulator::run(cfg, stream());
+    EXPECT_EQ(a.status, RunStatus::Deadlock);
+    EXPECT_EQ(b.status, RunStatus::Deadlock);
+    EXPECT_EQ(a.cycles, b.cycles)
+        << "the same cycle forms at the same cycle count";
+}
+
+TEST_F(DeadlockFabric, SeparateResponseVcBreaksTheCycle)
+{
+    // Identical machine, credits still minimal — only the response
+    // class gets its own lane. Responses always drain, so the run
+    // completes: the textbook deadlock-freedom argument.
+    GpuConfig cfg = prone();
+    cfg.fabric_vcs = 2;
+    cfg.validate();
+    RunResult r = Simulator::run(cfg, stream(128));
+    EXPECT_EQ(r.status, RunStatus::Finished) << r.stall_diagnostic;
+    EXPECT_GT(r.ipc(), 0.0);
+}
+
+TEST_F(DeadlockFabric, GenerousCreditsAlsoComplete)
+{
+    GpuConfig cfg = configs::mcmBasic();
+    cfg.withMemModel(MemModel::Staged, 16);
+    cfg.withFabricVcs(2, 64);
+    RunResult r = Simulator::run(cfg, stream(128));
+    EXPECT_EQ(r.status, RunStatus::Finished) << r.stall_diagnostic;
+}
+
+TEST_F(DeadlockFabric, ChainModelIgnoresVcConfigBitIdentically)
+{
+    // The chain driver has no fabric occupancy to gate; VC settings
+    // must be completely inert there.
+    Workload w = stream(128);
+    RunResult base = Simulator::run(configs::mcmBasic(), w);
+    GpuConfig cfg = configs::mcmBasic();
+    cfg.withFabricVcs(1, 1); // mem_model stays Chain
+    RunResult r = Simulator::run(cfg, w);
+    EXPECT_EQ(r.status, RunStatus::Finished);
+    EXPECT_EQ(r.cycles, base.cycles);
+    EXPECT_EQ(r.warp_instructions, base.warp_instructions);
+}
+
+TEST_F(DeadlockFabric, VcStatsStayOutOfDefaultStagedRun)
+{
+    // Bit-identity discipline: a staged run without VCs must register
+    // no VC stats and expose zero VCs, so its stats.json is unchanged.
+    GpuConfig cfg = configs::mcmBasic().withMemModel(MemModel::Staged, 0);
+    GpuSystem gpu(cfg);
+    EXPECT_EQ(gpu.memPipeline().numVcs(), 0u);
+    GpuConfig vcs = configs::mcmBasic().withMemModel(MemModel::Staged, 0);
+    vcs.withFabricVcs(2, 8);
+    GpuSystem gpu2(vcs);
+    EXPECT_EQ(gpu2.memPipeline().numVcs(), 2u);
+}
+
+TEST_F(DeadlockFabric, StagedCompletesUnderEveryFaultAxis)
+{
+    // The resilience_sweep fault axes, each under the staged pipeline
+    // with 2 VCs: degradation stays graceful with credit flow control.
+    Workload w = stream(128);
+    std::vector<GpuConfig> axes;
+    {
+        GpuConfig c = configs::mcmOptimized();
+        c.fault.sweepSmsEveryModule(c.num_modules, 8);
+        axes.push_back(c);
+    }
+    {
+        GpuConfig c = configs::mcmOptimized();
+        c.fault.derateLinks(0.5);
+        axes.push_back(c);
+    }
+    {
+        GpuConfig c = configs::mcmOptimized();
+        c.fault.injectLinkErrors(5e-3);
+        axes.push_back(c);
+    }
+    {
+        GpuConfig c = configs::mcmOptimized();
+        c.fault.killPartition(3);
+        axes.push_back(c);
+    }
+    for (GpuConfig &c : axes) {
+        c.withMemModel(MemModel::Staged, 16);
+        c.withFabricVcs(2, 64);
+        c.validate();
+        RunResult r = Simulator::run(c, w);
+        EXPECT_EQ(r.status, RunStatus::Finished)
+            << c.name << ": " << r.stall_diagnostic;
+    }
+}
+
+TEST_F(DeadlockFabric, WallTimeoutSurfacesAsTimeoutStatus)
+{
+    // A healthy simulation over its wall budget ends Timeout (not
+    // Stalled, not an exception) with partial metrics intact.
+    RunResult r = Simulator::run(configs::mcmBasic(), stream(), 1e-9);
+    EXPECT_EQ(r.status, RunStatus::Timeout);
+    EXPECT_NE(r.stall_diagnostic.find("SimTimeout"), std::string::npos);
+}
+
+TEST_F(DeadlockFabric, ConfigValidationRejectsBadVcSettings)
+{
+    GpuConfig c = configs::mcmBasic();
+    c.fabric_vcs = 3;
+    EXPECT_TRUE(ConfigError(c.check()).has(ConfigErrc::BadFabricVcs));
+    c = configs::mcmBasic();
+    c.fabric_vcs = 1;
+    c.vc_credits = 0;
+    EXPECT_TRUE(ConfigError(c.check()).has(ConfigErrc::BadVcCredits));
+    c = configs::mcmBasic();
+    c.withFabricVcs(2, 64);
+    EXPECT_TRUE(c.check().empty());
+}
+
+} // namespace
+} // namespace mcmgpu

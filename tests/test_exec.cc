@@ -369,6 +369,24 @@ TEST(Telemetry, StatsAggregateRecords)
     EXPECT_EQ(sink.stats().jobs, 0u);
 }
 
+TEST(Telemetry, TimeoutsAndDeadlocksAggregateSeparately)
+{
+    TelemetrySink sink;
+    sink.record(sampleRecord("A", false, "finished"));
+    sink.record(sampleRecord("B", false, "timeout"));
+    sink.record(sampleRecord("C", false, "deadlock"));
+    const auto s = sink.stats();
+    EXPECT_EQ(s.failed, 2u) << "both count as failures";
+    EXPECT_EQ(s.timeouts, 1u);
+    EXPECT_EQ(s.deadlocks, 1u);
+
+    std::ostringstream os;
+    sink.dumpJson(os, 1);
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("\"timeouts\": 1"), std::string::npos);
+    EXPECT_NE(doc.find("\"deadlocks\": 1"), std::string::npos);
+}
+
 TEST(Telemetry, JsonIsWellFormedAndEscaped)
 {
     TelemetrySink sink;
@@ -496,6 +514,49 @@ TEST(JobGraphTest, InvalidConfigBecomesPerJobErrorNotAbort)
     EXPECT_FALSE(recs[0].error.empty());
     EXPECT_EQ(recs[1].status, "finished");
     EXPECT_EQ(sink.stats().failed, 1u);
+}
+
+TEST(JobGraphTest, TimeoutRetriesWithBackoffThenSurfaces)
+{
+    TelemetrySink sink;
+    JobGraph g(nullptr, &sink);
+    g.setJobTimeout(1e-9); // every attempt is instantly over budget
+    g.setMaxRetries(2);
+    size_t s = g.add(configs::monolithic(32), tinyWorkload("TSP"),
+                     "timeout-key");
+    g.execute(1);
+
+    EXPECT_EQ(g.result(s).status, RunStatus::Timeout);
+    EXPECT_EQ(g.error(s), nullptr) << "a timeout is a status, not a throw";
+    const auto recs = sink.records();
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].status, "timeout");
+    EXPECT_EQ(recs[0].retries, 2) << "timeouts ride the retry path";
+    EXPECT_EQ(sink.stats().timeouts, 1u);
+    EXPECT_GE(recs[0].wall_ms, 25.0 + 50.0)
+        << "exponential backoff sleeps between attempts";
+}
+
+TEST(JobGraphTest, DeadlockIsNeverRetried)
+{
+    TelemetrySink sink;
+    JobGraph g(nullptr, &sink);
+    g.setMaxRetries(3);
+    // 1 shared VC with one credit and a tiny MSHR pool: deterministic
+    // protocol deadlock (see test_deadlock.cc); retrying it would just
+    // reproduce the same cycle three more times.
+    GpuConfig cfg = configs::mcmBasic();
+    cfg.withMemModel(MemModel::Staged, 4);
+    cfg.withFabricVcs(1, 1);
+    size_t s = g.add(cfg, tinyWorkload("Stream"), "deadlock-key");
+    g.execute(1);
+
+    EXPECT_EQ(g.result(s).status, RunStatus::Deadlock);
+    const auto recs = sink.records();
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].status, "deadlock");
+    EXPECT_EQ(recs[0].retries, 0) << "deadlocks are deterministic";
+    EXPECT_EQ(sink.stats().deadlocks, 1u);
 }
 
 TEST(JobGraphTest, TelemetryCommitsInAdmissionOrder)

@@ -117,6 +117,44 @@ TEST(LinkFault, ReplayIsDeterministicAndCharged)
     EXPECT_GT(slower, 0u);
 }
 
+TEST(LinkFault, AlwaysErroringLinkWedgesTyped)
+{
+    // p = 1.0 never livelocks by itself — every traversal just pays
+    // the maximum replay penalty — so the wedge counter is what turns
+    // "permanently broken" into a typed, named failure.
+    Link l(64.0, 8);
+    l.setName("ring.cw0");
+    l.setTransientErrors(1.0, 16, 42);
+    Cycle t = 0;
+    uint32_t traversals = 0;
+    try {
+        for (;; ++traversals)
+            t = l.traverse(t, 256);
+        FAIL() << "a 100%-error link must wedge";
+    } catch (const LinkWedged &w) {
+        EXPECT_EQ(w.link(), "ring.cw0");
+        EXPECT_NE(std::string(w.what()).find("ring.cw0"),
+                  std::string::npos);
+        EXPECT_NE(w.diagnostic().find("consecutive transient errors"),
+                  std::string::npos);
+        EXPECT_EQ(traversals + 1, Link::kWedgeLimit)
+            << "wedge declared exactly at the limit";
+    }
+}
+
+TEST(LinkFault, CleanDeliveryResetsWedgeCounter)
+{
+    // At any p < 1 a clean traversal eventually lands and resets the
+    // streak, so realistic error rates can never reach the limit.
+    Link l(64.0, 8);
+    l.setTransientErrors(0.9, 4, 7);
+    Cycle t = 0;
+    for (int i = 0; i < 4 * int(Link::kWedgeLimit); ++i)
+        t = l.traverse(t, 256);
+    EXPECT_GT(l.transientErrors(), uint64_t(Link::kWedgeLimit))
+        << "far more total errors than the limit, but never in a row";
+}
+
 // --- Weighted CTA scheduling -------------------------------------------------
 
 TEST(FaultSched, WeightedBatchesAreProportionalAndComplete)
@@ -311,6 +349,24 @@ TEST_F(FaultIntegration, CombinedFaultsStillFinish)
     RunResult r = Simulator::run(cfg, w);
     EXPECT_EQ(r.status, RunStatus::Finished);
     EXPECT_GT(r.ipc(), 0.0);
+}
+
+TEST_F(FaultIntegration, FullyBrokenLinkSurfacesAsNamedStall)
+{
+    // Whole-machine regression for satellite coverage: a run over a
+    // 100%-error fabric must end Stalled with the wedged link named in
+    // the diagnostic — not crawl to the cycle limit.
+    Workload w = stream();
+    GpuConfig cfg = configs::mcmBasic();
+    cfg.fault.injectLinkErrors(1.0);
+    cfg.validate();
+    RunResult r = Simulator::run(cfg, w);
+    EXPECT_EQ(r.status, RunStatus::Stalled);
+    EXPECT_NE(r.stall_diagnostic.find("LinkWedged"), std::string::npos)
+        << r.stall_diagnostic;
+    EXPECT_NE(r.stall_diagnostic.find("ring."), std::string::npos)
+        << "diagnostic must name the wedged link\n"
+        << r.stall_diagnostic;
 }
 
 TEST_F(FaultIntegration, WatchdogDoesNotPerturbTiming)

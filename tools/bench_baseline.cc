@@ -283,8 +283,11 @@ usage()
         "mcm-basic,mcm-optimized)\n"
         "  --workloads x,y    workload abbreviations (default: all 48)\n"
         "  --repeat N         repeats per pair, fastest kept (default 1)\n"
-        "  --mem-model M      chain | staged | both (default chain);\n"
-        "                     staged pairs carry a +staged config suffix\n"
+        "  --mem-model M      chain | staged | staged-vc | both | all\n"
+        "                     (default chain); staged pairs carry a "
+        "+staged\n"
+        "                     config suffix, staged-vc pairs (2 virtual\n"
+        "                     channels, credit flow control) +staged-vc\n"
         "  --out FILE         write BENCH json (default "
         "BENCH_hotpath.json)\n"
         "  --baseline FILE    committed baseline to regress against\n"
@@ -310,6 +313,7 @@ main(int argc, char **argv)
     int repeats = 1;
     bool run_chain = true;
     bool run_staged = false;
+    bool run_staged_vc = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -330,11 +334,13 @@ main(int argc, char **argv)
             repeats = std::max(1, std::atoi(next().c_str()));
         else if (a == "--mem-model") {
             const std::string m = next();
-            run_chain = m == "chain" || m == "both";
-            run_staged = m == "staged" || m == "both";
-            if (!run_chain && !run_staged) {
+            run_chain = m == "chain" || m == "both" || m == "all";
+            run_staged = m == "staged" || m == "both" || m == "all";
+            run_staged_vc = m == "staged-vc" || m == "all";
+            if (!run_chain && !run_staged && !run_staged_vc) {
                 std::cerr << "unknown --mem-model " << m
-                          << " (chain | staged | both)\n";
+                          << " (chain | staged | staged-vc | both | "
+                             "all)\n";
                 return 2;
             }
         } else if (a == "--out")
@@ -389,6 +395,15 @@ main(int argc, char **argv)
             st.withMemModel(MemModel::Staged, 0);
             st.name += "+staged";
             cfgs.push_back(st);
+        }
+        if (run_staged_vc) {
+            // "+staged-vc" contains "+staged", so these pairs ride the
+            // same throughput-only gate as plain staged ones.
+            GpuConfig sv = cfg;
+            sv.withMemModel(MemModel::Staged, 0);
+            sv.withFabricVcs(2, 64);
+            sv.name += "+staged-vc";
+            cfgs.push_back(sv);
         }
     }
 
