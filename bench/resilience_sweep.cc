@@ -84,6 +84,7 @@ main(int argc, char **argv)
 {
     MemModel mem_model = MemModel::Chain;
     uint32_t remote_mshrs = 0;
+    std::string topology;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--mem-model") && i + 1 < argc) {
             const std::string m = argv[++i];
@@ -97,6 +98,8 @@ main(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--remote-mshrs") &&
                    i + 1 < argc) {
             remote_mshrs = uint32_t(std::strtoul(argv[++i], nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--topology") && i + 1 < argc) {
+            topology = argv[++i];
         } else {
             experiment::parseCliFlag(argc, argv, i);
         }
@@ -104,11 +107,16 @@ main(int argc, char **argv)
     setQuietLogging(true);
 
     // Every machine on every axis — the pristine reference included —
-    // runs under the selected memory model, so `--mem-model staged`
-    // exercises the split-transaction path under each fault plan.
+    // runs under the selected memory model and topology, so
+    // `--topology mesh2d:2x2` (or ring-of-rings / package) puts the
+    // link-derate and CRC-error axes on the compiled fabric's links —
+    // "mesh.0->1", "board.cw0" — instead of the default ring's.
     auto makeOpt = [&]() {
-        return configs::mcmOptimized().withMemModel(mem_model,
-                                                    remote_mshrs);
+        GpuConfig c =
+            configs::mcmOptimized().withMemModel(mem_model, remote_mshrs);
+        if (!topology.empty())
+            c.withTopology(topology).withName(c.name + "+" + topology);
+        return c;
     };
 
     const GpuConfig pristine = makeOpt();

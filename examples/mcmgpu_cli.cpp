@@ -46,6 +46,7 @@ usage()
         "  --workload <abbr>          workload to run (default Stream)\n"
         "  --machine <preset>         mono-32 | mono-128 | mono-256 |\n"
         "                             mcm-basic | mcm-optimized |\n"
+        "                             mcm-mesh | mcm-rings | mcm-package |\n"
         "                             multi-gpu | multi-gpu-opt\n"
         "                             (default mcm-basic)\n"
         "  --link-gbps <n>            inter-module link bandwidth\n"
@@ -54,6 +55,19 @@ usage()
         "  --sched <p>                centralized | distributed | dynamic\n"
         "  --pages <p>                interleave | first-touch | rr-page\n"
         "  --fabric <f>               ring | mesh | ports\n"
+        "topology (docs/TOPOLOGY.md):\n"
+        "  --topology <spec>          ring | mesh2d:RxC |\n"
+        "                             ring-of-rings:G/R | package:P\n"
+        "                             (empty: derive from --fabric)\n"
+        "  --pkg-link-gbps <n>        inter-package link bandwidth\n"
+        "                             (package:P only, default 256)\n"
+        "  --pkg-hop-cycles <n>       inter-package hop latency\n"
+        "                             (default 256)\n"
+        "dram:\n"
+        "  --dram-turnaround <n>      read/write bus-turnaround cycles\n"
+        "                             per channel (default 0 = off)\n"
+        "  --dram-write-drain <n>     buffer n posted writes per channel\n"
+        "                             and drain as one batch (default 0)\n"
         "  --stats                    print summary statistics\n"
         "  --dump-stats               dump every component counter\n"
         "memory pipeline:\n"
@@ -109,6 +123,12 @@ parseMachine(const std::string &name, GpuConfig &cfg)
         cfg = configs::mcmBasic();
     } else if (name == "mcm-optimized") {
         cfg = configs::mcmOptimized();
+    } else if (name == "mcm-mesh") {
+        cfg = configs::mcmMesh();
+    } else if (name == "mcm-rings") {
+        cfg = configs::mcmRingOfRings();
+    } else if (name == "mcm-package") {
+        cfg = configs::mcmPackage();
     } else if (name == "multi-gpu") {
         cfg = configs::multiGpuBaseline();
     } else if (name == "multi-gpu-opt") {
@@ -140,7 +160,8 @@ splitCommas(const std::string &s)
 int
 runMatrixMode(const std::string &machines, const std::string &workload_set,
               MemModel mem_model, uint32_t remote_mshrs,
-              uint32_t fabric_vcs, uint32_t vc_credits)
+              uint32_t fabric_vcs, uint32_t vc_credits,
+              const std::string &topology)
 {
     std::vector<GpuConfig> cfgs;
     for (const std::string &m : splitCommas(machines)) {
@@ -151,6 +172,8 @@ runMatrixMode(const std::string &machines, const std::string &workload_set,
         }
         c.withMemModel(mem_model, remote_mshrs);
         c.withFabricVcs(fabric_vcs, vc_credits);
+        if (!topology.empty())
+            c.withTopology(topology).withName(c.name + "+" + topology);
         cfgs.push_back(std::move(c));
     }
     std::vector<const workloads::Workload *> ws;
@@ -270,6 +293,7 @@ main(int argc, char **argv)
     uint32_t remote_mshrs = 0;
     uint32_t fabric_vcs = 0;
     uint32_t vc_credits = 64;
+    std::string topology;
     std::string matrix_machines;
     std::string matrix_workloads;
     std::string check_obs_dir;
@@ -325,6 +349,17 @@ main(int argc, char **argv)
             cfg.fabric = f == "ring"   ? FabricKind::Ring
                          : f == "mesh" ? FabricKind::Mesh
                                        : FabricKind::Ports;
+        } else if (arg == "--topology") {
+            topology = next();
+        } else if (arg == "--pkg-link-gbps") {
+            cfg.pkg_link_gbps = std::stod(next());
+        } else if (arg == "--pkg-hop-cycles") {
+            cfg.pkg_link_hop_cycles = std::stoull(next());
+        } else if (arg == "--dram-turnaround") {
+            cfg.dram_turnaround_cycles = std::stoull(next());
+        } else if (arg == "--dram-write-drain") {
+            cfg.dram_write_drain =
+                static_cast<uint32_t>(std::stoul(next()));
         } else if (arg == "--sweep-sms") {
             cfg.fault.sweepSmsEveryModule(cfg.num_modules,
                                           std::stoul(next()));
@@ -378,17 +413,20 @@ main(int argc, char **argv)
         }
     }
 
-    // Applied after the flag loop so --mem-model / --fabric-vcs
-    // compose with --machine in either order.
+    // Applied after the flag loop so --mem-model / --fabric-vcs /
+    // --topology compose with --machine in either order.
     cfg.withMemModel(mem_model, remote_mshrs);
     cfg.withFabricVcs(fabric_vcs, vc_credits);
+    if (!topology.empty())
+        cfg.withTopology(topology);
 
     if (!check_obs_dir.empty())
         return checkObsMode(check_obs_dir);
 
     if (!matrix_machines.empty()) {
         return runMatrixMode(matrix_machines, matrix_workloads, mem_model,
-                             remote_mshrs, fabric_vcs, vc_credits);
+                             remote_mshrs, fabric_vcs, vc_credits,
+                             topology);
     }
 
     const workloads::Workload *w = workloads::findByAbbr(workload);

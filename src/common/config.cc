@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "topo/graph.hh"
 
 namespace mcmgpu {
 
@@ -86,6 +87,38 @@ GpuConfig::check() const
     if (fabric_vcs > 0 && vc_credits == 0)
         flag(ConfigErrc::BadVcCredits,
              "vc_credits must be positive when virtual channels are on");
+
+    // --- Topology ----------------------------------------------------------
+    // A single module compiles to the ideal fabric whatever the spec
+    // says, so only multi-module machines validate structure.
+    if (!topology.empty() && num_modules > 1) {
+        topo::TopologyDesc desc;
+        std::string perr;
+        if (!topo::parseTopology(topology, desc, perr)) {
+            flag(ConfigErrc::TopoBadSpec, "topology '", topology, "': ",
+                 perr);
+        } else {
+            if (desc.kind == topo::TopoKind::Package &&
+                pkg_link_gbps <= 0.0) {
+                flag(ConfigErrc::NoLinkBandwidth,
+                     "inter-package links need bandwidth");
+            }
+            for (const topo::TopoIssue &ti :
+                 topo::checkTopology(desc, num_modules)) {
+                switch (ti.kind) {
+                  case topo::TopoIssueKind::BadSpec:
+                    flag(ConfigErrc::TopoBadSpec, ti.message);
+                    break;
+                  case topo::TopoIssueKind::DimsMismatch:
+                    flag(ConfigErrc::TopoDimsMismatch, ti.message);
+                    break;
+                  case topo::TopoIssueKind::Unreachable:
+                    flag(ConfigErrc::TopoUnreachable, ti.message);
+                    break;
+                }
+            }
+        }
+    }
 
     // --- Fault-plan sanity -------------------------------------------------
     for (const FaultPlan::SweptSm &s : fault.swept_sms) {
@@ -248,6 +281,45 @@ mcmOptimized(double link_gbps)
     c.cta_sched = CtaSchedPolicy::DistributedBatch;
     c.page_policy = PagePolicy::FirstTouch;
     c.name = "mcm-optimized";
+    return c;
+}
+
+GpuConfig
+mcmMesh()
+{
+    GpuConfig c = mcmBasic();
+    c.topology = "mesh2d:2x2";
+    c.name = "mcm-mesh";
+    return c;
+}
+
+GpuConfig
+mcmRingOfRings()
+{
+    GpuConfig c = mcmBasic();
+    c.topology = "ring-of-rings:2/2";
+    c.name = "mcm-rings";
+    return c;
+}
+
+GpuConfig
+mcmPackage()
+{
+    GpuConfig c = mcmBasic();
+    // Two basic packages side by side: double the modules, L2 and DRAM
+    // scale with them, and the board tier gets the multi-GPU baseline's
+    // link pricing (256 GB/s aggregate, board-level hop latency).
+    c.num_modules = 8;
+    c.l2.size_bytes = 2 * kTotalCacheBudget;
+    c.dram_total_gbps = 2.0 * 3072.0;
+    c.topology = "package:2";
+    c.pkg_link_gbps = 256.0;
+    c.pkg_link_hop_cycles = 256;
+    // Fine-grain scheduling and interleave perform poorly over a slow
+    // board link (section 6.1); follow the multi-GPU baseline.
+    c.cta_sched = CtaSchedPolicy::DistributedBatch;
+    c.page_policy = PagePolicy::FirstTouch;
+    c.name = "mcm-package";
     return c;
 }
 

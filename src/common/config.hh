@@ -46,6 +46,9 @@ enum class ConfigErrc
     FaultAllPartitionsDead,
     BadFabricVcs,
     BadVcCredits,
+    TopoBadSpec,       //!< unparseable/ill-formed --topology spec
+    TopoDimsMismatch,  //!< topology dims do not cover num_modules
+    TopoUnreachable,   //!< routing tables leave some pair unroutable
 };
 
 /** One defect found by GpuConfig::check(): a code plus prose. */
@@ -200,6 +203,17 @@ struct GpuConfig
     double dram_total_gbps = 3072.0;   //!< aggregate DRAM bandwidth (GB/s)
     double dram_latency_ns = 100.0;
     uint32_t channels_per_partition = 8;
+    /** Read/write bus-turnaround penalty per channel: switching a
+     *  channel's bus direction costs this many cycles before the next
+     *  access is served. 0 (the default) disables the model entirely —
+     *  timing stays bit-identical to the turnaround-free seed. */
+    Cycle dram_turnaround_cycles = 0;
+    /** Write-drain policy (only meaningful with a turnaround penalty):
+     *  posted writes buffer per channel and drain as one batch once
+     *  this many accumulate — or when a read needs the bus — paying one
+     *  turnaround per batch instead of one per interleaved write.
+     *  0 keeps every write immediate. */
+    uint32_t dram_write_drain = 0;
 
     // --- Inter-module fabric --------------------------------------------------
     FabricKind fabric = FabricKind::Ring;
@@ -207,6 +221,19 @@ struct GpuConfig
                                        //!< (both directions combined)
     Cycle link_hop_cycles = 32;        //!< per-hop latency penalty
     bool board_level_links = false;    //!< true for multi-GPU systems
+    /**
+     * Declarative topology spec ("ring", "mesh2d:RxC",
+     * "ring-of-rings:G/R", "package:P" — docs/TOPOLOGY.md). Empty (the
+     * default) derives the topology from `fabric` above, preserving
+     * historical behaviour bit for bit. Non-empty specs win over
+     * `fabric` and are validated by check().
+     */
+    std::string topology;
+    /** Inter-package (NVLink-class) link pricing, used only by the
+     *  package:P topology's board-tier links; on-package GRS links keep
+     *  using link_gbps / link_hop_cycles. Aggregate GB/s per link. */
+    double pkg_link_gbps = 256.0;
+    Cycle pkg_link_hop_cycles = 256;
 
     // --- Energy (Table 2) -----------------------------------------------------
     double chip_pj_per_bit = 0.080;    //!< on-chip movement, 80 fJ/b
@@ -303,6 +330,12 @@ struct GpuConfig
         vc_credits = credits;
         return *this;
     }
+    GpuConfig &
+    withTopology(std::string spec)
+    {
+        topology = std::move(spec);
+        return *this;
+    }
 };
 
 namespace configs {
@@ -332,6 +365,18 @@ GpuConfig mcmWithL15(uint64_t l15_total, L15Alloc alloc = L15Alloc::RemoteOnly,
  * 8MB L2, distributed CTA scheduling, first-touch page placement.
  */
 GpuConfig mcmOptimized(double link_gbps = 768.0);
+
+/** Basic MCM-GPU rewired as a 2x2 mesh (Figure 1's package layout):
+ *  same GPMs and link pricing, dimension-ordered routing. */
+GpuConfig mcmMesh();
+
+/** Basic MCM-GPU as a ring-of-rings: 2 local rings of 2 GPMs plus an
+ *  express ring over the group gateways. */
+GpuConfig mcmRingOfRings();
+
+/** Two basic MCM packages on one board: on-package rings bridged by
+ *  NVLink-class inter-package links (8 GPMs, 512 SMs total). */
+GpuConfig mcmPackage();
 
 /**
  * Baseline 2x128-SM multi-GPU (section 6.1): 256 GB/s aggregate board

@@ -52,7 +52,8 @@ GpuSystem::GpuSystem(const GpuConfig &cfg)
             l2_geo, "l2.part" + std::to_string(p), /*write_back=*/true));
         dram_.push_back(std::make_unique<DramPartition>(
             p, cfg_.channels_per_partition, cfg_.dramGbpsPerPartition(),
-            nsToCycles(cfg_.dram_latency_ns), cfg_.interleave_bytes));
+            nsToCycles(cfg_.dram_latency_ns), cfg_.interleave_bytes,
+            cfg_.dram_turnaround_cycles, cfg_.dram_write_drain));
     }
 
     pipeline_ = std::make_unique<MemPipeline>(cfg_, eq_, page_table_,

@@ -9,10 +9,13 @@ namespace mcmgpu {
 
 DramPartition::DramPartition(PartitionId id, uint32_t num_channels,
                              double total_gbps, Cycle latency_cycles,
-                             uint32_t interleave_bytes)
+                             uint32_t interleave_bytes,
+                             Cycle turnaround_cycles, uint32_t write_drain)
     : total_gbps_(total_gbps),
       latency_(latency_cycles),
       interleave_bytes_(interleave_bytes),
+      turnaround_(turnaround_cycles),
+      write_drain_(write_drain),
       stats_("dram.part" + std::to_string(id)),
       bytes_read_(stats_.add("bytes_read", "bytes read from DRAM")),
       bytes_written_(stats_.add("bytes_written", "bytes written to DRAM")),
@@ -31,17 +34,61 @@ DramPartition::DramPartition(PartitionId id, uint32_t num_channels,
     channels_.reserve(num_channels);
     for (uint32_t i = 0; i < num_channels; ++i)
         channels_.emplace_back(per_channel);
+    if (turnaround_ > 0) {
+        chan_state_.assign(num_channels, ChanState{});
+        turnarounds_ =
+            &stats_.add("turnarounds", "bus direction switches paid");
+        turnaround_cycles_ = &stats_.add(
+            "turnaround_cycles", "cycles lost to bus turnarounds");
+        if (write_drain_ > 0) {
+            write_drains_ =
+                &stats_.add("write_drains", "buffered write batches drained");
+        }
+    }
 }
 
-BandwidthServer &
-DramPartition::channelFor(Addr addr)
+uint32_t
+DramPartition::channelIndexFor(Addr addr) const
 {
     uint64_t blk = ilv_pow2_ ? addr >> ilv_shift_ : addr / interleave_bytes_;
     // Scramble so power-of-two page strides spread over channels.
     blk ^= blk >> 13;
     blk *= 0x9e3779b97f4a7c15ull;
     const uint64_t h = blk >> 32;
-    return channels_[chans_pow2_ ? (h & chan_mask_) : (h % channels_.size())];
+    return chans_pow2_ ? static_cast<uint32_t>(h & chan_mask_)
+                       : static_cast<uint32_t>(h % channels_.size());
+}
+
+BandwidthServer &
+DramPartition::channelFor(Addr addr)
+{
+    return channels_[channelIndexFor(addr)];
+}
+
+Cycle
+DramPartition::acquireDir(uint32_t ch, int8_t dir, uint64_t bytes, Cycle now)
+{
+    ChanState &st = chan_state_[ch];
+    Cycle start = now;
+    if (st.last_dir >= 0 && st.last_dir != dir) {
+        start += turnaround_;
+        *turnarounds_ += 1;
+        *turnaround_cycles_ += turnaround_;
+    }
+    st.last_dir = dir;
+    return channels_[ch].acquire(start, bytes);
+}
+
+void
+DramPartition::drainWrites(uint32_t ch, Cycle now)
+{
+    ChanState &st = chan_state_[ch];
+    if (st.buffered == 0)
+        return;
+    acquireDir(ch, 1, st.buffered_bytes, now);
+    *write_drains_ += 1;
+    st.buffered = 0;
+    st.buffered_bytes = 0;
 }
 
 Cycle
@@ -49,8 +96,16 @@ DramPartition::read(Addr addr, uint32_t bytes, Cycle now)
 {
     ++reads_;
     bytes_read_ += bytes;
-    Cycle served = channelFor(addr).acquire(now, bytes);
-    return served + latency_;
+    if (turnaround_ == 0) [[likely]] {
+        Cycle served = channelFor(addr).acquire(now, bytes);
+        return served + latency_;
+    }
+    const uint32_t ch = channelIndexFor(addr);
+    // A read needs the bus: buffered writes flush first (one batched
+    // turnaround), then the bus turns back for the read.
+    if (write_drain_ > 0)
+        drainWrites(ch, now);
+    return acquireDir(ch, 0, bytes, now) + latency_;
 }
 
 void
@@ -58,7 +113,37 @@ DramPartition::write(Addr addr, uint32_t bytes, Cycle now)
 {
     ++writes_;
     bytes_written_ += bytes;
-    channelFor(addr).acquire(now, bytes);
+    if (turnaround_ == 0) [[likely]] {
+        channelFor(addr).acquire(now, bytes);
+        return;
+    }
+    const uint32_t ch = channelIndexFor(addr);
+    if (write_drain_ == 0) {
+        acquireDir(ch, 1, bytes, now);
+        return;
+    }
+    // Posted writes buffer per channel and drain as one batch, paying
+    // at most one turnaround per batch instead of one per interleaved
+    // write. A sub-threshold residue left when the run ends never
+    // acquires bandwidth; it is bounded below write_drain_ writes per
+    // channel, and the byte counters above already recorded it.
+    ChanState &st = chan_state_[ch];
+    ++st.buffered;
+    st.buffered_bytes += bytes;
+    if (st.buffered >= write_drain_)
+        drainWrites(ch, now);
+}
+
+uint64_t
+DramPartition::turnarounds() const
+{
+    return turnarounds_ ? static_cast<uint64_t>(turnarounds_->value()) : 0;
+}
+
+uint64_t
+DramPartition::writeDrains() const
+{
+    return write_drains_ ? static_cast<uint64_t>(write_drains_->value()) : 0;
 }
 
 void

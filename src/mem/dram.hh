@@ -29,9 +29,18 @@ class DramPartition
      * @param total_gbps       aggregate partition bandwidth in GB/s
      * @param latency_cycles   fixed access latency
      * @param interleave_bytes channel interleave granularity
+     * @param turnaround_cycles read/write bus-turnaround penalty per
+     *                         channel; 0 disables the model (timing and
+     *                         stats bit-identical to the seed)
+     * @param write_drain      buffer posted writes per channel and drain
+     *                         them as one batch at this occupancy (or
+     *                         when a read needs the bus); 0 = writes
+     *                         are immediate. Only active with a
+     *                         turnaround penalty.
      */
     DramPartition(PartitionId id, uint32_t num_channels, double total_gbps,
-                  Cycle latency_cycles, uint32_t interleave_bytes);
+                  Cycle latency_cycles, uint32_t interleave_bytes,
+                  Cycle turnaround_cycles = 0, uint32_t write_drain = 0);
 
     /**
      * Read @p bytes at @p addr.
@@ -68,12 +77,31 @@ class DramPartition
     uint32_t numChannels() const
     { return static_cast<uint32_t>(channels_.size()); }
 
+    /** Bus turnarounds paid so far (0 while the model is off). */
+    uint64_t turnarounds() const;
+    /** Write batches drained so far (0 without a drain policy). */
+    uint64_t writeDrains() const;
+
   private:
     BandwidthServer &channelFor(Addr addr);
+    uint32_t channelIndexFor(Addr addr) const;
+    Cycle acquireDir(uint32_t ch, int8_t dir, uint64_t bytes, Cycle now);
+    void drainWrites(uint32_t ch, Cycle now);
+
+    /** Per-channel bus-direction / write-buffer state (turnaround
+     *  model only; empty while turnaround_ == 0). */
+    struct ChanState
+    {
+        int8_t last_dir = -1; //!< -1 idle since reset, 0 read, 1 write
+        uint32_t buffered = 0;
+        uint64_t buffered_bytes = 0;
+    };
 
     double total_gbps_;
     Cycle latency_;
     uint32_t interleave_bytes_;
+    Cycle turnaround_ = 0;
+    uint32_t write_drain_ = 0;
     /** Fast-path strength reduction for channelFor(): shift instead of
      *  divide and mask instead of modulo when the interleave granule /
      *  channel count are powers of two (they are in every shipped
@@ -83,12 +111,18 @@ class DramPartition
     uint32_t chan_mask_ = 0;
     bool chans_pow2_ = false;
     std::vector<BandwidthServer> channels_;
+    std::vector<ChanState> chan_state_;
 
     stats::Group stats_;
     stats::Scalar &bytes_read_;
     stats::Scalar &bytes_written_;
     stats::Scalar &reads_;
     stats::Scalar &writes_;
+    /** Registered only when the turnaround model is on, so the default
+     *  machine's stats.json keys are untouched. */
+    stats::Scalar *turnarounds_ = nullptr;
+    stats::Scalar *turnaround_cycles_ = nullptr;
+    stats::Scalar *write_drains_ = nullptr;
 };
 
 } // namespace mcmgpu

@@ -58,18 +58,25 @@ FabricStage::service(MemTxn &txn)
         if (txn.remote) {
             const uint64_t req_bytes =
                 kHeaderBytes + (txn.is_store ? txn.bytes : 0u);
-            txn.t = fabric_.send(txn.src, txn.home_module, req_bytes,
-                                 txn.t).arrival;
-            energy_.account(link_domain_, req_bytes);
+            const FabricTransfer tr =
+                fabric_.send(txn.src, txn.home_module, req_bytes, txn.t);
+            txn.t = tr.arrival;
+            // Routes that cross an inter-package link price at board
+            // energy; single-tier fabrics report board = false and the
+            // machine-wide link domain applies as before.
+            energy_.account(tr.board ? Domain::Board : link_domain_,
+                            req_bytes);
         }
         return TxnPhase::L2Lookup;
     }
     // FabResp: loads only — stores are posted and complete at the home.
     if (txn.remote) {
         const uint64_t resp_bytes = kHeaderBytes + txn.bytes;
-        txn.t = fabric_.send(txn.home_module, txn.src, resp_bytes,
-                             txn.t).arrival;
-        energy_.account(link_domain_, resp_bytes);
+        const FabricTransfer tr =
+            fabric_.send(txn.home_module, txn.src, resp_bytes, txn.t);
+        txn.t = tr.arrival;
+        energy_.account(tr.board ? Domain::Board : link_domain_,
+                        resp_bytes);
     }
     return TxnPhase::Complete;
 }

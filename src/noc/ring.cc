@@ -3,20 +3,13 @@
 #include <ostream>
 
 #include "common/log.hh"
+#include "topo/table_fabric.hh"
 
 namespace mcmgpu {
 
-namespace {
-
-/**
- * Construct one link with the plan's degradation for the segment
- * leaving @p upstream applied: derated bandwidth, and a transient-error
- * process seeded per link (@p salt keeps parallel link arrays — cw/ccw,
- * egress/ingress — on distinct error streams).
- */
 Link
-makeLink(std::string name, double gbps, Cycle hop_cycles,
-         const FaultPlan *plan, ModuleId upstream, uint64_t salt)
+makeFaultedLink(std::string name, double gbps, Cycle hop_cycles,
+                const FaultPlan *plan, ModuleId upstream, uint64_t salt)
 {
     if (!plan) {
         Link l(gbps, hop_cycles);
@@ -34,6 +27,8 @@ makeLink(std::string name, double gbps, Cycle hop_cycles,
     return l;
 }
 
+namespace {
+
 void
 dumpLinkLine(std::ostream &os, const std::string &name, const Link &l)
 {
@@ -45,24 +40,68 @@ dumpLinkLine(std::ostream &os, const std::string &name, const Link &l)
 
 } // namespace
 
+namespace {
+
+topo::TopoParams
+topoParams(const GpuConfig &cfg)
+{
+    topo::TopoParams p;
+    p.num_modules = cfg.num_modules;
+    p.link_gbps = cfg.link_gbps;
+    p.link_hop_cycles = cfg.link_hop_cycles;
+    p.pkg_link_gbps = cfg.pkg_link_gbps;
+    p.pkg_link_hop_cycles = cfg.pkg_link_hop_cycles;
+    p.board_level_links = cfg.board_level_links;
+    return p;
+}
+
+} // namespace
+
 std::unique_ptr<Fabric>
 Fabric::create(const GpuConfig &cfg)
 {
     const FaultPlan *plan =
         cfg.fault.degradesLinks() ? &cfg.fault : nullptr;
+
+    // An explicit --topology spec wins over the fabric kind: compile it
+    // and route by table. A single module needs no fabric at all.
+    if (!cfg.topology.empty()) {
+        if (cfg.num_modules == 1)
+            return std::make_unique<IdealFabric>();
+        topo::TopologyDesc desc;
+        std::string err;
+        fatal_if(!topo::parseTopology(cfg.topology, desc, err),
+                 "--topology: ", err);
+        return std::make_unique<topo::TableRoutedFabric>(desc,
+                                                         topoParams(cfg),
+                                                         plan);
+    }
+
     switch (cfg.fabric) {
       case FabricKind::Ideal:
         return std::make_unique<IdealFabric>();
-      case FabricKind::Ring:
+      case FabricKind::Ring: {
         if (cfg.num_modules == 1)
             return std::make_unique<IdealFabric>();
-        return std::make_unique<RingFabric>(cfg.num_modules, cfg.link_gbps,
-                                            cfg.link_hop_cycles, plan);
-      case FabricKind::Mesh:
+        // The ring is now just the simplest compiled topology; the
+        // table-routed fabric reproduces RingFabric bit for bit.
+        topo::TopologyDesc desc;
+        desc.kind = topo::TopoKind::Ring;
+        desc.spec = "ring";
+        return std::make_unique<topo::TableRoutedFabric>(desc,
+                                                         topoParams(cfg),
+                                                         plan);
+      }
+      case FabricKind::Mesh: {
         if (cfg.num_modules == 1)
             return std::make_unique<IdealFabric>();
-        return std::make_unique<MeshFabric>(cfg.num_modules, cfg.link_gbps,
-                                            cfg.link_hop_cycles, plan);
+        topo::TopologyDesc desc;
+        desc.kind = topo::TopoKind::Mesh2D;
+        desc.spec = "mesh2d";
+        return std::make_unique<topo::TableRoutedFabric>(desc,
+                                                         topoParams(cfg),
+                                                         plan);
+      }
       case FabricKind::Ports:
         if (cfg.num_modules == 1)
             return std::make_unique<IdealFabric>();
@@ -84,9 +123,9 @@ RingFabric::RingFabric(uint32_t nodes, double gbps, Cycle hop_cycles,
     cw_.reserve(nodes);
     ccw_.reserve(nodes);
     for (uint32_t i = 0; i < nodes; ++i) {
-        cw_.push_back(makeLink("ring.cw" + std::to_string(i),
+        cw_.push_back(makeFaultedLink("ring.cw" + std::to_string(i),
                                per_direction, hop_cycles, plan, i, 1));
-        ccw_.push_back(makeLink("ring.ccw" + std::to_string(i),
+        ccw_.push_back(makeFaultedLink("ring.ccw" + std::to_string(i),
                                 per_direction, hop_cycles, plan, i, 2));
     }
 }
@@ -208,7 +247,7 @@ MeshFabric::MeshFabric(uint32_t nodes, double gbps, Cycle hop_cycles,
             if (dist == 1) {
                 link_of_[static_cast<size_t>(a) * nodes + b] =
                     static_cast<int32_t>(links_.size());
-                links_.push_back(makeLink(
+                links_.push_back(makeFaultedLink(
                     "mesh." + std::to_string(a) + "->" + std::to_string(b),
                     per_direction, hop_cycles, plan, a, 3 + b));
             }
@@ -304,10 +343,10 @@ PortsFabric::PortsFabric(uint32_t nodes, double gbps, Cycle hop_cycles,
     for (uint32_t i = 0; i < nodes; ++i) {
         // Split the hop latency across the two port traversals so one
         // send costs exactly hop_cycles of latency end to end.
-        egress_.push_back(makeLink("ports.egress" + std::to_string(i),
+        egress_.push_back(makeFaultedLink("ports.egress" + std::to_string(i),
                                    per_direction, hop_cycles / 2, plan, i,
                                    4));
-        ingress_.push_back(makeLink("ports.ingress" + std::to_string(i),
+        ingress_.push_back(makeFaultedLink("ports.ingress" + std::to_string(i),
                                     per_direction,
                                     hop_cycles - hop_cycles / 2, plan, i,
                                     5));

@@ -33,7 +33,21 @@ struct FabricTransfer
 {
     Cycle arrival = 0;  //!< when the last byte reaches the destination
     uint32_t hops = 0;  //!< number of link traversals
+    /** The route crossed a board-class (inter-package) link, so the
+     *  bytes price at board energy. Legacy single-tier fabrics leave
+     *  this false and the machine-wide link domain applies. */
+    bool board = false;
 };
+
+/**
+ * Construct one link with @p plan's degradation for the segment
+ * leaving @p upstream applied: derated bandwidth, and a transient-error
+ * process seeded per link (@p salt keeps parallel link arrays — cw/ccw,
+ * egress/ingress — on distinct error streams). nullptr plan = clean link.
+ */
+Link makeFaultedLink(std::string name, double gbps, Cycle hop_cycles,
+                     const FaultPlan *plan, ModuleId upstream,
+                     uint64_t salt);
 
 /** Abstract inter-module interconnect. */
 class Fabric

@@ -304,6 +304,18 @@ configKey(const GpuConfig &cfg)
     // nothing so pre-VC cache entries stay valid.
     if (cfg.fabric_vcs != 0)
         os << "/V" << cfg.fabric_vcs << ',' << cfg.vc_credits;
+    // An explicit topology spec changes routing (and package-tier link
+    // pricing); the empty default derives from `fabric` above, adding
+    // nothing so pre-topology cache entries stay valid.
+    if (!cfg.topology.empty()) {
+        os << "/T" << cfg.topology << ',' << cfg.pkg_link_gbps << ','
+           << cfg.pkg_link_hop_cycles;
+    }
+    // DRAM bus-turnaround model; off (the default) adds nothing.
+    if (cfg.dram_turnaround_cycles != 0) {
+        os << "/D" << cfg.dram_turnaround_cycles << ','
+           << cfg.dram_write_drain;
+    }
     return os.str();
 }
 

@@ -1,0 +1,118 @@
+#include "topo/table_fabric.hh"
+
+#include <ostream>
+
+#include "common/log.hh"
+
+namespace mcmgpu {
+namespace topo {
+
+TableRoutedFabric::TableRoutedFabric(const TopologyDesc &desc,
+                                     const TopoParams &params,
+                                     const FaultPlan *plan)
+    : graph_(buildTopoGraph(desc, params)),
+      table_(computeRoutes(desc, graph_))
+{
+    links_.reserve(graph_.links.size());
+    for (const TopoLinkDesc &d : graph_.links) {
+        links_.push_back(makeFaultedLink(d.name, d.gbps, d.hop_cycles, plan,
+                                         d.fault_upstream, d.fault_salt));
+    }
+    route_board_.resize(table_.entries.size());
+    for (size_t e = 0; e < table_.entries.size(); ++e) {
+        const RouteSet &set = table_.entries[e];
+        route_board_[e].reserve(set.candidates.size());
+        for (const LinkSeq &seq : set.candidates) {
+            uint8_t board = 0;
+            for (uint32_t id : seq)
+                board |= graph_.links[id].board ? 1 : 0;
+            route_board_[e].push_back(board);
+        }
+    }
+}
+
+FabricTransfer
+TableRoutedFabric::send(ModuleId src, ModuleId dst, uint64_t bytes,
+                        Cycle now)
+{
+    panic_if(src >= graph_.nodes || dst >= graph_.nodes,
+             "fabric node out of range: ", src, " -> ", dst);
+    if (src == dst)
+        return {now, 0};
+    injected_ += bytes;
+
+    const size_t entry = static_cast<size_t>(src) * graph_.nodes + dst;
+    const RouteSet &set = table_.entries[entry];
+    // Single routes go straight through; equal-cost ties alternate on a
+    // global toggle. With the ring's [cw, ccw] candidate order this is
+    // bit-for-bit the legacy (route_toggle_++ & 1) direction pick — the
+    // toggle only advances on tied pairs, exactly as before.
+    size_t pick = 0;
+    if (set.candidates.size() > 1)
+        pick = route_toggle_++ % set.candidates.size();
+    const LinkSeq &seq = set.candidates[pick];
+
+    Cycle t = now;
+    for (uint32_t id : seq)
+        t = links_[id].traverse(t, bytes);
+    return {t, static_cast<uint32_t>(seq.size()),
+            route_board_[entry][pick] != 0};
+}
+
+uint64_t
+TableRoutedFabric::linkBytes() const
+{
+    uint64_t sum = 0;
+    for (const Link &l : links_)
+        sum += l.bytesCarried();
+    return sum;
+}
+
+uint64_t
+TableRoutedFabric::transientErrors() const
+{
+    uint64_t sum = 0;
+    for (const Link &l : links_)
+        sum += l.transientErrors();
+    return sum;
+}
+
+uint32_t
+TableRoutedFabric::routeHops(ModuleId src, ModuleId dst) const
+{
+    if (src == dst)
+        return 0;
+    const RouteSet &set = table_.at(src, dst);
+    panic_if(set.candidates.empty(), "no route ", src, " -> ", dst);
+    size_t best = set.candidates.front().size();
+    for (const LinkSeq &seq : set.candidates)
+        best = std::min(best, seq.size());
+    return static_cast<uint32_t>(best);
+}
+
+void
+TableRoutedFabric::dumpOccupancy(std::ostream &os) const
+{
+    for (size_t i = 0; i < links_.size(); ++i) {
+        const Link &l = links_[i];
+        os << "  " << graph_.links[i].name << ": rate "
+           << l.rateBytesPerCycle() << " B/cy, carried " << l.bytesCarried()
+           << " B, busy " << l.busyCycles() << " cy, errors "
+           << l.transientErrors() << ", replay " << l.replayCycles()
+           << " cy\n";
+    }
+}
+
+void
+TableRoutedFabric::visitLinks(const LinkVisitor &visit)
+{
+    // Emission order is the legacy fabrics' visit order (the ring
+    // interleaved cw/ccw per stop, the mesh walked a-major), so the
+    // sampler registers per-link counters under identical names in an
+    // identical sequence.
+    for (size_t i = 0; i < links_.size(); ++i)
+        visit(graph_.links[i].name, links_[i]);
+}
+
+} // namespace topo
+} // namespace mcmgpu

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Generic table-routed fabric: any compiled TopoGraph plus its
+ * RouteTable becomes a Fabric. One class replaces the per-topology
+ * send() specializations (the ring's shortest-path special case, the
+ * mesh's XY walk) with a route lookup and a hop-by-hop traversal —
+ * the topology's shape lives entirely in the tables.
+ *
+ * Deadlock freedom is by construction: every route is loop-free
+ * (verifyRoutes), mesh routing is dimension-ordered (no illegal
+ * turns), and protocol deadlock (request/response cycles through the
+ * per-pair credit pools) is broken by FabricStage's virtual channels —
+ * the escape VC drains responses ahead of requests on every topology
+ * this builds (docs/TOPOLOGY.md, docs/FABRIC.md).
+ */
+
+#ifndef MCMGPU_TOPO_TABLE_FABRIC_HH
+#define MCMGPU_TOPO_TABLE_FABRIC_HH
+
+#include <vector>
+
+#include "noc/ring.hh"
+#include "topo/graph.hh"
+
+namespace mcmgpu {
+namespace topo {
+
+/** A Fabric driven by a compiled topology's routing tables. */
+class TableRoutedFabric : public Fabric
+{
+  public:
+    /**
+     * Compile @p desc for @p params and instantiate its links, with
+     * @p plan's degradation (bandwidth derate, transient errors)
+     * applied per link exactly as the legacy fabrics did.
+     */
+    TableRoutedFabric(const TopologyDesc &desc, const TopoParams &params,
+                      const FaultPlan *plan = nullptr);
+
+    FabricTransfer send(ModuleId src, ModuleId dst, uint64_t bytes,
+                        Cycle now) override;
+    uint64_t linkBytes() const override;
+    uint64_t injectedBytes() const override { return injected_; }
+    uint64_t transientErrors() const override;
+    void dumpOccupancy(std::ostream &os) const override;
+    void visitLinks(const LinkVisitor &visit) override;
+
+    /** Hop count of the shortest candidate route (for tests). */
+    uint32_t routeHops(ModuleId src, ModuleId dst) const;
+
+    /** The compiled graph / tables backing this fabric (for tests). */
+    const TopoGraph &graph() const { return graph_; }
+    const RouteTable &routes() const { return table_; }
+
+    /** The link instance for graph link id @p id (for tests). */
+    const Link &link(uint32_t id) const { return links_.at(id); }
+
+  private:
+    TopoGraph graph_;
+    RouteTable table_;
+    std::vector<Link> links_; //!< parallel to graph_.links
+    /** Per (src * nodes + dst) per candidate: route crosses a
+     *  board-class link (prices at board energy). */
+    std::vector<std::vector<uint8_t>> route_board_;
+    uint64_t injected_ = 0;
+    uint64_t route_toggle_ = 0; //!< balances equal-cost candidates
+};
+
+} // namespace topo
+} // namespace mcmgpu
+
+#endif // MCMGPU_TOPO_TABLE_FABRIC_HH

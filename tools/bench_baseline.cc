@@ -78,6 +78,12 @@ machineByName(const std::string &name, GpuConfig &cfg)
         cfg = configs::mcmBasic();
     else if (name == "mcm-optimized")
         cfg = configs::mcmOptimized();
+    else if (name == "mcm-mesh")
+        cfg = configs::mcmMesh();
+    else if (name == "mcm-rings")
+        cfg = configs::mcmRingOfRings();
+    else if (name == "mcm-package")
+        cfg = configs::mcmPackage();
     else if (name == "multi-gpu")
         cfg = configs::multiGpuBaseline();
     else if (name == "multi-gpu-opt")
@@ -280,7 +286,9 @@ usage()
     std::cout <<
         "bench_baseline: simulator hot-path throughput harness\n"
         "  --machines a,b     machine presets (default "
-        "mcm-basic,mcm-optimized)\n"
+        "mcm-basic,mcm-optimized;\n"
+        "                     also mcm-mesh, mcm-rings, mcm-package, "
+        "mono-*, multi-gpu*)\n"
         "  --workloads x,y    workload abbreviations (default: all 48)\n"
         "  --repeat N         repeats per pair, fastest kept (default 1)\n"
         "  --mem-model M      chain | staged | staged-vc | both | all\n"
