@@ -12,10 +12,12 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -97,7 +99,9 @@ usage()
         "observability:\n"
         "  --check-obs <dir>          validate every .json under dir "
         "and\n"
-        "                             exit (0 = all well-formed)\n"
+        "                             exit (0 = all well-formed; also\n"
+        "                             schema-checks stats/timeline/\n"
+        "                             fabric/flight artifacts)\n"
         "scripting:\n"
         "  --expect-status <s>        single-run: exit 0 iff the run "
         "ends\n"
@@ -229,6 +233,119 @@ runMatrixMode(const std::string &machines, const std::string &workload_set,
  * malformed emitter fails CI, not a Perfetto load three weeks later.
  * @return 0 when every file is well-formed, 1 otherwise.
  */
+/**
+ * Artifact-specific schema checks, run after the generic
+ * well-formedness pass. The repo deliberately has no JSON parser
+ * (json::validate checks shape only), so these are targeted string
+ * scans over fields our own emitters write with known spelling:
+ * schema markers, utilization bounds, and monotonic cycle sequences.
+ * @return an empty string when fine, else a one-line complaint.
+ */
+std::string
+schemaIssue(const std::string &name, const std::string &text)
+{
+    auto ends_with = [&](const char *suffix) {
+        const size_t n = std::strlen(suffix);
+        return name.size() >= n &&
+               name.compare(name.size() - n, n, suffix) == 0;
+    };
+    auto require_marker = [&](const char *marker) -> std::string {
+        std::string want = "\"schema\": \"";
+        want += marker;
+        want += "\"";
+        if (text.find(want) == std::string::npos)
+            return std::string("missing schema marker ") + marker;
+        return "";
+    };
+    // Scan every `"<field>": <number>` occurrence and hand the parsed
+    // value to @p fn; the first non-empty complaint wins.
+    auto each_number =
+        [&](const char *field,
+            const std::function<std::string(double)> &fn) -> std::string {
+        std::string needle = "\"";
+        needle += field;
+        needle += "\": ";
+        for (size_t pos = text.find(needle); pos != std::string::npos;
+             pos = text.find(needle, pos + 1)) {
+            const char *start = text.c_str() + pos + needle.size();
+            char *end = nullptr;
+            const double v = std::strtod(start, &end);
+            if (end == start)
+                continue; // "null" or similar; not a number
+            std::string bad = fn(v);
+            if (!bad.empty())
+                return bad;
+        }
+        return "";
+    };
+
+    if (ends_with(".fabric.json")) {
+        std::string bad = require_marker("mcmgpu-fabric/1");
+        if (!bad.empty())
+            return bad;
+        return each_number("utilization", [](double v) -> std::string {
+            if (!(v >= 0.0 && v <= 1.0)) // also catches NaN
+                return "utilization " + std::to_string(v) +
+                       " outside [0, 1]";
+            return "";
+        });
+    }
+    if (ends_with(".flight.json")) {
+        std::string bad = require_marker("mcmgpu-flight/1");
+        if (!bad.empty())
+            return bad;
+        // Event cycles must never run backwards; seqs are unique and
+        // strictly increasing (ring replay order).
+        double last_cycle = -1.0, last_seq = -1.0;
+        bad = each_number("cycle", [&](double v) -> std::string {
+            if (v < 0.0 || !(v >= last_cycle))
+                return "event cycles run backwards at " +
+                       std::to_string(v);
+            last_cycle = v;
+            return "";
+        });
+        if (!bad.empty())
+            return bad;
+        return each_number("seq", [&](double v) -> std::string {
+            if (v < 0.0 || !(v > last_seq))
+                return "event seqs not strictly increasing at " +
+                       std::to_string(v);
+            last_seq = v;
+            return "";
+        });
+    }
+    if (ends_with(".timeline.json")) {
+        std::string bad = require_marker("mcmgpu-timeline/1");
+        if (!bad.empty())
+            return bad;
+        // Sample windows are emitted in simulation order; equal or
+        // descending boundaries mean a broken sampler.
+        const char *needle = "\"window_end_cycles\": [";
+        const size_t pos = text.find(needle);
+        if (pos == std::string::npos)
+            return "missing window_end_cycles";
+        const char *p = text.c_str() + pos + std::strlen(needle);
+        double last = -1.0;
+        while (*p && *p != ']') {
+            char *end = nullptr;
+            const double v = std::strtod(p, &end);
+            if (end == p)
+                break;
+            if (!(v > last))
+                return "non-monotonic sample window at " +
+                       std::to_string(v);
+            last = v;
+            p = end;
+            while (*p == ',' || *p == ' ')
+                ++p;
+        }
+        return "";
+    }
+    if (ends_with(".stats.json"))
+        return require_marker("mcmgpu-stats/1");
+    return "";
+}
+
 int
 checkObsMode(const std::string &dir)
 {
@@ -265,6 +382,13 @@ checkObsMode(const std::string &dir)
         if (!res) {
             std::fprintf(stderr, "%s: invalid JSON at byte %zu: %s\n",
                          p.c_str(), res.offset, res.error.c_str());
+            ++bad;
+            continue;
+        }
+        const std::string issue =
+            schemaIssue(p.filename().string(), text.str());
+        if (!issue.empty()) {
+            std::fprintf(stderr, "%s: %s\n", p.c_str(), issue.c_str());
             ++bad;
         } else {
             std::printf("%s: ok\n", p.c_str());

@@ -122,6 +122,40 @@ class BandwidthServer
 
     Cycle bucketCycles() const { return bucket_; }
 
+    /**
+     * Cycles a byte arriving at @p now would wait before starting
+     * service — the instantaneous queue depth of this server,
+     * expressed in time. Purely observational: walks the capacity
+     * calendar without consuming capacity or updating the skip
+     * pointers, so sampling it perturbs nothing. Returns 0 when the
+     * calendar at @p now is unreserved (or already compacted away).
+     */
+    Cycle
+    backlogCycles(Cycle now) const
+    {
+        uint64_t abs_bucket = now / bucket_;
+        if (abs_bucket < base_)
+            abs_bucket = base_; // history dropped; measure what remains
+        size_t idx = static_cast<size_t>(abs_bucket - base_);
+        if (idx >= avail_.size())
+            return 0; // beyond every retained reservation
+        while (idx < avail_.size() && avail_[idx] <= kEps)
+            ++idx;
+        if (idx >= avail_.size()) {
+            // Every retained bucket from `now` on is fully drained:
+            // service next frees up at the end of the retained window.
+            const Cycle free_at = (base_ + avail_.size()) * bucket_;
+            return free_at > now ? free_at - now : 0;
+        }
+        // First bucket with headroom: its existing reservations finish
+        // part-way through it; a new byte starts right after them.
+        const Cycle bucket_start = (base_ + idx) * bucket_;
+        const double used = cap_ - avail_[idx];
+        const Cycle free_at =
+            bucket_start + static_cast<Cycle>(std::ceil(used / rate_));
+        return free_at > now ? free_at - now : 0;
+    }
+
     /** Arrivals clamped because they predate the retained history
      *  window (each one may have shifted completion times). */
     uint64_t clampedArrivals() const { return clamped_arrivals_; }

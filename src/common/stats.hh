@@ -139,6 +139,95 @@ class Histogram
                       : 0.0;
     }
 
+    /**
+     * Approximate p-quantile (p in [0, 1]) from the bucket counts.
+     *
+     * Exact cases: an empty histogram reports 0, and a distribution
+     * whose min and max coincide (everything in one bucket, or a
+     * single sample) reports that value exactly. Otherwise the rank
+     * ceil(p * count) is located by a cumulative walk and linearly
+     * interpolated inside its bucket, clamped to [minValue, maxValue]
+     * so a sparse top bucket cannot report a value never observed.
+     */
+    double
+    percentile(double p) const
+    {
+        if (count_ == 0)
+            return 0.0;
+        if (min_ == max_)
+            return static_cast<double>(min_);
+        if (p <= 0.0)
+            return static_cast<double>(min_);
+        if (p >= 1.0)
+            return static_cast<double>(max_);
+
+        // Rank of the sample we want, 1-based: smallest integer rank
+        // such that at least p of the population lies at or below it.
+        const double exact = p * static_cast<double>(count_);
+        uint64_t rank = static_cast<uint64_t>(exact);
+        if (static_cast<double>(rank) < exact)
+            ++rank;
+        if (rank == 0)
+            rank = 1;
+
+        uint64_t seen = 0;
+        for (uint32_t i = 0; i < buckets_.size(); ++i) {
+            const uint64_t n = buckets_[i];
+            if (n == 0)
+                continue;
+            if (seen + n < rank) {
+                seen += n;
+                continue;
+            }
+            // Interpolate the rank's position within bucket i.
+            const double lo = static_cast<double>(bucketLo(i));
+            const double hi = i + 1 < buckets_.size()
+                                  ? static_cast<double>(bucketLo(i + 1))
+                                  : static_cast<double>(max_) + 1.0;
+            const double frac =
+                (static_cast<double>(rank - seen) - 0.5) /
+                static_cast<double>(n);
+            double v = lo + frac * (hi - lo);
+            if (v < static_cast<double>(min_))
+                v = static_cast<double>(min_);
+            if (v > static_cast<double>(max_))
+                v = static_cast<double>(max_);
+            return v;
+        }
+        return static_cast<double>(max_);
+    }
+
+    /**
+     * Fold another histogram's samples into this one. Requires the
+     * same bucketing scheme and bucket count (the sweep aggregator
+     * only merges histograms created from the same recipe); mismatch
+     * merges by value through bucketLo, preserving count and sum.
+     */
+    void
+    merge(const Histogram &other)
+    {
+        if (other.count_ == 0)
+            return;
+        if (bucketing_ == other.bucketing_ && width_ == other.width_ &&
+            buckets_.size() == other.buckets_.size()) {
+            for (size_t i = 0; i < buckets_.size(); ++i)
+                buckets_[i] += other.buckets_[i];
+            sum_ += other.sum_;
+        } else {
+            for (uint32_t i = 0; i < other.buckets_.size(); ++i) {
+                const uint64_t n = other.buckets_[i];
+                if (n)
+                    buckets_[bucketOf(other.bucketLo(i))] += n;
+            }
+            sum_ += other.sum_;
+        }
+        count_ += other.count_;
+        if (other.min_ < min_)
+            min_ = other.min_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+    }
+
     void
     reset()
     {

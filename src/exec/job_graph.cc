@@ -96,9 +96,10 @@ JobGraph::runJob(Job &job, int worker_index)
     const auto start = std::chrono::steady_clock::now();
     for (int attempt = 0;; ++attempt) {
         job.error = nullptr;
+        job.fabric = FabricRunSummary{}; // don't accumulate across retries
         try {
             job.result = Simulator::run(job.cfg, *job.workload,
-                                        job_timeout_s_);
+                                        job_timeout_s_, &job.fabric);
         } catch (const std::exception &e) {
             job.error = std::current_exception();
             job.result = RunResult{};
@@ -197,6 +198,7 @@ JobGraph::execute(unsigned jobs)
             rec.retries = j.retries;
             rec.worker = j.worker;
             rec.error = j.error ? j.result.stall_diagnostic : "";
+            rec.fabric = j.fabric;
             sink_->record(std::move(rec));
             j.committed = true;
         }

@@ -100,6 +100,7 @@ class JobGraph
         bool cacheable = true;
 
         RunResult result;
+        FabricRunSummary fabric; //!< filled when obs was on for the run
         std::exception_ptr error;
         bool done = false;
         bool committed = false; //!< telemetry record already emitted

@@ -2,9 +2,11 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "common/json.hh"
@@ -102,7 +104,103 @@ TelemetrySink::dumpJson(std::ostream &os, unsigned jobs) const
             os << ", \"error\": \"" << json::escape(r.error) << "\"";
         os << "}";
     }
-    os << (recs.empty() ? "]\n" : "\n  ]\n") << "}\n";
+    os << (recs.empty() ? "],\n" : "\n  ],\n");
+    dumpSweepSummary(os, recs);
+    os << "}\n";
+}
+
+void
+TelemetrySink::dumpSweepSummary(std::ostream &os,
+                                const std::vector<JobRecord> &recs)
+{
+    // Per-config aggregation over the runs that carried a fabric
+    // summary (simulated with observability on; cache hits carry
+    // none). std::map keeps config order sorted and deterministic.
+    struct ConfigAgg
+    {
+        uint64_t runs = 0;
+        Cycle cycles = 0;
+        std::optional<stats::Histogram> remote_load;
+        /** Per link name: summed bytes and busy cycles. */
+        std::map<std::string, std::pair<uint64_t, double>> links;
+    };
+    std::map<std::string, ConfigAgg> by_config;
+    for (const JobRecord &r : recs) {
+        if (!r.fabric.present)
+            continue;
+        ConfigAgg &agg = by_config[r.config];
+        ++agg.runs;
+        agg.cycles += r.fabric.cycles;
+        if (r.fabric.remote_load) {
+            if (agg.remote_load)
+                agg.remote_load->merge(*r.fabric.remote_load);
+            else
+                agg.remote_load = r.fabric.remote_load;
+        }
+        for (const FabricLinkSummary &l : r.fabric.links) {
+            auto &slot = agg.links[l.name];
+            slot.first += l.bytes;
+            slot.second += l.busy_cycles;
+        }
+    }
+
+    os << "  \"sweep_summary\": {\"configs\": [";
+    bool first = true;
+    for (const auto &[config, agg] : by_config) {
+        os << (first ? "\n    " : ",\n    ");
+        first = false;
+        os << "{\"config\": \"" << json::escape(config)
+           << "\", \"runs\": " << agg.runs;
+
+        os << ", \"remote_load_latency\": ";
+        if (agg.remote_load && agg.remote_load->count() > 0) {
+            const stats::Histogram &h = *agg.remote_load;
+            os << "{\"count\": " << h.count()
+               << ", \"mean\": " << json::number(h.mean())
+               << ", \"p50\": " << json::number(h.percentile(0.50))
+               << ", \"p95\": " << json::number(h.percentile(0.95))
+               << ", \"p99\": " << json::number(h.percentile(0.99))
+               << "}";
+        } else {
+            os << "null";
+        }
+
+        // Hottest-link ranking: utilization over the config's summed
+        // run cycles, descending, name-tie-broken, top 5.
+        struct Ranked
+        {
+            std::string name;
+            uint64_t bytes;
+            double util;
+        };
+        std::vector<Ranked> ranked;
+        ranked.reserve(agg.links.size());
+        for (const auto &[name, bb] : agg.links) {
+            const double util =
+                agg.cycles ? bb.second /
+                                 static_cast<double>(agg.cycles)
+                           : 0.0;
+            ranked.push_back({name, bb.first, util});
+        }
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const Ranked &a, const Ranked &b) {
+                      if (a.util != b.util)
+                          return a.util > b.util;
+                      return a.name < b.name;
+                  });
+        const size_t top = std::min<size_t>(ranked.size(), 5);
+        os << ", \"links_total\": " << agg.links.size()
+           << ", \"hottest_links\": [";
+        for (size_t i = 0; i < top; ++i) {
+            os << (i ? ", " : "") << "{\"name\": \""
+               << json::escape(ranked[i].name)
+               << "\", \"bytes\": " << ranked[i].bytes
+               << ", \"utilization\": " << json::number(ranked[i].util)
+               << "}";
+        }
+        os << "]}";
+    }
+    os << (first ? "]}\n" : "\n  ]}\n");
 }
 
 bool

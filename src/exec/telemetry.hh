@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/results.hh"
+
 namespace mcmgpu {
 namespace exec {
 
@@ -35,6 +37,10 @@ struct JobRecord
     int retries = 0;         //!< extra attempts after stalls/errors
     int worker = -1;         //!< pool worker slot; -1 = caller thread
     std::string error;       //!< exception text for status "error"
+
+    /** Fabric congestion summary of the run; present only when the
+     *  job actually simulated with observability enabled. */
+    FabricRunSummary fabric;
 };
 
 /** Aggregate view over every record in a sink. */
@@ -86,6 +92,11 @@ class TelemetrySink
     void dumpJson(std::ostream &os, unsigned jobs) const;
 
   private:
+    /** The per-config "sweep_summary" section: merged remote-load
+     *  latency percentiles + hottest-link ranking (see docs). */
+    static void dumpSweepSummary(std::ostream &os,
+                                 const std::vector<JobRecord> &recs);
+
     mutable std::mutex mu_;
     std::vector<JobRecord> records_;
 };

@@ -242,6 +242,9 @@ GpuSystem::attachRecorder(obs::Recorder &rec)
         if (rec.traceEnabled())
             l.trackBusyIntervals(obs::Recorder::kLinkBusyMergeGap);
     });
+    // Per-hop traversal latency (table-routed fabrics; no-op on the
+    // legacy fabrics, whose histogram stays empty).
+    fabric_->setHopHistogram(&rec.fabricHopLatency());
 
     obs::Sampler *sampler = rec.sampler();
     if (!sampler)
@@ -271,6 +274,12 @@ GpuSystem::attachRecorder(obs::Recorder &rec)
     if (pipeline_->staged()) {
         sampler->addGauge("mem.txn_inflight", [this] {
             return static_cast<double>(pipeline_->inflight());
+        });
+        sampler->addGauge("mem.mshr_in_use", [this] {
+            return static_cast<double>(pipeline_->mshrsInUse());
+        });
+        sampler->addGauge("mem.mshr_waiting", [this] {
+            return static_cast<double>(pipeline_->mshrsWaiting());
         });
     }
     // Per-VC occupancy series only when credit flow control exists, so
@@ -335,11 +344,21 @@ GpuSystem::attachRecorder(obs::Recorder &rec)
             return a;
         });
 
-    // Per-link carried bytes: delta / sample_period = bytes/cycle.
-    fabric_->visitLinks([sampler](const std::string &name, Link &l) {
+    // Per-link congestion: carried bytes (delta / sample_period =
+    // bytes/cycle), busy-cycle delta (utilization per window), and the
+    // instantaneous backlog a newly arriving byte would queue behind.
+    fabric_->visitLinks([this, sampler](const std::string &name,
+                                        Link &l) {
         const Link *lp = &l;
         sampler->addCounter("link." + name + ".bytes", [lp] {
             return static_cast<double>(lp->bytesCarried());
+        });
+        sampler->addCounter("link." + name + ".busy_cycles", [lp] {
+            return lp->busyCycles();
+        });
+        sampler->addGauge("link." + name + ".backlog_cycles",
+                          [this, lp] {
+            return static_cast<double>(lp->backlogCycles(eq_.now()));
         });
     });
 
@@ -442,6 +461,64 @@ GpuSystem::statsJson(std::ostream &os, const std::string &workload) const
         os << "]\n";
     }
     os << "}\n";
+}
+
+void
+GpuSystem::fabricJson(std::ostream &os, const std::string &workload)
+{
+    const Cycle cycles = eq_.now();
+
+    os << "{\n"
+       << "  \"schema\": \"mcmgpu-fabric/1\",\n"
+       << "  \"config\": " << json::quoted(cfg_.name) << ",\n"
+       << "  \"workload\": " << json::quoted(workload) << ",\n"
+       << "  \"cycles\": " << cycles << ",\n"
+       << "  \"injected_bytes\": " << fabric_->injectedBytes() << ",\n"
+       << "  \"link_bytes\": " << fabric_->linkBytes() << ",\n";
+
+    // One object per named topology link, in the deterministic
+    // visitLinks order. utilization = busy / cycles is the congestion
+    // heatmap value (0 on a zero-cycle run).
+    std::string hottest_name;
+    double hottest_util = -1.0;
+    os << "  \"links\": [";
+    bool first = true;
+    fabric_->visitLinks([&](const std::string &name, Link &l) {
+        const double util =
+            cycles ? l.busyCycles() / static_cast<double>(cycles) : 0.0;
+        if (util > hottest_util) {
+            hottest_util = util;
+            hottest_name = name;
+        }
+        os << (first ? "\n    " : ",\n    ");
+        first = false;
+        os << "{\"name\": " << json::quoted(name)
+           << ", \"bytes\": " << l.bytesCarried()
+           << ", \"busy_cycles\": " << json::number(l.busyCycles())
+           << ", \"utilization\": " << json::number(util)
+           << ", \"rate_bytes_per_cycle\": "
+           << json::number(l.rateBytesPerCycle())
+           << ", \"hop_cycles\": " << l.hopCycles()
+           << ", \"transient_errors\": " << l.transientErrors()
+           << ", \"replay_cycles\": " << l.replayCycles() << "}";
+    });
+    os << (first ? "],\n" : "\n  ],\n");
+
+    os << "  \"hottest_link\": ";
+    if (hottest_util >= 0.0) {
+        os << "{\"name\": " << json::quoted(hottest_name)
+           << ", \"utilization\": " << json::number(hottest_util)
+           << "},\n";
+    } else {
+        os << "null,\n";
+    }
+
+    os << "  \"hop_latency\": ";
+    if (rec_)
+        obs::Recorder::histogramJson(os, rec_->fabricHopLatency());
+    else
+        os << "null";
+    os << "\n}\n";
 }
 
 double

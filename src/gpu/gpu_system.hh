@@ -148,6 +148,16 @@ class GpuSystem : public SmContext
      */
     void statsJson(std::ostream &os, const std::string &workload) const;
 
+    /**
+     * Emit the fabric congestion picture as one "mcmgpu-fabric/1" JSON
+     * document: one entry per named topology link in the deterministic
+     * visitLinks order (utilization = busy cycles / run cycles — the
+     * congestion heatmap), the hottest link, and — when a recorder is
+     * attached — the per-hop latency histogram. Same determinism
+     * guarantees as statsJson.
+     */
+    void fabricJson(std::ostream &os, const std::string &workload);
+
   private:
     GpuConfig cfg_;
     EventQueue eq_;

@@ -465,8 +465,16 @@ MemPipeline::launch(ModuleId src, Addr addr, uint32_t bytes, bool is_store,
         // stats stay bit-identical to it, at its speed.
         MemTxn txn;
         initTxn(txn, src, addr, bytes, is_store, part, home, now);
-        while (txn.phase != TxnPhase::Complete)
-            serviceOne(txn);
+        if (flightOn()) [[unlikely]] {
+            while (txn.phase != TxnPhase::Complete) {
+                const TxnPhase ph = txn.phase;
+                serviceOne(txn);
+                flightPhase(ph, txn);
+            }
+        } else {
+            while (txn.phase != TxnPhase::Complete)
+                serviceOne(txn);
+        }
         finishCommon(txn);
         done(txn, txn.t);
         return;
@@ -506,6 +514,11 @@ MemPipeline::admit(MemTxn &txn)
             // wait as a delayed completion in its scoreboard slot.
             txn.stall_start = txn.t;
             ++txn_mshr_stalls_;
+            if (flightOn()) [[unlikely]] {
+                flightNote(txn.t, log_detail::concat(
+                    "txn ", txn.id, " waiting on mshr:gpm", txn.src,
+                    " (", m.in_use, "/", remote_mshrs_, " in use)"));
+            }
             txn.next = nullptr;
             if (m.waitq_tail != nullptr)
                 m.waitq_tail->next = &txn;
@@ -597,6 +610,12 @@ MemPipeline::parkForCredit(MemTxn &txn, ModuleId src, ModuleId dst,
     txn.stall_start = txn.t;
     ++*txn_vc_parked_;
     fabric_stage_.park(src, dst, response, txn);
+    if (flightOn()) [[unlikely]] {
+        flightNote(txn.t, log_detail::concat(
+            "txn ", txn.id, " parked on ",
+            fabric_stage_.poolName(src, dst, response),
+            " (no credit free)"));
+    }
     const double parked =
         static_cast<double>(fabric_stage_.parkedNow(0)) +
         static_cast<double>(fabric_stage_.parkedNow(1));
@@ -616,6 +635,11 @@ MemPipeline::releaseVcCredit(ModuleId src, ModuleId dst, bool response)
     if (w->t < now)
         w->t = now;
     *txn_vc_park_cycles_ += static_cast<double>(w->t - w->stall_start);
+    if (flightOn()) [[unlikely]] {
+        flightNote(w->t, log_detail::concat(
+            "credit on ", fabric_stage_.poolName(src, dst, response),
+            " handed to txn ", w->id));
+    }
     traceVcWait(*w);
     scheduleAdvance(*w);
 }
@@ -642,6 +666,10 @@ MemPipeline::releaseMshr(MemTxn &txn)
     if (w->t < now)
         w->t = now;
     txn_mshr_stall_cycles_ += static_cast<double>(w->t - w->stall_start);
+    if (flightOn()) [[unlikely]] {
+        flightNote(w->t, log_detail::concat("mshr:gpm", w->src,
+                                            " handed to txn ", w->id));
+    }
     scheduleAdvance(*w);
 }
 
@@ -713,6 +741,32 @@ MemPipeline::noteStage(TxnPhase ph, Cycle before, MemTxn &txn)
     }
     if (dt > 0)
         traceStage(ph, before, txn);
+    if (flightOn()) [[unlikely]]
+        flightPhase(ph, txn);
+}
+
+bool
+MemPipeline::flightOn() const
+{
+    return rec_ != nullptr && rec_->flight() != nullptr;
+}
+
+void
+MemPipeline::flightPhase(TxnPhase from, const MemTxn &txn)
+{
+    rec_->flight()->record(
+        txn.t,
+        log_detail::concat("txn ", txn.id,
+                           txn.is_store ? " store" : " load", " gpm",
+                           txn.src, "->gpm", txn.home_module, ": ",
+                           txnPhaseName(from), " -> ",
+                           txnPhaseName(txn.phase)));
+}
+
+void
+MemPipeline::flightNote(Cycle when, std::string what)
+{
+    rec_->flight()->record(when, std::move(what));
 }
 
 void

@@ -248,6 +248,27 @@ class MemPipeline
     uint32_t vcCreditsInUse(uint32_t vc) const
     { return fabric_stage_.creditsInUse(vc); }
 
+    /** Remote MSHRs held across all modules right now (gauge). */
+    uint32_t
+    mshrsInUse() const
+    {
+        uint32_t sum = 0;
+        for (const MshrState &m : mshrs_)
+            sum += m.in_use;
+        return sum;
+    }
+
+    /** Transactions queued for a remote MSHR right now (gauge). */
+    uint32_t
+    mshrsWaiting() const
+    {
+        uint32_t sum = 0;
+        for (const MshrState &m : mshrs_)
+            for (const MemTxn *w = m.waitq_head; w != nullptr; w = w->next)
+                ++sum;
+        return sum;
+    }
+
     /** Per-pool VC occupancy dump for stall diagnostics; no-op with
      *  credit flow control off. */
     void dumpVcOccupancy(std::ostream &os) const;
@@ -300,6 +321,10 @@ class MemPipeline
 
     void occTick();
     void noteStage(TxnPhase ph, Cycle before, MemTxn &txn);
+    /** Flight-recorder entries (passive; only when rec_->flight()). */
+    bool flightOn() const;
+    void flightPhase(TxnPhase from, const MemTxn &txn);
+    void flightNote(Cycle when, std::string what);
     void traceStage(TxnPhase ph, Cycle start, MemTxn &txn);
     void ensureTraceTracks();
     void traceVcWait(const MemTxn &txn);

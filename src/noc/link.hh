@@ -95,6 +95,13 @@ class Link
 
     uint64_t bytesCarried() const { return server_.bytesServed(); }
     double busyCycles() const { return server_.busyCycles(); }
+
+    /** Cycles a byte arriving at @p now would queue behind existing
+     *  reservations — instantaneous congestion, read-only. */
+    Cycle backlogCycles(Cycle now) const
+    {
+        return server_.backlogCycles(now);
+    }
     Cycle hopCycles() const { return hop_cycles_; }
     double rateBytesPerCycle() const { return server_.rateBytesPerCycle(); }
 

@@ -92,6 +92,14 @@ class Fabric
     virtual void visitLinks(const LinkVisitor &) {}
 
     /**
+     * Record every hop's traversal latency (service + queueing +
+     * hop cycles) into @p hist. Purely observational; not owned,
+     * nullptr detaches. Default: unsupported (ignored) — the
+     * table-routed fabric implements it.
+     */
+    virtual void setHopHistogram(stats::Histogram *) {}
+
+    /**
      * Factory from a machine description; applies the config's
      * FaultPlan (bandwidth derating, transient-error processes) to
      * every constructed link.

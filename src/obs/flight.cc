@@ -1,0 +1,75 @@
+#include "obs/flight.hh"
+
+#include "common/json.hh"
+
+namespace mcmgpu {
+namespace obs {
+
+FlightRecorder::FlightRecorder(uint32_t capacity)
+    : capacity_(capacity ? capacity : 1)
+{
+    ring_.resize(capacity_);
+}
+
+void
+FlightRecorder::record(Cycle when, std::string what)
+{
+    Event &slot = ring_[next_seq_ % capacity_];
+    slot.when = when;
+    slot.seq = next_seq_;
+    slot.what = std::move(what);
+    ++next_seq_;
+}
+
+uint32_t
+FlightRecorder::size() const
+{
+    return next_seq_ < capacity_ ? static_cast<uint32_t>(next_seq_)
+                                 : capacity_;
+}
+
+uint64_t
+FlightRecorder::dropped() const
+{
+    return next_seq_ < capacity_ ? 0 : next_seq_ - capacity_;
+}
+
+std::vector<FlightRecorder::Event>
+FlightRecorder::events() const
+{
+    std::vector<Event> out;
+    const uint32_t n = size();
+    out.reserve(n);
+    // Oldest retained event sits at next_seq_ % capacity_ once the
+    // ring has wrapped; before that the ring is a plain prefix.
+    const uint64_t first = next_seq_ - n;
+    for (uint64_t s = first; s < next_seq_; ++s)
+        out.push_back(ring_[s % capacity_]);
+    return out;
+}
+
+void
+FlightRecorder::dumpJson(std::ostream &os, const std::string &status,
+                         const std::string &reason) const
+{
+    os << "{\n";
+    os << "  \"schema\": \"mcmgpu-flight/1\",\n";
+    os << "  \"status\": " << json::quoted(status) << ",\n";
+    os << "  \"reason\": " << json::quoted(reason) << ",\n";
+    os << "  \"capacity\": " << capacity_ << ",\n";
+    os << "  \"recorded\": " << total() << ",\n";
+    os << "  \"dropped\": " << dropped() << ",\n";
+    os << "  \"events\": [";
+    const std::vector<Event> evs = events();
+    for (size_t i = 0; i < evs.size(); ++i) {
+        os << (i ? ",\n    " : "\n    ");
+        os << "{\"cycle\": " << evs[i].when
+           << ", \"seq\": " << evs[i].seq
+           << ", \"what\": " << json::quoted(evs[i].what) << "}";
+    }
+    os << (evs.empty() ? "]\n" : "\n  ]\n");
+    os << "}\n";
+}
+
+} // namespace obs
+} // namespace mcmgpu

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Post-mortem flight recorder: a fixed-size ring of recent simulation
+ * events.
+ *
+ * The recorder holds the last N event descriptions (txn phase
+ * transitions, VC credit parks/releases, MSHR waits, link traversals
+ * of interest) with their cycle timestamps. It records continuously
+ * and cheaply — one ring-slot assignment per event, no allocation
+ * after construction beyond string assignment — and is only ever read
+ * when a run ends in a failure status (Deadlock / Stalled / Timeout),
+ * at which point the Simulator dumps it alongside the typed error as
+ * <cfg>__<wl>.flight.json ("mcmgpu-flight/1").
+ *
+ * Like every obs component, the flight recorder is passive: it never
+ * schedules events, touches timing state, or influences simulation
+ * outcomes. Cycle counts are bit-identical with it on or off.
+ */
+
+#ifndef MCMGPU_OBS_FLIGHT_HH
+#define MCMGPU_OBS_FLIGHT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mcmgpu {
+namespace obs {
+
+class FlightRecorder
+{
+  public:
+    struct Event
+    {
+        Cycle when = 0;     ///< simulation cycle of the transition
+        uint64_t seq = 0;   ///< global record order (monotonic)
+        std::string what;   ///< human-readable event description
+    };
+
+    explicit FlightRecorder(uint32_t capacity);
+
+    /** Append one event, overwriting the oldest once full. */
+    void record(Cycle when, std::string what);
+
+    /** Number of slots. */
+    uint32_t capacity() const { return capacity_; }
+
+    /** Events currently retained (<= capacity). */
+    uint32_t size() const;
+
+    /** Events recorded then overwritten because the ring was full. */
+    uint64_t dropped() const;
+
+    /** Total events ever recorded. */
+    uint64_t total() const { return next_seq_; }
+
+    /** Retained events, oldest first. */
+    std::vector<Event> events() const;
+
+    /**
+     * Serialize as a "mcmgpu-flight/1" document. @p status is the
+     * run's final status string and @p reason the typed failure
+     * diagnostic (empty when the run finished normally — the
+     * Simulator only dumps on failure, but tests may call directly).
+     */
+    void dumpJson(std::ostream &os, const std::string &status,
+                  const std::string &reason) const;
+
+  private:
+    uint32_t capacity_;
+    std::vector<Event> ring_;
+    uint64_t next_seq_ = 0;
+};
+
+} // namespace obs
+} // namespace mcmgpu
+
+#endif // MCMGPU_OBS_FLIGHT_HH

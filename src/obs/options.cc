@@ -59,6 +59,9 @@ initFromEnv()
         opt.stats_json = truthy(v);
     if (const char *v = std::getenv("MCMGPU_TRACE_JSON"))
         opt.trace_json = truthy(v);
+    if (const char *v = std::getenv("MCMGPU_FLIGHT_RECORDER"))
+        opt.flight_recorder =
+            static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     if (const char *v = std::getenv("MCMGPU_OBS_DIR")) {
         if (*v)
             opt.out_dir = v;

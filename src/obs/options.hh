@@ -14,6 +14,7 @@
 #ifndef MCMGPU_OBS_OPTIONS_HH
 #define MCMGPU_OBS_OPTIONS_HH
 
+#include <cstdint>
 #include <string>
 
 #include "common/types.hh"
@@ -33,6 +34,14 @@ struct Options
     /** Emit <dir>/<config>__<workload>.trace.json per run. */
     bool trace_json = false;
 
+    /**
+     * Keep the last N event/txn-phase transitions in a ring buffer and
+     * dump them as <dir>/<config>__<workload>.flight.json when a run
+     * ends in a failure status (deadlock/stalled/timeout). 0 disables
+     * the flight recorder entirely.
+     */
+    uint32_t flight_recorder = 0;
+
     /** Output directory for every observability artifact. */
     std::string out_dir = "obs-out";
 
@@ -40,7 +49,8 @@ struct Options
     bool
     anyEnabled() const
     {
-        return sample_period != 0 || stats_json || trace_json;
+        return sample_period != 0 || stats_json || trace_json ||
+               flight_recorder != 0;
     }
 };
 
@@ -52,7 +62,8 @@ void setOptions(const Options &opt);
 
 /**
  * Overlay MCMGPU_SAMPLE_PERIOD / MCMGPU_STATS_JSON / MCMGPU_TRACE_JSON
- * / MCMGPU_OBS_DIR onto the current options. Idempotent; the
+ * / MCMGPU_FLIGHT_RECORDER / MCMGPU_OBS_DIR onto the current options.
+ * Idempotent; the
  * experiment harness calls this once at startup so env configuration
  * works for embedders that never touch CLI flags.
  */

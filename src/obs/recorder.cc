@@ -89,10 +89,17 @@ Recorder::Recorder(const Options &opt, std::string config_name,
           "queueing delay at inter-module links (cycles)")),
       dram_queue_(stats::Histogram::makeLog2(
           "dram_queue_delay", kLatencyBuckets,
-          "queueing delay at DRAM channels (cycles)"))
+          "queueing delay at DRAM channels (cycles)")),
+      fabric_hop_(stats::Histogram::makeLog2(
+          "fabric_hop_latency", kLatencyBuckets,
+          "per-hop fabric traversal latency, service + queueing "
+          "(cycles)"))
 {
     if (opt_.sample_period != 0)
         sampler_ = std::make_unique<Sampler>(opt_.sample_period);
+
+    if (opt_.flight_recorder != 0)
+        flight_ = std::make_unique<FlightRecorder>(opt_.flight_recorder);
 
     if (opt_.trace_json) {
         runtime_pid_ = trace_.addProcess("runtime");
@@ -210,8 +217,9 @@ Recorder::histogramJson(std::ostream &os, const stats::Histogram &h)
 std::vector<const stats::Histogram *>
 Recorder::histograms() const
 {
-    return {&local_load_,  &remote_load_, &local_store_,
-            &remote_store_, &link_queue_,  &dram_queue_};
+    return {&local_load_,   &remote_load_, &local_store_,
+            &remote_store_, &link_queue_,  &dram_queue_,
+            &fabric_hop_};
 }
 
 std::string
@@ -223,13 +231,19 @@ Recorder::outputPath(const std::string &artifact) const
 
 bool
 Recorder::writeOutputs(
-    const std::function<void(std::ostream &)> &stats_writer)
+    const std::function<void(std::ostream &)> &stats_writer,
+    const std::function<void(std::ostream &)> &fabric_writer)
 {
     bool ok = true;
     if (opt_.stats_json && stats_writer) {
         std::ostringstream os;
         stats_writer(os);
         ok &= writeFileAtomic(outputPath("stats"), os.str());
+    }
+    if (opt_.stats_json && fabric_writer) {
+        std::ostringstream os;
+        fabric_writer(os);
+        ok &= writeFileAtomic(outputPath("fabric"), os.str());
     }
     if (sampler_) {
         std::ostringstream os;
@@ -242,10 +256,31 @@ Recorder::writeOutputs(
         ok &= writeFileAtomic(outputPath("trace"), os.str());
     }
     if (!ok) {
-        warn("observability: failed writing outputs under '",
-             opt_.out_dir, "'");
+        // warn_once routes through the installed LogSink (the Progress
+        // single writer under the experiment harness), and a parallel
+        // sweep against an unwritable directory reports once instead
+        // of once per job. writeFileAtomic never leaves a partial
+        // non-temp file: failures abort on the .tmp and remove it.
+        warn_once("observability: failed writing outputs under '",
+                  opt_.out_dir, "'");
     }
     return ok;
+}
+
+bool
+Recorder::writeFlight(const std::string &status,
+                      const std::string &reason)
+{
+    if (!flight_)
+        return true;
+    std::ostringstream os;
+    flight_->dumpJson(os, status, reason);
+    if (!writeFileAtomic(outputPath("flight"), os.str())) {
+        warn_once("observability: failed writing flight dump under '",
+                  opt_.out_dir, "'");
+        return false;
+    }
+    return true;
 }
 
 } // namespace obs

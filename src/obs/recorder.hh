@@ -28,6 +28,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/flight.hh"
 #include "obs/options.hh"
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
@@ -67,6 +68,12 @@ class Recorder
     stats::Histogram &linkQueueDelay() { return link_queue_; }
     /** Queueing delay at DRAM channel bandwidth servers. */
     stats::Histogram &dramQueueDelay() { return dram_queue_; }
+    /** Per-hop fabric traversal latency (service + queueing, cycles). */
+    stats::Histogram &fabricHopLatency() { return fabric_hop_; }
+
+    // --- Flight recorder ---------------------------------------------------
+    /** Non-null when --obs-flight-recorder is set. */
+    FlightRecorder *flight() { return flight_.get(); }
 
     /** Record one completed load (latency in cycles). */
     void
@@ -109,11 +116,24 @@ class Recorder
      * Write every enabled artifact. @p stats_writer streams the body of
      * stats.json (the caller knows the machine's stat groups; see
      * GpuSystem::statsJson) and is only invoked when --stats-json is
-     * on.
+     * on; @p fabric_writer streams fabric.json (see
+     * GpuSystem::fabricJson) under the same gate. A failed write of
+     * any artifact routes one warning through warn_once (and thus the
+     * Progress single writer) and leaves no partial non-temp file.
      * @return false if any file could not be written.
      */
     bool writeOutputs(
-        const std::function<void(std::ostream &)> &stats_writer);
+        const std::function<void(std::ostream &)> &stats_writer,
+        const std::function<void(std::ostream &)> &fabric_writer = {});
+
+    /**
+     * Dump the flight-recorder ring as flight.json. The Simulator
+     * calls this only when the run ended in a failure status; no-op
+     * when the flight recorder is disabled.
+     * @return false if the file could not be written.
+     */
+    bool writeFlight(const std::string &status,
+                     const std::string &reason);
 
     /** Serialize one histogram as a JSON object (shared by stats.json
      *  and tests). */
@@ -141,6 +161,9 @@ class Recorder
     stats::Histogram remote_store_;
     stats::Histogram link_queue_;
     stats::Histogram dram_queue_;
+    stats::Histogram fabric_hop_;
+
+    std::unique_ptr<FlightRecorder> flight_;
 
     TraceEmitter trace_;
     uint32_t runtime_pid_ = 0;

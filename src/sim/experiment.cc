@@ -192,6 +192,13 @@ cliFlagHelp()
            "  --trace-json               emit per-run Chrome trace.json "
            "(or\n"
            "                             set MCMGPU_TRACE_JSON=1)\n"
+           "  --obs-flight-recorder <n>  keep the last N events in a "
+           "ring;\n"
+           "                             failed runs dump them as\n"
+           "                             <obs-dir>/*.flight.json (or "
+           "set\n"
+           "                             MCMGPU_FLIGHT_RECORDER; 0 "
+           "disables)\n"
            "  --obs-dir <dir>            observability output directory\n"
            "                             (default obs-out; or set "
            "MCMGPU_OBS_DIR)\n";
@@ -226,6 +233,11 @@ parseCliFlag(int argc, char **argv, int &i)
     } else if (!std::strcmp(arg, "--trace-json")) {
         obs::Options o = obs::options();
         o.trace_json = true;
+        obs::setOptions(o);
+    } else if (!std::strcmp(arg, "--obs-flight-recorder")) {
+        obs::Options o = obs::options();
+        o.flight_recorder = static_cast<uint32_t>(
+            std::strtoul(value(), nullptr, 10));
         obs::setOptions(o);
     } else if (!std::strcmp(arg, "--obs-dir")) {
         obs::Options o = obs::options();

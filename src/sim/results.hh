@@ -7,8 +7,11 @@
 #define MCMGPU_SIM_RESULTS_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "common/stats.hh"
 #include "common/types.hh"
 
 namespace mcmgpu {
@@ -101,6 +104,32 @@ struct RunResult
                             static_cast<double>(cycles)
                       : 0.0;
     }
+};
+
+/** One link's end-of-run congestion figures (fabric.json mirror). */
+struct FabricLinkSummary
+{
+    std::string name;          //!< topology link name ("ring.cw0", ...)
+    uint64_t bytes = 0;        //!< bytes carried (hop-weighted)
+    double busy_cycles = 0.0;  //!< service time consumed
+    double utilization = 0.0;  //!< busy_cycles / run cycles
+};
+
+/**
+ * Per-run fabric observability harvested alongside the RunResult when
+ * a recorder is attached. Kept OUT of RunResult on purpose: RunResult
+ * is what the ResultCache serializes, and the sweep aggregation must
+ * not disturb cached-entry compatibility. Cache-hit jobs therefore
+ * carry no summary (cached runs re-write no obs artifacts either).
+ */
+struct FabricRunSummary
+{
+    bool present = false;
+    Cycle cycles = 0;
+    /** Copy of the recorder's remote-load latency histogram. */
+    std::optional<stats::Histogram> remote_load;
+    /** Every named link, in the fabric's deterministic visit order. */
+    std::vector<FabricLinkSummary> links;
 };
 
 } // namespace mcmgpu

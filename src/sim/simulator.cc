@@ -11,7 +11,7 @@ namespace mcmgpu {
 
 RunResult
 Simulator::run(const GpuConfig &cfg, const workloads::Workload &workload,
-               double wall_timeout_s)
+               double wall_timeout_s, FabricRunSummary *fabric)
 {
     GpuSystem gpu(cfg);
     Runtime rt(gpu);
@@ -72,9 +72,49 @@ Simulator::run(const GpuConfig &cfg, const workloads::Workload &workload,
 
     if (rec) {
         gpu.finishObservability();
-        rec->writeOutputs([&gpu, &workload](std::ostream &os) {
-            gpu.statsJson(os, workload.abbr);
-        });
+        rec->writeOutputs(
+            [&gpu, &workload](std::ostream &os) {
+                gpu.statsJson(os, workload.abbr);
+            },
+            [&gpu, &workload](std::ostream &os) {
+                gpu.fabricJson(os, workload.abbr);
+            });
+
+        // Post-mortem: a failed run dumps the flight-recorder ring
+        // with the typed diagnostic appended as the final event, so
+        // the last-N-events tail and the named resource cycle land in
+        // one replayable document.
+        const bool failed = r.status == RunStatus::Deadlock ||
+                            r.status == RunStatus::Stalled ||
+                            r.status == RunStatus::Timeout;
+        if (failed && rec->flight()) {
+            std::string last = "run failed: ";
+            last += toString(r.status);
+            if (!r.stall_diagnostic.empty()) {
+                last += " — ";
+                last += r.stall_diagnostic;
+            }
+            rec->flight()->record(r.cycles, std::move(last));
+            rec->writeFlight(toString(r.status), r.stall_diagnostic);
+        }
+
+        if (fabric) {
+            fabric->present = true;
+            fabric->cycles = r.cycles;
+            fabric->remote_load.emplace(rec->remoteLoadLatency());
+            gpu.fabric().visitLinks(
+                [fabric, &r](const std::string &name, Link &l) {
+                    FabricLinkSummary ls;
+                    ls.name = name;
+                    ls.bytes = l.bytesCarried();
+                    ls.busy_cycles = l.busyCycles();
+                    ls.utilization =
+                        r.cycles ? l.busyCycles() /
+                                       static_cast<double>(r.cycles)
+                                 : 0.0;
+                    fabric->links.push_back(std::move(ls));
+                });
+        }
     }
     return r;
 }

@@ -21,10 +21,14 @@ class Simulator
      * Simulate @p workload to completion on a fresh machine described
      * by @p cfg. A positive @p wall_timeout_s bounds host wall-clock:
      * the run is cut short with RunStatus::Timeout when it expires.
+     * When @p fabric is non-null and a recorder was attached (any obs
+     * option on), it receives the per-run fabric congestion summary
+     * that feeds the sweep-level aggregation in runs.json.
      */
     static RunResult run(const GpuConfig &cfg,
                          const workloads::Workload &workload,
-                         double wall_timeout_s = 0.0);
+                         double wall_timeout_s = 0.0,
+                         FabricRunSummary *fabric = nullptr);
 };
 
 } // namespace mcmgpu

@@ -53,6 +53,18 @@ TableRoutedFabric::send(ModuleId src, ModuleId dst, uint64_t bytes,
     const LinkSeq &seq = set.candidates[pick];
 
     Cycle t = now;
+    if (hop_hist_) [[unlikely]] {
+        // Observational per-hop latency: identical traversal calls,
+        // with each hop's entry-to-arrival delta recorded. The fast
+        // loop below stays branch-free for the obs-off common case.
+        for (uint32_t id : seq) {
+            const Cycle entered = t;
+            t = links_[id].traverse(t, bytes);
+            hop_hist_->record(t - entered);
+        }
+        return {t, static_cast<uint32_t>(seq.size()),
+                route_board_[entry][pick] != 0};
+    }
     for (uint32_t id : seq)
         t = links_[id].traverse(t, bytes);
     return {t, static_cast<uint32_t>(seq.size()),

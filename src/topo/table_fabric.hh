@@ -44,6 +44,10 @@ class TableRoutedFabric : public Fabric
     uint64_t transientErrors() const override;
     void dumpOccupancy(std::ostream &os) const override;
     void visitLinks(const LinkVisitor &visit) override;
+    void setHopHistogram(stats::Histogram *hist) override
+    {
+        hop_hist_ = hist;
+    }
 
     /** Hop count of the shortest candidate route (for tests). */
     uint32_t routeHops(ModuleId src, ModuleId dst) const;
@@ -64,6 +68,7 @@ class TableRoutedFabric : public Fabric
     std::vector<std::vector<uint8_t>> route_board_;
     uint64_t injected_ = 0;
     uint64_t route_toggle_ = 0; //!< balances equal-cost candidates
+    stats::Histogram *hop_hist_ = nullptr; //!< optional, not owned
 };
 
 } // namespace topo

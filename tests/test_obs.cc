@@ -395,7 +395,7 @@ TEST_F(ObsRecorderTest, WritesValidArtifactsAndClosesTruncatedSpans)
     EXPECT_NE(trace.find("k0 #1"), std::string::npos);
     EXPECT_NE(trace.find("(truncated)"), std::string::npos);
     EXPECT_NE(trace.find("ring.cw0"), std::string::npos);
-    EXPECT_EQ(rec.histograms().size(), 6u);
+    EXPECT_EQ(rec.histograms().size(), 7u);
     EXPECT_EQ(rec.localLoadLatency().count(), 1u);
     EXPECT_EQ(rec.remoteLoadLatency().count(), 1u);
 }
@@ -492,14 +492,15 @@ TEST_F(ObsExperimentTest, StatsJsonByteIdenticalAcrossJobCounts)
     sweep(1, serial.str());
     sweep(8, parallel.str());
 
-    // Every (config, workload) pair produced the three artifacts, and
+    // Every (config, workload) pair produced the four artifacts, and
     // each file is byte-for-byte identical between job counts.
     size_t files = 0;
     for (const GpuConfig &c : cfgs) {
         for (const char *a : abbrs) {
             obs::Options opt = obs::options();
             obs::Recorder namer(opt, c.name, a, c.num_modules);
-            for (const char *artifact : {"stats", "timeline", "trace"}) {
+            for (const char *artifact :
+                 {"stats", "timeline", "trace", "fabric"}) {
                 const std::string rel =
                     fs::path(namer.outputPath(artifact))
                         .filename()
@@ -516,7 +517,7 @@ TEST_F(ObsExperimentTest, StatsJsonByteIdenticalAcrossJobCounts)
             }
         }
     }
-    EXPECT_EQ(files, 2u * 4u * 3u);
+    EXPECT_EQ(files, 2u * 4u * 4u);
 
     // And the stats documents carry the schema marker.
     obs::Options opt = obs::options();
@@ -526,15 +527,55 @@ TEST_F(ObsExperimentTest, StatsJsonByteIdenticalAcrossJobCounts)
               fs::path(namer.outputPath("stats")).filename().string());
     EXPECT_NE(stats.find("\"mcmgpu-stats/1\""), std::string::npos);
     EXPECT_NE(stats.find("\"histograms\""), std::string::npos);
+
+    // The fabric document of a linked machine (mcm-basic, not the
+    // linkless monolithic) names links and the hottest one.
+    obs::Recorder fnamer(opt, cfgs[1].name, abbrs[0],
+                         cfgs[1].num_modules);
+    const std::string fabric =
+        slurp(serial.str() + "/" +
+              fs::path(fnamer.outputPath("fabric")).filename().string());
+    EXPECT_NE(fabric.find("\"mcmgpu-fabric/1\""), std::string::npos);
+    EXPECT_NE(fabric.find("\"links\""), std::string::npos);
+    EXPECT_NE(fabric.find("\"hottest_link\""), std::string::npos);
+    EXPECT_NE(fabric.find("\"utilization\""), std::string::npos);
+}
+
+TEST_F(ObsExperimentTest, RunsJsonCarriesSweepSummary)
+{
+    TempDir dir("sweep");
+    obs::Options opt;
+    opt.stats_json = true;
+    opt.out_dir = dir.str();
+    obs::setOptions(opt);
+    experiment::setRunsJsonPath(dir.str() + "/runs.json");
+    experiment::clearMemo();
+
+    const GpuConfig cfgs[] = {configs::mcmBasic()};
+    std::vector<const workloads::Workload *> ws = {&tinyWorkload("TSP"),
+                                                   &tinyWorkload("NN")};
+    experiment::runMatrix(cfgs, ws);
+    experiment::setRunsJsonPath("");
+
+    const std::string doc = slurp(dir.str() + "/runs.json");
+    json::ValidationResult res = json::validate(doc);
+    ASSERT_TRUE(res) << res.error << " at " << res.offset;
+    EXPECT_NE(doc.find("\"sweep_summary\""), std::string::npos);
+    EXPECT_NE(doc.find("\"hottest_links\""), std::string::npos);
+    EXPECT_NE(doc.find("\"remote_load_latency\""), std::string::npos);
+    EXPECT_NE(doc.find("\"p95\""), std::string::npos);
+    EXPECT_NE(doc.find("\"links_total\""), std::string::npos);
+    EXPECT_NE(doc.find("\"utilization\""), std::string::npos);
 }
 
 TEST_F(ObsExperimentTest, CliFlagsPopulateObsOptions)
 {
     const char *argv_c[] = {"prog",         "--sample-period", "4096",
                             "--stats-json", "--trace-json",    "--obs-dir",
-                            "/tmp/obs-x",   nullptr};
+                            "/tmp/obs-x",   "--obs-flight-recorder",
+                            "256",          nullptr};
     char **argv = const_cast<char **>(argv_c);
-    int argc = 7;
+    int argc = 9;
     for (int i = 1; i < argc; ++i)
         EXPECT_TRUE(experiment::parseCliFlag(argc, argv, i)) << i;
 
@@ -543,6 +584,7 @@ TEST_F(ObsExperimentTest, CliFlagsPopulateObsOptions)
     EXPECT_TRUE(opt.stats_json);
     EXPECT_TRUE(opt.trace_json);
     EXPECT_EQ(opt.out_dir, "/tmp/obs-x");
+    EXPECT_EQ(opt.flight_recorder, 256u);
     EXPECT_TRUE(opt.anyEnabled());
 }
 
@@ -553,6 +595,7 @@ TEST_F(ObsExperimentTest, DefaultOptionsDisableEverything)
     EXPECT_EQ(opt.sample_period, 0u);
     EXPECT_FALSE(opt.stats_json);
     EXPECT_FALSE(opt.trace_json);
+    EXPECT_EQ(opt.flight_recorder, 0u);
 }
 
 } // namespace
