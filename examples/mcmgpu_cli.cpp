@@ -48,7 +48,8 @@ usage()
         "  --workload <abbr>          workload to run (default Stream)\n"
         "  --machine <preset>         mono-32 | mono-128 | mono-256 |\n"
         "                             mcm-basic | mcm-optimized |\n"
-        "                             mcm-mesh | mcm-rings | mcm-package |\n"
+        "                             mcm-mesh | mcm-mesh-adaptive |\n"
+        "                             mcm-rings | mcm-package |\n"
         "                             multi-gpu | multi-gpu-opt\n"
         "                             (default mcm-basic)\n"
         "  --link-gbps <n>            inter-module link bandwidth\n"
@@ -65,6 +66,10 @@ usage()
         "                             (package:P only, default 256)\n"
         "  --pkg-hop-cycles <n>       inter-package hop latency\n"
         "                             (default 256)\n"
+        "  --route-policy <p>         static | adaptive: equal-cost\n"
+        "                             candidate selection (static is\n"
+        "                             the legacy toggle; adaptive takes\n"
+        "                             the least-backlogged route)\n"
         "dram:\n"
         "  --dram-turnaround <n>      read/write bus-turnaround cycles\n"
         "                             per channel (default 0 = off)\n"
@@ -129,6 +134,8 @@ parseMachine(const std::string &name, GpuConfig &cfg)
         cfg = configs::mcmOptimized();
     } else if (name == "mcm-mesh") {
         cfg = configs::mcmMesh();
+    } else if (name == "mcm-mesh-adaptive") {
+        cfg = configs::mcmMeshAdaptive();
     } else if (name == "mcm-rings") {
         cfg = configs::mcmRingOfRings();
     } else if (name == "mcm-package") {
@@ -165,7 +172,7 @@ int
 runMatrixMode(const std::string &machines, const std::string &workload_set,
               MemModel mem_model, uint32_t remote_mshrs,
               uint32_t fabric_vcs, uint32_t vc_credits,
-              const std::string &topology)
+              const std::string &topology, const std::string &route_policy)
 {
     std::vector<GpuConfig> cfgs;
     for (const std::string &m : splitCommas(machines)) {
@@ -178,6 +185,10 @@ runMatrixMode(const std::string &machines, const std::string &workload_set,
         c.withFabricVcs(fabric_vcs, vc_credits);
         if (!topology.empty())
             c.withTopology(topology).withName(c.name + "+" + topology);
+        if (route_policy == "adaptive") {
+            c.withRoutePolicy(RoutePolicy::Adaptive)
+                .withName(c.name + "+adaptive");
+        }
         cfgs.push_back(std::move(c));
     }
     std::vector<const workloads::Workload *> ws;
@@ -283,6 +294,40 @@ schemaIssue(const std::string &name, const std::string &text)
         std::string bad = require_marker("mcmgpu-fabric/1");
         if (!bad.empty())
             return bad;
+        // Adaptive-routing runs carry the route block as a unit: the
+        // policy marker, both counters, and the candidate-pick
+        // distribution (diverted is a subset of the scored picks).
+        if (text.find("\"route_policy\": \"adaptive\"") !=
+            std::string::npos) {
+            if (text.find("\"route_adaptive_picks\": ") ==
+                std::string::npos)
+                return "adaptive fabric missing route_adaptive_picks";
+            if (text.find("\"route_diverted\": ") == std::string::npos)
+                return "adaptive fabric missing route_diverted";
+            if (text.find("\"route_candidate_picks\": [") ==
+                std::string::npos)
+                return "adaptive fabric missing route_candidate_picks";
+            double picks = -1.0;
+            bad = each_number("route_adaptive_picks",
+                              [&](double v) -> std::string {
+                                  picks = v;
+                                  return v < 0.0
+                                             ? "negative route picks"
+                                             : "";
+                              });
+            if (!bad.empty())
+                return bad;
+            bad = each_number("route_diverted",
+                              [&](double v) -> std::string {
+                                  if (v < 0.0 || v > picks)
+                                      return "route_diverted " +
+                                             std::to_string(v) +
+                                             " exceeds adaptive picks";
+                                  return "";
+                              });
+            if (!bad.empty())
+                return bad;
+        }
         return each_number("utilization", [](double v) -> std::string {
             if (!(v >= 0.0 && v <= 1.0)) // also catches NaN
                 return "utilization " + std::to_string(v) +
@@ -418,6 +463,7 @@ main(int argc, char **argv)
     uint32_t fabric_vcs = 0;
     uint32_t vc_credits = 64;
     std::string topology;
+    std::string route_policy; // empty: keep the preset's policy
     std::string matrix_machines;
     std::string matrix_workloads;
     std::string check_obs_dir;
@@ -475,6 +521,15 @@ main(int argc, char **argv)
                                        : FabricKind::Ports;
         } else if (arg == "--topology") {
             topology = next();
+        } else if (arg == "--route-policy") {
+            route_policy = next();
+            if (route_policy != "static" && route_policy != "adaptive") {
+                std::fprintf(
+                    stderr,
+                    "unknown --route-policy '%s' (static|adaptive)\n",
+                    route_policy.c_str());
+                return 1;
+            }
         } else if (arg == "--pkg-link-gbps") {
             cfg.pkg_link_gbps = std::stod(next());
         } else if (arg == "--pkg-hop-cycles") {
@@ -538,11 +593,17 @@ main(int argc, char **argv)
     }
 
     // Applied after the flag loop so --mem-model / --fabric-vcs /
-    // --topology compose with --machine in either order.
+    // --topology / --route-policy compose with --machine in either
+    // order (an absent --route-policy keeps the preset's policy).
     cfg.withMemModel(mem_model, remote_mshrs);
     cfg.withFabricVcs(fabric_vcs, vc_credits);
     if (!topology.empty())
         cfg.withTopology(topology);
+    if (!route_policy.empty()) {
+        cfg.withRoutePolicy(route_policy == "adaptive"
+                                ? RoutePolicy::Adaptive
+                                : RoutePolicy::Static);
+    }
 
     if (!check_obs_dir.empty())
         return checkObsMode(check_obs_dir);
@@ -550,7 +611,7 @@ main(int argc, char **argv)
     if (!matrix_machines.empty()) {
         return runMatrixMode(matrix_machines, matrix_workloads, mem_model,
                              remote_mshrs, fabric_vcs, vc_credits,
-                             topology);
+                             topology, route_policy);
     }
 
     const workloads::Workload *w = workloads::findByAbbr(workload);

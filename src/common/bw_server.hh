@@ -129,6 +129,14 @@ class BandwidthServer
      * calendar without consuming capacity or updating the skip
      * pointers, so sampling it perturbs nothing. Returns 0 when the
      * calendar at @p now is unreserved (or already compacted away).
+     *
+     * Mirrors a hypothetical acquire(now, 1) byte for byte — same
+     * bucket placement, same min_done clamp — so the reported backlog
+     * equals the queueing delay that probe would actually experience:
+     * acquire(now, 1) - now - ceil(1/rate) == backlogCycles(now).
+     * A mid-bucket arrival at a lightly-used bucket therefore reads 0,
+     * not the phantom ceil(used/rate) headroom measured from the
+     * bucket start (the adaptive route policy steers on this value).
      */
     Cycle
     backlogCycles(Cycle now) const
@@ -141,19 +149,24 @@ class BandwidthServer
             return 0; // beyond every retained reservation
         while (idx < avail_.size() && avail_[idx] <= kEps)
             ++idx;
+        const Cycle probe = static_cast<Cycle>(std::ceil(1.0 / rate_));
+        const Cycle min_done = now + probe;
+        Cycle done;
         if (idx >= avail_.size()) {
-            // Every retained bucket from `now` on is fully drained:
-            // service next frees up at the end of the retained window.
-            const Cycle free_at = (base_ + avail_.size()) * bucket_;
-            return free_at > now ? free_at - now : 0;
+            // Every retained bucket from `now` on is fully drained: the
+            // probe byte lands in the first bucket past the retained
+            // window, completing probe cycles after the window ends.
+            done = (base_ + avail_.size()) * bucket_ + probe;
+        } else {
+            // First bucket with headroom: the probe byte queues behind
+            // that bucket's existing reservations and completes where
+            // acquire would put it.
+            const Cycle bucket_start = (base_ + idx) * bucket_;
+            const double used = cap_ - avail_[idx];
+            done = bucket_start +
+                   static_cast<Cycle>(std::ceil((used + 1.0) / rate_));
         }
-        // First bucket with headroom: its existing reservations finish
-        // part-way through it; a new byte starts right after them.
-        const Cycle bucket_start = (base_ + idx) * bucket_;
-        const double used = cap_ - avail_[idx];
-        const Cycle free_at =
-            bucket_start + static_cast<Cycle>(std::ceil(used / rate_));
-        return free_at > now ? free_at - now : 0;
+        return done > min_done ? done - min_done : 0;
     }
 
     /** Arrivals clamped because they predate the retained history
@@ -241,8 +254,15 @@ class BandwidthServer
         avail_.erase(avail_.begin(),
                      avail_.begin() + static_cast<long>(drop));
         jump_.erase(jump_.begin(), jump_.begin() + static_cast<long>(drop));
-        for (auto &j : jump_) {
-            j = j > drop ? static_cast<uint32_t>(j - drop) : 0u;
+        // Rebase the surviving skip pointers, clamping each to at least
+        // its own slot: a pointer whose target was dropped must degrade
+        // to "no skip", never point backward — findAvail() following a
+        // backward pointer would reserve capacity before the request's
+        // arrival (non-causal service that min_done only partly masks).
+        for (size_t i = 0; i < jump_.size(); ++i) {
+            const uint64_t j =
+                jump_[i] > drop ? jump_[i] - drop : static_cast<uint64_t>(0);
+            jump_[i] = static_cast<uint32_t>(j > i ? j : i);
         }
         base_ += drop;
     }

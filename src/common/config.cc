@@ -294,6 +294,15 @@ mcmMesh()
 }
 
 GpuConfig
+mcmMeshAdaptive()
+{
+    GpuConfig c = mcmMesh();
+    c.route_policy = RoutePolicy::Adaptive;
+    c.name = "mcm-mesh+adaptive";
+    return c;
+}
+
+GpuConfig
 mcmRingOfRings()
 {
     GpuConfig c = mcmBasic();

@@ -138,6 +138,24 @@ enum class MemModel
     Staged, //!< event-per-stage split transactions
 };
 
+/**
+ * How the fabric chooses among equal-cost candidate routes
+ * (docs/TOPOLOGY.md "Route policies").
+ *
+ * Static reproduces the legacy behaviour bit for bit: ties alternate on
+ * a global toggle, everything else takes its single candidate. Adaptive
+ * scores each candidate by the summed backlogCycles(now) of its links
+ * and takes the least-congested one, breaking score ties towards the
+ * lowest candidate index; when every candidate scores the same it falls
+ * back to the legacy toggle — turning the congestion telemetry into a
+ * closed control loop while staying fully deterministic.
+ */
+enum class RoutePolicy
+{
+    Static,   //!< legacy toggle over ties (default; bit-identical)
+    Adaptive, //!< least-backlog candidate, toggle only on full ties
+};
+
 /** Warp issue arbitration within an SM (Table 3: greedy-then-oldest). */
 enum class WarpSchedPolicy
 {
@@ -234,6 +252,13 @@ struct GpuConfig
      *  using link_gbps / link_hop_cycles. Aggregate GB/s per link. */
     double pkg_link_gbps = 256.0;
     Cycle pkg_link_hop_cycles = 256;
+    /** Equal-cost candidate selection on the table-routed fabric.
+     *  Static (the default) keeps timing bit-identical to the legacy
+     *  toggle; Adaptive steers each message onto the candidate with the
+     *  least summed link backlog at send time (docs/TOPOLOGY.md). The
+     *  analytic Ports and Ideal fabrics have no route candidates and
+     *  ignore it. */
+    RoutePolicy route_policy = RoutePolicy::Static;
 
     // --- Energy (Table 2) -----------------------------------------------------
     double chip_pj_per_bit = 0.080;    //!< on-chip movement, 80 fJ/b
@@ -336,6 +361,12 @@ struct GpuConfig
         topology = std::move(spec);
         return *this;
     }
+    GpuConfig &
+    withRoutePolicy(RoutePolicy p)
+    {
+        route_policy = p;
+        return *this;
+    }
 };
 
 namespace configs {
@@ -369,6 +400,11 @@ GpuConfig mcmOptimized(double link_gbps = 768.0);
 /** Basic MCM-GPU rewired as a 2x2 mesh (Figure 1's package layout):
  *  same GPMs and link pricing, dimension-ordered routing. */
 GpuConfig mcmMesh();
+
+/** The mesh preset with congestion-aware route selection: identical
+ *  machine, but equal-cost XY/YX candidates are picked by least summed
+ *  link backlog instead of the static toggle (docs/TOPOLOGY.md). */
+GpuConfig mcmMeshAdaptive();
 
 /** Basic MCM-GPU as a ring-of-rings: 2 local rings of 2 GPMs plus an
  *  express ring over the group gateways. */

@@ -145,6 +145,13 @@ GpuSystem::dumpStats(std::ostream &os, bool per_sm) const
     os << "system.events " << eq_.executed() << '\n';
     os << "fabric.injected_bytes " << fabric_->injectedBytes() << '\n';
     os << "fabric.link_bytes " << fabric_->linkBytes() << '\n';
+    // Route-policy counters only exist under adaptive selection; the
+    // static default keeps the historical dump shape byte for byte.
+    if (cfg_.route_policy == RoutePolicy::Adaptive) {
+        os << "fabric.route_adaptive_picks "
+           << fabric_->routeAdaptivePicks() << '\n';
+        os << "fabric.route_diverted " << fabric_->routeDiverted() << '\n';
+    }
 
     // Aggregate the per-SM groups into one summary line per stat.
     if (per_sm) {
@@ -408,8 +415,15 @@ GpuSystem::statsJson(std::ostream &os, const std::string &workload) const
        << ", \"enabled_sms\": " << enabled_sms_
        << ", \"fabric_injected_bytes\": " << fabric_->injectedBytes()
        << ", \"fabric_link_bytes\": " << fabric_->linkBytes()
-       << ", \"fabric_transient_errors\": " << fabric_->transientErrors()
-       << ", \"dram_read_bytes\": " << dramReadBytes()
+       << ", \"fabric_transient_errors\": " << fabric_->transientErrors();
+    // Conditional like the dump above: absent under the static default
+    // so pre-adaptive documents stay byte-identical.
+    if (cfg_.route_policy == RoutePolicy::Adaptive) {
+        os << ", \"fabric_route_adaptive_picks\": "
+           << fabric_->routeAdaptivePicks()
+           << ", \"fabric_route_diverted\": " << fabric_->routeDiverted();
+    }
+    os << ", \"dram_read_bytes\": " << dramReadBytes()
        << ", \"dram_write_bytes\": " << dramWriteBytes()
        << ", \"energy_chip_j\": " << json::number(
               energy_.joulesIn(Domain::Chip))
@@ -475,6 +489,24 @@ GpuSystem::fabricJson(std::ostream &os, const std::string &workload)
        << "  \"cycles\": " << cycles << ",\n"
        << "  \"injected_bytes\": " << fabric_->injectedBytes() << ",\n"
        << "  \"link_bytes\": " << fabric_->linkBytes() << ",\n";
+
+    // Route-policy block: only under adaptive selection, so static
+    // documents keep the exact PR 8 shape. The candidate-pick
+    // distribution shows how often each equal-cost alternate won
+    // (index 0 is always the legacy XY/clockwise-first route).
+    if (cfg_.route_policy == RoutePolicy::Adaptive) {
+        os << "  \"route_policy\": \"adaptive\",\n"
+           << "  \"route_adaptive_picks\": "
+           << fabric_->routeAdaptivePicks() << ",\n"
+           << "  \"route_diverted\": " << fabric_->routeDiverted() << ",\n"
+           << "  \"route_candidate_picks\": [";
+        bool first_pick = true;
+        for (uint64_t n : fabric_->routeCandidatePicks()) {
+            os << (first_pick ? "" : ", ") << n;
+            first_pick = false;
+        }
+        os << "],\n";
+    }
 
     // One object per named topology link, in the deterministic
     // visitLinks order. utilization = busy / cycles is the congestion

@@ -74,7 +74,8 @@ Fabric::create(const GpuConfig &cfg)
                  "--topology: ", err);
         return std::make_unique<topo::TableRoutedFabric>(desc,
                                                          topoParams(cfg),
-                                                         plan);
+                                                         plan,
+                                                         cfg.route_policy);
     }
 
     switch (cfg.fabric) {
@@ -90,7 +91,8 @@ Fabric::create(const GpuConfig &cfg)
         desc.spec = "ring";
         return std::make_unique<topo::TableRoutedFabric>(desc,
                                                          topoParams(cfg),
-                                                         plan);
+                                                         plan,
+                                                         cfg.route_policy);
       }
       case FabricKind::Mesh: {
         if (cfg.num_modules == 1)
@@ -100,7 +102,8 @@ Fabric::create(const GpuConfig &cfg)
         desc.spec = "mesh2d";
         return std::make_unique<topo::TableRoutedFabric>(desc,
                                                          topoParams(cfg),
-                                                         plan);
+                                                         plan,
+                                                         cfg.route_policy);
       }
       case FabricKind::Ports:
         if (cfg.num_modules == 1)

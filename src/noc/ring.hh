@@ -99,6 +99,20 @@ class Fabric
      */
     virtual void setHopHistogram(stats::Histogram *) {}
 
+    /** Sends where the adaptive route policy scored a multi-candidate
+     *  pair (0 on fabrics without adaptive routing, or under the
+     *  static policy). */
+    virtual uint64_t routeAdaptivePicks() const { return 0; }
+
+    /** Adaptive picks that chose a different candidate than the legacy
+     *  toggle would have — messages actually steered by congestion. */
+    virtual uint64_t routeDiverted() const { return 0; }
+
+    /** Distribution of chosen candidate indices over all adaptive
+     *  multi-candidate picks (element i = times candidate i won).
+     *  Empty on fabrics without adaptive routing. */
+    virtual std::vector<uint64_t> routeCandidatePicks() const { return {}; }
+
     /**
      * Factory from a machine description; applies the config's
      * FaultPlan (bandwidth derating, transient-error processes) to

@@ -328,6 +328,11 @@ configKey(const GpuConfig &cfg)
         os << "/D" << cfg.dram_turnaround_cycles << ','
            << cfg.dram_write_drain;
     }
+    // Adaptive route selection changes fabric timing; the static
+    // default is bit-identical to the legacy toggle and adds nothing,
+    // so pre-adaptive cache entries stay valid.
+    if (cfg.route_policy != RoutePolicy::Static)
+        os << "/R" << static_cast<int>(cfg.route_policy);
     return os.str();
 }
 

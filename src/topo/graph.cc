@@ -302,6 +302,32 @@ meshRoute(const Layout &layout, uint32_t src, uint32_t dst)
     return seq;
 }
 
+/** YX route on the mesh: the same walk with the dimension order
+ *  flipped. Equal hop count to meshRoute(); differs from it only when
+ *  src and dst disagree in both dimensions. Still turn-restricted (one
+ *  Y-to-X turn, never X-to-Y-to-X), so loop freedom is preserved. */
+LinkSeq
+meshRouteYx(const Layout &layout, uint32_t src, uint32_t dst)
+{
+    const uint32_t cols = layout.mesh_cols;
+    LinkSeq seq;
+    uint32_t at = src;
+    auto step = [&](uint32_t next) {
+        const int32_t id =
+            layout.mesh_link_of[static_cast<size_t>(at) * layout.nodes +
+                                next];
+        panic_if(id < 0, "mesh nodes ", at, " and ", next,
+                 " are not adjacent");
+        seq.push_back(static_cast<uint32_t>(id));
+        at = next;
+    };
+    while (at / cols != dst / cols)
+        step(at / cols < dst / cols ? at + cols : at - cols);
+    while (at % cols != dst % cols)
+        step(at % cols < dst % cols ? at + 1 : at - 1);
+    return seq;
+}
+
 /** Hierarchical local/express/local composition for ring-of-rings and
  *  package graphs. Intra-group traffic never leaves its local ring. */
 std::vector<LinkSeq>
@@ -348,7 +374,8 @@ buildTopoGraph(const TopologyDesc &desc, const TopoParams &params)
 }
 
 RouteTable
-computeRoutes(const TopologyDesc &desc, const TopoGraph &graph)
+computeRoutes(const TopologyDesc &desc, const TopoGraph &graph,
+              bool equal_cost_alternates)
 {
     TopoGraph scratch;
     Layout layout;
@@ -373,6 +400,14 @@ computeRoutes(const TopologyDesc &desc, const TopoGraph &graph)
                 break;
               case TopoKind::Mesh2D:
                 set.candidates = {meshRoute(layout, s, d)};
+                // The adaptive policy needs path diversity the static
+                // XY table deliberately lacks: offer the equal-hop YX
+                // walk as well wherever it is distinct.
+                if (equal_cost_alternates) {
+                    LinkSeq yx = meshRouteYx(layout, s, d);
+                    if (yx != set.candidates.front())
+                        set.candidates.push_back(std::move(yx));
+                }
                 break;
               case TopoKind::RingOfRings:
               case TopoKind::Package:

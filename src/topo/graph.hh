@@ -119,8 +119,16 @@ TopoGraph buildTopoGraph(const TopologyDesc &desc, const TopoParams &params);
  * Deterministic routing tables for @p graph: dimension-order (XY) on
  * the mesh, shortest-path with tie candidates on rings, hierarchical
  * local/express/local on ring-of-rings and package graphs.
+ *
+ * With @p equal_cost_alternates set (the adaptive route policy), mesh
+ * pairs whose endpoints differ in both dimensions additionally get the
+ * YX route as a second candidate — same hop count, XY first so
+ * candidate 0 is always the legacy route. The default (false) emits
+ * tables byte-identical to the historical single-candidate form, which
+ * is what keeps the static policy bit-identical.
  */
-RouteTable computeRoutes(const TopologyDesc &desc, const TopoGraph &graph);
+RouteTable computeRoutes(const TopologyDesc &desc, const TopoGraph &graph,
+                         bool equal_cost_alternates = false);
 
 /**
  * Property-check @p table against @p graph: every src != dst pair has

@@ -1,5 +1,6 @@
 #include "topo/table_fabric.hh"
 
+#include <algorithm>
 #include <ostream>
 
 #include "common/log.hh"
@@ -9,18 +10,23 @@ namespace topo {
 
 TableRoutedFabric::TableRoutedFabric(const TopologyDesc &desc,
                                      const TopoParams &params,
-                                     const FaultPlan *plan)
+                                     const FaultPlan *plan,
+                                     RoutePolicy policy)
     : graph_(buildTopoGraph(desc, params)),
-      table_(computeRoutes(desc, graph_))
+      policy_(policy),
+      table_(computeRoutes(desc, graph_,
+                           policy == RoutePolicy::Adaptive))
 {
     links_.reserve(graph_.links.size());
     for (const TopoLinkDesc &d : graph_.links) {
         links_.push_back(makeFaultedLink(d.name, d.gbps, d.hop_cycles, plan,
                                          d.fault_upstream, d.fault_salt));
     }
+    size_t max_cands = 0;
     route_board_.resize(table_.entries.size());
     for (size_t e = 0; e < table_.entries.size(); ++e) {
         const RouteSet &set = table_.entries[e];
+        max_cands = std::max(max_cands, set.candidates.size());
         route_board_[e].reserve(set.candidates.size());
         for (const LinkSeq &seq : set.candidates) {
             uint8_t board = 0;
@@ -29,6 +35,47 @@ TableRoutedFabric::TableRoutedFabric(const TopologyDesc &desc,
             route_board_[e].push_back(board);
         }
     }
+    cand_picks_.assign(max_cands, 0);
+}
+
+size_t
+TableRoutedFabric::pickAdaptive(const RouteSet &set, Cycle now)
+{
+    // Score every equal-cost candidate by the total backlog a byte
+    // arriving now would queue behind across its links. Lower is
+    // better; the first minimum wins, so score ties deterministically
+    // break towards the lowest candidate index.
+    const size_t n = set.candidates.size();
+    size_t best = 0;
+    Cycle best_score = 0;
+    bool all_tied = true;
+    for (size_t c = 0; c < n; ++c) {
+        Cycle score = 0;
+        for (uint32_t id : set.candidates[c])
+            score += links_[id].backlogCycles(now);
+        if (c == 0) {
+            best_score = score;
+            continue;
+        }
+        if (score != best_score)
+            all_tied = false;
+        if (score < best_score) {
+            best_score = score;
+            best = c;
+        }
+    }
+    ++route_adaptive_picks_;
+    if (all_tied) {
+        // Nothing to steer by: fall back to the legacy balancing
+        // toggle. This is the only case that advances it — when the
+        // score decides, the toggle keeps its state so the static
+        // fallback parity is unaffected by adaptive overrides.
+        best = route_toggle_++ % n;
+    } else if (best != route_toggle_ % n) {
+        ++route_diverted_;
+    }
+    ++cand_picks_[best];
+    return best;
 }
 
 FabricTransfer
@@ -43,13 +90,18 @@ TableRoutedFabric::send(ModuleId src, ModuleId dst, uint64_t bytes,
 
     const size_t entry = static_cast<size_t>(src) * graph_.nodes + dst;
     const RouteSet &set = table_.entries[entry];
-    // Single routes go straight through; equal-cost ties alternate on a
-    // global toggle. With the ring's [cw, ccw] candidate order this is
-    // bit-for-bit the legacy (route_toggle_++ & 1) direction pick — the
-    // toggle only advances on tied pairs, exactly as before.
+    // Single routes go straight through. Under the static policy,
+    // equal-cost ties alternate on a global toggle: with the ring's
+    // [cw, ccw] candidate order this is bit-for-bit the legacy
+    // (route_toggle_++ & 1) direction pick — the toggle only advances
+    // on tied pairs, exactly as before. The adaptive policy instead
+    // scores candidates by link backlog (docs/TOPOLOGY.md).
     size_t pick = 0;
-    if (set.candidates.size() > 1)
-        pick = route_toggle_++ % set.candidates.size();
+    if (set.candidates.size() > 1) {
+        pick = policy_ == RoutePolicy::Adaptive
+                   ? pickAdaptive(set, now)
+                   : route_toggle_++ % set.candidates.size();
+    }
     const LinkSeq &seq = set.candidates[pick];
 
     Cycle t = now;

@@ -32,10 +32,15 @@ class TableRoutedFabric : public Fabric
     /**
      * Compile @p desc for @p params and instantiate its links, with
      * @p plan's degradation (bandwidth derate, transient errors)
-     * applied per link exactly as the legacy fabrics did.
+     * applied per link exactly as the legacy fabrics did. Under
+     * RoutePolicy::Adaptive the tables additionally carry the mesh's
+     * equal-hop YX alternates and send() picks the least-backlogged
+     * candidate; the default Static policy keeps tables and selection
+     * bit-identical to the legacy toggle.
      */
     TableRoutedFabric(const TopologyDesc &desc, const TopoParams &params,
-                      const FaultPlan *plan = nullptr);
+                      const FaultPlan *plan = nullptr,
+                      RoutePolicy policy = RoutePolicy::Static);
 
     FabricTransfer send(ModuleId src, ModuleId dst, uint64_t bytes,
                         Cycle now) override;
@@ -47,6 +52,15 @@ class TableRoutedFabric : public Fabric
     void setHopHistogram(stats::Histogram *hist) override
     {
         hop_hist_ = hist;
+    }
+    uint64_t routeAdaptivePicks() const override
+    {
+        return route_adaptive_picks_;
+    }
+    uint64_t routeDiverted() const override { return route_diverted_; }
+    std::vector<uint64_t> routeCandidatePicks() const override
+    {
+        return cand_picks_;
     }
 
     /** Hop count of the shortest candidate route (for tests). */
@@ -60,7 +74,13 @@ class TableRoutedFabric : public Fabric
     const Link &link(uint32_t id) const { return links_.at(id); }
 
   private:
+    /** Congestion-scored candidate choice for a multi-candidate pair
+     *  (adaptive policy only); maintains the pick counters and leaves
+     *  route_toggle_ untouched unless every candidate's score ties. */
+    size_t pickAdaptive(const RouteSet &set, Cycle now);
+
     TopoGraph graph_;
+    RoutePolicy policy_;
     RouteTable table_;
     std::vector<Link> links_; //!< parallel to graph_.links
     /** Per (src * nodes + dst) per candidate: route crosses a
@@ -68,6 +88,9 @@ class TableRoutedFabric : public Fabric
     std::vector<std::vector<uint8_t>> route_board_;
     uint64_t injected_ = 0;
     uint64_t route_toggle_ = 0; //!< balances equal-cost candidates
+    uint64_t route_adaptive_picks_ = 0; //!< multi-candidate sends scored
+    uint64_t route_diverted_ = 0; //!< picks that overrode the toggle
+    std::vector<uint64_t> cand_picks_; //!< adaptive picks per cand index
     stats::Histogram *hop_hist_ = nullptr; //!< optional, not owned
 };
 

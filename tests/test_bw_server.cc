@@ -252,6 +252,80 @@ TEST(BandwidthServer, MinDoneClampsBucketPositionMath)
     EXPECT_EQ(s.acquire(8, 8), 12u);
 }
 
+// --- Compaction and backlog-gauge regressions ---------------------------
+
+TEST(BandwidthServer, CompactionRebaseNeverPointsJumpBackward)
+{
+    // Cross the 2 * kHistoryBuckets compaction boundary (1024-bucket
+    // history x 16-cycle buckets) with a fully-drained run alive in the
+    // surviving window. The rebased skip pointers must degrade to "no
+    // skip", never point backward: a backward pointer would let
+    // findAvail() reserve capacity in a bucket before the request's
+    // arrival — non-causal service that min_done only partially masks.
+    BandwidthServer s(1.0); // cap 16 bytes per 16-cycle bucket
+    s.acquire(0, 160);              // drains buckets 0..9
+    s.acquire(16 * 1100, 320);      // drains buckets 1100..1119
+    // Arrival in bucket 2100 >= 0 + 2048 triggers compaction: buckets
+    // below 1076 are dropped, the drained 1100..1119 run survives.
+    EXPECT_EQ(s.acquire(16 * 2100, 8), 16u * 2100 + 8);
+
+    // Untouched survivor bucket serves at its own start, exactly.
+    EXPECT_EQ(s.acquire(16 * 1090, 16), 16u * 1090 + 16);
+    // An arrival at the head of the drained run must skip FORWARD to
+    // bucket 1120 — a stale pointer rebased below its own slot would
+    // land it in an earlier bucket instead.
+    EXPECT_EQ(s.acquire(16 * 1100, 8), 16u * 1120 + 8);
+    // The bucket just filled above chains onward, still causally.
+    EXPECT_EQ(s.acquire(16 * 1090, 8), 16u * 1091 + 8);
+    // Compaction really happened: pre-history arrivals are now clamped.
+    s.acquire(16 * 1000, 8);
+    EXPECT_EQ(s.clampedArrivals(), 1u);
+}
+
+TEST(BandwidthServer, IdleMidBucketArrivalReadsZeroBacklog)
+{
+    // The phantom-backlog regression: an otherwise idle server whose
+    // current bucket is partially used must gauge 0 for a mid-bucket
+    // arrival, exactly like the acquire() such an arrival would issue
+    // (min_done clamps past the bucket-start position math).
+    BandwidthServer s(2.0);
+    s.acquire(0, 8); // bucket 0: 8 of 32 bytes used
+    EXPECT_EQ(s.backlogCycles(8), 0u);
+    BandwidthServer probe = s;
+    EXPECT_EQ(probe.acquire(8, 1), 9u); // unloaded: zero queueing
+}
+
+TEST(BandwidthServer, BacklogGaugeMatchesProbeAcquire)
+{
+    // Property pinned by the adaptive route policy: the observational
+    // gauge must report exactly the queueing delay a one-byte probe
+    // would experience, at every instant of a random workload —
+    //   acquire(now, 1) - now - ceil(1/rate) <= backlogCycles(now)
+    // (and equality, since integral-capacity buckets never make the
+    // probe byte spill past the first bucket with headroom). Probes run
+    // on a copy: acquire() consumes capacity, backlogCycles() must not.
+    for (double rate : {0.5, 1.0, 2.5, 8.0, 96.0}) {
+        BandwidthServer s(rate);
+        const Cycle probe_cycles =
+            static_cast<Cycle>(std::ceil(1.0 / rate));
+        Rng rng(7 + static_cast<uint64_t>(rate * 2));
+        Cycle t = 0;
+        for (int i = 0; i < 400; ++i) {
+            t += rng.below(40);
+            s.acquire(t, 1 + rng.below(512));
+            const Cycle now = t + rng.below(100);
+            const Cycle backlog = s.backlogCycles(now);
+            BandwidthServer probe = s;
+            const Cycle queued =
+                probe.acquire(now, 1) - now - probe_cycles;
+            EXPECT_LE(queued, backlog)
+                << "rate " << rate << " now " << now;
+            EXPECT_EQ(queued, backlog)
+                << "rate " << rate << " now " << now;
+        }
+    }
+}
+
 class BandwidthServerSweep
     : public ::testing::TestWithParam<std::tuple<double, uint64_t>>
 {

@@ -541,6 +541,61 @@ TEST_F(ObsExperimentTest, StatsJsonByteIdenticalAcrossJobCounts)
     EXPECT_NE(fabric.find("\"utilization\""), std::string::npos);
 }
 
+TEST_F(ObsExperimentTest, AdaptiveRoutingByteIdenticalAcrossJobCounts)
+{
+    // The adaptive policy steers on link backlog sampled mid-run; the
+    // whole point of scoring inside send() (and nowhere else) is that
+    // worker count cannot perturb it. Every artifact — route counters
+    // and chosen-candidate distribution included — must come out
+    // byte-for-byte identical at --jobs 1 and --jobs 8.
+    const GpuConfig cfgs[] = {configs::mcmMeshAdaptive()};
+    const char *abbrs[] = {"TSP", "NN", "Hotspot"};
+    std::vector<const workloads::Workload *> ws;
+    for (const char *a : abbrs)
+        ws.push_back(&tinyWorkload(a));
+
+    auto sweep = [&](unsigned jobs, const std::string &out_dir) {
+        obs::Options opt;
+        opt.stats_json = true;
+        opt.sample_period = 2000;
+        opt.out_dir = out_dir;
+        obs::setOptions(opt);
+        experiment::clearMemo(); // force real simulations
+        experiment::setJobs(jobs);
+        experiment::runMatrix(cfgs, ws);
+    };
+
+    TempDir serial("adaptive-serial"), parallel("adaptive-parallel");
+    sweep(1, serial.str());
+    sweep(8, parallel.str());
+
+    for (const char *a : abbrs) {
+        obs::Options opt = obs::options();
+        obs::Recorder namer(opt, cfgs[0].name, a, cfgs[0].num_modules);
+        for (const char *artifact : {"stats", "fabric"}) {
+            const std::string rel = fs::path(namer.outputPath(artifact))
+                                        .filename()
+                                        .string();
+            const std::string sbytes = slurp(serial.str() + "/" + rel);
+            EXPECT_EQ(sbytes, slurp(parallel.str() + "/" + rel)) << rel;
+            json::ValidationResult res = json::validate(sbytes);
+            EXPECT_TRUE(res) << rel << ": " << res.error;
+        }
+        // The fabric document carries the adaptive route telemetry.
+        const std::string fabric =
+            slurp(serial.str() + "/" +
+                  fs::path(namer.outputPath("fabric")).filename().string());
+        EXPECT_NE(fabric.find("\"route_policy\": \"adaptive\""),
+                  std::string::npos) << a;
+        EXPECT_NE(fabric.find("\"route_adaptive_picks\""),
+                  std::string::npos) << a;
+        EXPECT_NE(fabric.find("\"route_diverted\""), std::string::npos)
+            << a;
+        EXPECT_NE(fabric.find("\"route_candidate_picks\""),
+                  std::string::npos) << a;
+    }
+}
+
 TEST_F(ObsExperimentTest, RunsJsonCarriesSweepSummary)
 {
     TempDir dir("sweep");

@@ -14,6 +14,7 @@
 #include "common/log.hh"
 #include "common/units.hh"
 #include "noc/ring.hh"
+#include "sim/experiment.hh"
 #include "sim/simulator.hh"
 #include "topo/desc.hh"
 #include "topo/graph.hh"
@@ -477,6 +478,158 @@ TEST(TopoDeadlock, RingOfRingsEscapeVcCompletes)
     cfg.validate();
     RunResult r = Simulator::run(cfg, meshStream(128));
     EXPECT_EQ(r.status, RunStatus::Finished) << r.stall_diagnostic;
+}
+
+// --- Adaptive route policy ---------------------------------------------------
+
+/** Sum of bytesCarried over links whose name starts with @p prefix. */
+uint64_t
+bytesOn(TableRoutedFabric &f, const std::string &prefix)
+{
+    uint64_t sum = 0;
+    f.visitLinks([&](const std::string &n, Link &l) {
+        if (n.rfind(prefix, 0) == 0)
+            sum += l.bytesCarried();
+    });
+    return sum;
+}
+
+TEST(TopoAdaptive, IdleRingMatchesLegacyToggle)
+{
+    // Widely-spaced sends: every link drains between transfers, so all
+    // candidate scores tie and the adaptive policy falls back to the
+    // balancing toggle — bit-for-bit the legacy RingFabric behavior.
+    RingFabric legacy(4, 768.0, 32);
+    TableRoutedFabric adaptive(parsed("ring"), params(4), nullptr,
+                               RoutePolicy::Adaptive);
+    Cycle now = 0;
+    for (uint32_t round = 0; round < 8; ++round) {
+        for (uint32_t s = 0; s < 4; ++s) {
+            for (uint32_t d = 0; d < 4; ++d) {
+                const FabricTransfer a = legacy.send(s, d, 256, now);
+                const FabricTransfer b = adaptive.send(s, d, 256, now);
+                EXPECT_EQ(a.arrival, b.arrival)
+                    << s << "->" << d << " round " << round;
+                EXPECT_EQ(a.hops, b.hops) << s << "->" << d;
+                now += 100000; // full drain: scores always tie
+            }
+        }
+    }
+    EXPECT_EQ(legacy.linkBytes(), adaptive.linkBytes());
+    EXPECT_EQ(adaptive.routeDiverted(), 0u) << "ties never divert";
+}
+
+TEST(TopoAdaptive, CongestedRingDivertsWithoutAdvancingToggle)
+{
+    TableRoutedFabric f(parsed("ring"), params(4), nullptr,
+                        RoutePolicy::Adaptive);
+    // Pile bytes onto the cw 0->1 segment (single-candidate sends:
+    // nothing is scored, the toggle does not move).
+    for (int i = 0; i < 8; ++i)
+        f.send(0, 1, 1 * MiB, 0);
+    EXPECT_EQ(f.routeAdaptivePicks(), 0u);
+    const uint64_t cw_before = bytesOn(f, "ring.cw");
+    const uint64_t ccw_before = bytesOn(f, "ring.ccw");
+
+    // Three opposite-pair sends while cw is congested: each scores
+    // [cw >> ccw], diverts to the ccw candidate, and must leave the
+    // toggle untouched.
+    for (int i = 0; i < 3; ++i)
+        f.send(0, 2, 64, 0);
+    EXPECT_EQ(f.routeAdaptivePicks(), 3u);
+    EXPECT_EQ(f.routeDiverted(), 3u);
+    EXPECT_EQ(f.routeCandidatePicks(), (std::vector<uint64_t>{0, 3}));
+    EXPECT_EQ(bytesOn(f, "ring.cw"), cw_before) << "cw must be avoided";
+    EXPECT_EQ(bytesOn(f, "ring.ccw"), ccw_before + 3 * 2 * 64);
+
+    // Far in the future everything has drained: the tie falls back to
+    // the toggle, which must still sit at its pre-diversion value and
+    // pick candidate 0 (cw). Had the diversions advanced it three
+    // times, this send would take ccw instead.
+    f.send(0, 2, 64, 100'000'000);
+    EXPECT_EQ(f.routeCandidatePicks(), (std::vector<uint64_t>{1, 3}));
+    EXPECT_EQ(f.routeDiverted(), 3u) << "tie picks are not diversions";
+}
+
+TEST(TopoAdaptive, MeshTablesGainYxAlternatesOnlyWhenAdaptive)
+{
+    const TopologyDesc desc = parsed("mesh2d:2x2");
+    const TopoGraph graph = topo::buildTopoGraph(desc, params(4));
+    const RouteTable xy = topo::computeRoutes(desc, graph);
+    const RouteTable both = topo::computeRoutes(desc, graph, true);
+
+    // The adaptive tables stay sound and keep the XY route first, so
+    // candidate 0 is identical between the policies on every pair.
+    EXPECT_TRUE(topo::verifyRoutes(graph, both).empty());
+    ASSERT_EQ(xy.entries.size(), both.entries.size());
+    for (size_t e = 0; e < xy.entries.size(); ++e) {
+        if (xy.entries[e].candidates.empty())
+            continue; // src == dst
+        EXPECT_EQ(xy.entries[e].candidates.front(),
+                  both.entries[e].candidates.front()) << "entry " << e;
+    }
+    // Diagonal pairs gain exactly the YX alternate; row/column
+    // neighbours have one shortest path under either policy.
+    EXPECT_EQ(xy.at(0, 3).candidates.size(), 1u);
+    EXPECT_EQ(both.at(0, 3).candidates.size(), 2u);
+    EXPECT_EQ(both.at(2, 1).candidates.size(), 2u);
+    EXPECT_EQ(xy.at(0, 1).candidates.size(), 1u);
+    EXPECT_EQ(both.at(0, 1).candidates.size(), 1u);
+    EXPECT_EQ(both.at(0, 2).candidates.size(), 1u);
+}
+
+TEST(TopoAdaptive, MeshDivertsAroundHotLink)
+{
+    TableRoutedFabric f(parsed("mesh2d:2x2"), params(4), nullptr,
+                        RoutePolicy::Adaptive);
+    // Saturate the XY route's first hop (0->1); the YX alternate via
+    // 0->2 is idle, so a diagonal send must turn south first.
+    for (int i = 0; i < 8; ++i)
+        f.send(0, 1, 1 * MiB, 0);
+    const uint64_t south_before = bytesOn(f, "mesh.0->2");
+    f.send(0, 3, 64, 0);
+    EXPECT_EQ(f.routeDiverted(), 1u);
+    EXPECT_EQ(bytesOn(f, "mesh.0->2"), south_before + 64);
+    EXPECT_EQ(bytesOn(f, "mesh.2->3"), 64u);
+}
+
+TEST(TopoAdaptive, ConfigKeyDistinguishesPolicies)
+{
+    const std::string stat = experiment::configKey(configs::mcmMesh());
+    const std::string adap =
+        experiment::configKey(configs::mcmMeshAdaptive());
+    EXPECT_EQ(stat.find("/R"), std::string::npos)
+        << "static keys must not change: " << stat;
+    EXPECT_NE(adap.find("/R"), std::string::npos) << adap;
+    // Same machine apart from the policy: the keys must still differ.
+    GpuConfig renamed = configs::mcmMeshAdaptive().withName("mcm-mesh");
+    EXPECT_NE(experiment::configKey(renamed), stat);
+}
+
+TEST(TopoAdaptive, ExplicitStaticRunsCycleIdenticalToDefault)
+{
+    // `--route-policy static` is the default spelled out: on every
+    // table-routed family the explicit policy must reproduce the
+    // default run cycle for cycle (the frozen-baseline guarantee).
+    setQuietLogging(true);
+    const Workload w = meshStream(64);
+    for (const char *spec : {"ring", "mesh2d:2x2", "package:2"}) {
+        GpuConfig def = configs::mcmBasic().withTopology(spec);
+        if (parsed(spec).kind == TopoKind::Package) {
+            def.num_modules = 8;
+            def.pkg_link_gbps = 256.0;
+            def.pkg_link_hop_cycles = 256;
+        }
+        def.withName(std::string("static-default+") + spec);
+        GpuConfig expl = def;
+        expl.withRoutePolicy(RoutePolicy::Static)
+            .withName(std::string("static-explicit+") + spec);
+        const RunResult a = Simulator::run(def, w);
+        const RunResult b = Simulator::run(expl, w);
+        EXPECT_EQ(a.status, RunStatus::Finished) << spec;
+        EXPECT_EQ(a.cycles, b.cycles) << spec;
+        EXPECT_EQ(a.inter_module_bytes, b.inter_module_bytes) << spec;
+    }
 }
 
 } // namespace

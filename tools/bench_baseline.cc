@@ -68,6 +68,22 @@ struct PairResult
 bool
 machineByName(const std::string &name, GpuConfig &cfg)
 {
+    // A "+adaptive" suffix on any preset switches the fabric to
+    // congestion-aware route selection and tags the config name, so
+    // adaptive pairs are distinct in the baseline and — not containing
+    // "+staged" — ride the strict cycle-identity gate.
+    static const std::string kAdaptive = "+adaptive";
+    if (name.size() > kAdaptive.size() &&
+        name.compare(name.size() - kAdaptive.size(), kAdaptive.size(),
+                     kAdaptive) == 0) {
+        const std::string base = name.substr(0, name.size() -
+                                                    kAdaptive.size());
+        if (!machineByName(base, cfg))
+            return false;
+        cfg.withRoutePolicy(RoutePolicy::Adaptive);
+        cfg.name += kAdaptive;
+        return true;
+    }
     if (name == "mono-32")
         cfg = configs::monolithic(32);
     else if (name == "mono-128")
@@ -288,7 +304,10 @@ usage()
         "  --machines a,b     machine presets (default "
         "mcm-basic,mcm-optimized;\n"
         "                     also mcm-mesh, mcm-rings, mcm-package, "
-        "mono-*, multi-gpu*)\n"
+        "mono-*, multi-gpu*;\n"
+        "                     a +adaptive suffix, e.g. "
+        "mcm-mesh+adaptive, enables\n"
+        "                     congestion-aware route selection)\n"
         "  --workloads x,y    workload abbreviations (default: all 48)\n"
         "  --repeat N         repeats per pair, fastest kept (default 1)\n"
         "  --mem-model M      chain | staged | staged-vc | both | all\n"
