@@ -50,6 +50,7 @@ usage()
         "                             mcm-basic | mcm-optimized |\n"
         "                             mcm-mesh | mcm-mesh-adaptive |\n"
         "                             mcm-rings | mcm-package |\n"
+        "                             mcm-turnaround |\n"
         "                             multi-gpu | multi-gpu-opt\n"
         "                             (default mcm-basic)\n"
         "  --link-gbps <n>            inter-module link bandwidth\n"
@@ -87,6 +88,13 @@ usage()
         "                             2 = req/resp, deadlock-free)\n"
         "  --vc-credits <n>           credits per VC pool per GPM pair\n"
         "                             (default 64)\n"
+        "parallel simulation (docs/PDES.md):\n"
+        "  --sim-threads <n>          simulate GPM domains on n threads\n"
+        "                             (default 1 = serial; needs the\n"
+        "                             staged model, distributed CTA\n"
+        "                             scheduling, fabric_vcs = 0;\n"
+        "                             ineligible configs warn and run\n"
+        "                             serial)\n"
         "fault injection:\n"
         "  --sweep-sms <n>            disable first n SMs of every GPM\n"
         "  --link-derate <f>          derate all links to f (0 < f <= 1)\n"
@@ -140,6 +148,8 @@ parseMachine(const std::string &name, GpuConfig &cfg)
         cfg = configs::mcmRingOfRings();
     } else if (name == "mcm-package") {
         cfg = configs::mcmPackage();
+    } else if (name == "mcm-turnaround") {
+        cfg = configs::mcmTurnaround();
     } else if (name == "multi-gpu") {
         cfg = configs::multiGpuBaseline();
     } else if (name == "multi-gpu-opt") {
@@ -462,6 +472,7 @@ main(int argc, char **argv)
     uint32_t remote_mshrs = 0;
     uint32_t fabric_vcs = 0;
     uint32_t vc_credits = 64;
+    uint32_t sim_threads = 1;
     std::string topology;
     std::string route_policy; // empty: keep the preset's policy
     std::string matrix_machines;
@@ -572,6 +583,8 @@ main(int argc, char **argv)
             fabric_vcs = static_cast<uint32_t>(std::stoul(next()));
         } else if (arg == "--vc-credits") {
             vc_credits = static_cast<uint32_t>(std::stoul(next()));
+        } else if (arg == "--sim-threads") {
+            sim_threads = static_cast<uint32_t>(std::stoul(next()));
         } else if (arg == "--expect-status") {
             expect_status = next();
         } else if (arg == "--stats") {
@@ -597,6 +610,7 @@ main(int argc, char **argv)
     // order (an absent --route-policy keeps the preset's policy).
     cfg.withMemModel(mem_model, remote_mshrs);
     cfg.withFabricVcs(fabric_vcs, vc_credits);
+    cfg.withSimThreads(sim_threads);
     if (!topology.empty())
         cfg.withTopology(topology);
     if (!route_policy.empty()) {

@@ -294,6 +294,22 @@ mcmMesh()
 }
 
 GpuConfig
+mcmTurnaround()
+{
+    GpuConfig c = mcmBasic();
+    // PR 7's calibration sweep: an 8-cycle per-channel bus turnaround
+    // matches GDDR-class tRTW/tWTR budgets at this clock, and a
+    // 16-entry posted write-drain batch amortizes the penalty to one
+    // turnaround per drain. Validated on the write-heavy streaming
+    // workload (see tests/test_dram_turnaround.cc): batching recovers
+    // most of the naive per-write turnaround loss.
+    c.dram_turnaround_cycles = 8;
+    c.dram_write_drain = 16;
+    c.name = "mcm-turnaround";
+    return c;
+}
+
+GpuConfig
 mcmMeshAdaptive()
 {
     GpuConfig c = mcmMesh();

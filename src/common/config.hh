@@ -312,6 +312,16 @@ struct GpuConfig
      *  surfaces RunStatus::CycleLimit rather than an error. */
     Cycle cycle_limit = kCycleMax;
 
+    // --- Parallel-in-run simulation (docs/PDES.md) -----------------------------
+    /** Worker threads for the conservative PDES engine: each GPM's
+     *  events run in their own simulation domain, synchronized at
+     *  lookahead-bounded window barriers. 1 (the default) keeps the
+     *  historical single-queue serial engine, bit for bit. Values > 1
+     *  require an eligible machine (staged memory model, static
+     *  single-candidate routes, distributed CTA scheduling, ...);
+     *  ineligible machines warn once and run serially. */
+    uint32_t sim_threads = 1;
+
     // --- Derived helpers -------------------------------------------------------
     uint32_t totalSms() const { return num_modules * sms_per_module; }
     uint32_t totalPartitions() const
@@ -367,6 +377,12 @@ struct GpuConfig
         route_policy = p;
         return *this;
     }
+    GpuConfig &
+    withSimThreads(uint32_t n)
+    {
+        sim_threads = n == 0 ? 1 : n;
+        return *this;
+    }
 };
 
 namespace configs {
@@ -400,6 +416,15 @@ GpuConfig mcmOptimized(double link_gbps = 768.0);
 /** Basic MCM-GPU rewired as a 2x2 mesh (Figure 1's package layout):
  *  same GPMs and link pricing, dimension-ordered routing. */
 GpuConfig mcmMesh();
+
+/**
+ * Basic MCM-GPU with the calibrated DRAM bus-turnaround model armed:
+ * an 8-cycle read/write turnaround per channel plus a 16-entry posted
+ * write-drain batch (PR 7's sweep; see docs/MODEL.md §DRAM). Validated
+ * against a write-heavy streaming workload — batching drains keeps the
+ * turnaround tax to one penalty per batch instead of one per write.
+ */
+GpuConfig mcmTurnaround();
 
 /** The mesh preset with congestion-aware route selection: identical
  *  machine, but equal-cost XY/YX candidates are picked by least summed

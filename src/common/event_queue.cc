@@ -65,6 +65,59 @@ EventQueue::bucketAppend(Node *n)
 }
 
 void
+EventQueue::bucketInsertSorted(Node *n)
+{
+    const size_t pos = static_cast<size_t>(n->when - base_);
+    Bucket &b = buckets_[pos];
+    // Find the first entry that must run after n. Appends keep buckets
+    // sorted by (sched_when, seq) because schedule() stamps sched_when
+    // = now_, which is monotone over a drain; deliveries insert here.
+    Node *prev = nullptr;
+    Node *cur = b.head;
+    while (cur != nullptr &&
+           (cur->sched_when < n->sched_when ||
+            (cur->sched_when == n->sched_when && cur->seq < n->seq))) {
+        prev = cur;
+        cur = cur->next;
+    }
+    n->next = cur;
+    if (prev)
+        prev->next = n;
+    else
+        b.head = n;
+    if (cur == nullptr)
+        b.tail = n;
+    occ_[pos >> 6] |= uint64_t(1) << (pos & 63);
+    ++in_window_;
+}
+
+void
+EventQueue::placeNode(Node *n, bool sorted)
+{
+    ++size_;
+    // base_ tracks executed time (it only advances in execNode), so
+    // when >= now_ >= base_ always holds and the window test is a
+    // single compare.
+    if (n->when - base_ < kWindow) {
+        // A barrier delivery may target a cycle past now_ but below the
+        // drain cursor (the cursor advanced to this queue's next local
+        // event when the window drained); rewind it so the insert stays
+        // visible. Events of a drain schedule at when >= now_, whose
+        // bucket is never below the cursor, so this is serially inert.
+        const size_t pos = static_cast<size_t>(n->when - base_);
+        if (pos < scan_pos_)
+            scan_pos_ = pos;
+        if (sorted)
+            bucketInsertSorted(n);
+        else
+            bucketAppend(n);
+    } else {
+        far_.push_back(n);
+        std::push_heap(far_.begin(), far_.end(), FarLater{});
+    }
+}
+
+void
 EventQueue::schedule(Cycle when, EventFn fn)
 {
     panic_if(when < now_, "scheduling event in the past: when=", when,
@@ -73,18 +126,23 @@ EventQueue::schedule(Cycle when, EventFn fn)
         buckets_.resize(kWindow);
 
     Node *n = allocNode();
-    ::new (n) Node{when, next_seq_++, nullptr, std::move(fn)};
-    ++size_;
+    ::new (n) Node{when, now_, next_seq_++, nullptr, std::move(fn)};
+    placeNode(n, false);
+}
 
-    // base_ tracks executed time (it only advances in execNode), so
-    // when >= now_ >= base_ always holds and the window test is a
-    // single compare.
-    if (when - base_ < kWindow)
-        bucketAppend(n);
-    else {
-        far_.push_back(n);
-        std::push_heap(far_.begin(), far_.end(), FarLater{});
-    }
+void
+EventQueue::scheduleDelivered(Cycle when, Cycle sched_when, EventFn fn)
+{
+    panic_if(when < now_, "delivering event in the past: when=", when,
+             " now=", now_);
+    panic_if(sched_when > when, "delivery sched_when=", sched_when,
+             " past when=", when);
+    if (buckets_.empty())
+        buckets_.resize(kWindow);
+
+    Node *n = allocNode();
+    ::new (n) Node{when, sched_when, next_seq_++, nullptr, std::move(fn)};
+    placeNode(n, true);
 }
 
 EventQueue::Node *
@@ -137,10 +195,45 @@ EventQueue::execNode(Node *n)
     }
     --size_;
     now_ = when;
+    cur_sched_when_ = n->sched_when;
     ++executed_;
     EventFn fn = std::move(n->fn);
     freeNode(n);
     fn();
+}
+
+uint64_t
+EventQueue::runWindow(Cycle end_exclusive)
+{
+    uint64_t ran = 0;
+    while (Node *n = peekNext()) {
+        if (n->when >= end_exclusive)
+            break;
+        execNode(n);
+        ++ran;
+    }
+    return ran;
+}
+
+bool
+EventQueue::execOne()
+{
+    Node *n = peekNext();
+    if (n == nullptr)
+        return false;
+    execNode(n);
+    return true;
+}
+
+bool
+EventQueue::peekTimes(Cycle &when, Cycle &sched_when)
+{
+    Node *n = peekNext();
+    if (n == nullptr)
+        return false;
+    when = n->when;
+    sched_when = n->sched_when;
+    return true;
 }
 
 void
@@ -338,6 +431,7 @@ EventQueue::reset()
     base_ = 0;
     scan_pos_ = 0;
     now_ = 0;
+    cur_sched_when_ = 0;
     next_seq_ = 0;
     executed_ = 0;
     progress_ = 0;

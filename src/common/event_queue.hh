@@ -129,6 +129,17 @@ class EventQueue
     /** Schedule @p fn to run at absolute cycle @p when (>= now()). */
     void schedule(Cycle when, EventFn fn);
 
+    /**
+     * Cross-domain delivery (PDES engine only): insert @p fn at cycle
+     * @p when as if it had been scheduled when simulated time was
+     * @p sched_when. Buckets stay sorted by (sched_when, seq) — the
+     * order a single global queue would have executed the same event
+     * population in — so deliveries interleave with domain-local events
+     * exactly where the serial engine would have run them. @p sched_when
+     * must not exceed @p when, and @p when must be >= now().
+     */
+    void scheduleDelivered(Cycle when, Cycle sched_when, EventFn fn);
+
     /** True when no events remain. */
     bool empty() const { return size_ == 0; }
 
@@ -157,6 +168,36 @@ class EventQueue
 
     /** Total events executed since construction/reset (for stats). */
     uint64_t executed() const { return executed_; }
+
+    // --- PDES window interface (see docs/PDES.md) ---------------------------
+    /**
+     * Execute every pending event with when < @p end_exclusive, in
+     * (when, sched_when, seq) order. No sample boundaries, watchdog, or
+     * wall-deadline checks run here — the owning SimEngine performs all
+     * three at window barriers so their semantics stay global. Returns
+     * the number of events executed.
+     */
+    uint64_t runWindow(Cycle end_exclusive);
+
+    /**
+     * Execute exactly the next pending event with no boundary or
+     * watchdog bookkeeping. Returns false when the queue is empty.
+     */
+    bool execOne();
+
+    /**
+     * Timestamps of the next pending event without executing it.
+     * Returns false when the queue is empty.
+     */
+    bool peekTimes(Cycle &when, Cycle &sched_when);
+
+    /**
+     * Schedule-time stamp of the event currently executing (only
+     * meaningful inside an event callback). Cross-domain messages
+     * emitted mid-event inherit this so a zero-latency completion lands
+     * at the serial engine's exact intra-cycle position.
+     */
+    Cycle currentSchedWhen() const { return cur_sched_when_; }
 
     // --- No-progress watchdog ------------------------------------------------
     /**
@@ -194,6 +235,15 @@ class EventQueue
      */
     [[noreturn]] void diagnoseWedge(const std::string &why);
 
+    /**
+     * Raise a stall with caller-composed @p why through this queue's
+     * machine dump and wait reporters. The SimEngine's barrier-level
+     * watchdog uses this so parallel stalls carry the same diagnostics
+     * as serial ones.
+     */
+    [[noreturn]] void raiseStallExternal(std::string why)
+    { raiseStall(std::move(why)); }
+
     // --- Wall-clock deadline -------------------------------------------------
     /**
      * Abort run() with SimTimeout once @p seconds of host wall-clock
@@ -230,6 +280,7 @@ class EventQueue
     struct Node
     {
         Cycle when;
+        Cycle sched_when; //!< simulated time at the schedule() call
         uint64_t seq;
         Node *next; //!< FIFO link within a calendar bucket
         EventFn fn;
@@ -241,7 +292,9 @@ class EventQueue
         Node *tail = nullptr;
     };
 
-    /** Far-heap ordering: min (when, seq) at the top. */
+    /** Far-heap ordering: min (when, sched_when, seq) at the top.
+     *  Serially sched_when is monotone in seq, so this is the same
+     *  order the historical (when, seq) comparator produced. */
     struct FarLater
     {
         bool
@@ -249,6 +302,8 @@ class EventQueue
         {
             if (a->when != b->when)
                 return a->when > b->when;
+            if (a->sched_when != b->sched_when)
+                return a->sched_when > b->sched_when;
             return a->seq > b->seq;
         }
     };
@@ -260,6 +315,13 @@ class EventQueue
 
     /** Append to the calendar bucket for @p n->when (must be in window). */
     void bucketAppend(Node *n);
+
+    /** Sorted-insert @p n into its bucket by (sched_when, seq); used by
+     *  scheduleDelivered, whose stamps predate the bucket tail's. */
+    void bucketInsertSorted(Node *n);
+
+    /** Place a freshly built node into the calendar or the far heap. */
+    void placeNode(Node *n, bool sorted);
 
     /**
      * Next event in (when, seq) order, or nullptr. Does not advance the
@@ -298,6 +360,7 @@ class EventQueue
     std::byte *free_ = nullptr;
 
     Cycle now_ = 0;
+    Cycle cur_sched_when_ = 0; //!< sched_when of the executing node
     uint64_t next_seq_ = 0;
     uint64_t executed_ = 0;
 

@@ -50,7 +50,7 @@ Sm::launchCta(const KernelDesc &kernel, CtaId cta, Cycle now)
     resident_warps_ += kernel.warps_per_cta;
     warps_left_[cta] = kernel.warps_per_cta;
 
-    EventQueue &eq = ctx_.eventQueue();
+    EventQueue &eq = ctx_.eventQueueFor(module_);
     for (WarpId w = 0; w < kernel.warps_per_cta; ++w) {
         auto run = std::make_shared<WarpRun>();
         run->trace = kernel.make_trace(cta, w);
@@ -64,7 +64,7 @@ Sm::launchCta(const KernelDesc &kernel, CtaId cta, Cycle now)
 void
 Sm::stepWarp(std::shared_ptr<WarpRun> warp)
 {
-    EventQueue &eq = ctx_.eventQueue();
+    EventQueue &eq = ctx_.eventQueueFor(module_);
     const Cycle now = eq.now();
 
     WarpOp op;
@@ -199,7 +199,7 @@ Sm::memDone(const std::shared_ptr<WarpRun> &warp, uint32_t slot,
     if ((warp->has_replay && warp->park_slot == slot) ||
         warp->drain_parked) {
         warp->drain_parked = false;
-        EventQueue &eq = ctx_.eventQueue();
+        EventQueue &eq = ctx_.eventQueueFor(module_);
         const Cycle wake = std::max(done, eq.now());
         eq.schedule(wake, [this, w = warp]() mutable {
             stepWarp(std::move(w));

@@ -47,6 +47,13 @@ class SmContext
     virtual EventQueue &eventQueue() = 0;
 
     /**
+     * The event queue module @p m schedules into. Defaults to the
+     * single system queue; a domain-partitioned system (parallel
+     * engine, docs/PDES.md) returns the module's home-domain queue.
+     */
+    virtual EventQueue &eventQueueFor(ModuleId) { return eventQueue(); }
+
+    /**
      * Resolve an L1 miss (load) or a write-through store issued by a SM
      * on module @p src at time @p now. @p done fires exactly once with
      * the finished transaction and its completion cycle (loads: data

@@ -1,5 +1,6 @@
 #include "gpu/gpu_system.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/json.hh"
@@ -8,7 +9,7 @@
 namespace mcmgpu {
 
 GpuSystem::GpuSystem(const GpuConfig &cfg)
-    : cfg_(cfg), page_table_(cfg)
+    : cfg_(cfg), eq_(engine_.queue(0)), page_table_(cfg)
 {
     cfg_.validate();
     link_domain_ =
@@ -29,11 +30,6 @@ GpuSystem::GpuSystem(const GpuConfig &cfg)
             ++enabled_per_module_[m];
             ++enabled_sms_;
         }
-    }
-
-    if (cfg_.watchdog_cycles > 0) {
-        eq_.setWatchdog(cfg_.watchdog_cycles,
-                        [this] { return occupancyDiagnostic(); });
     }
 
     CacheGeometry l15_geo = cfg_.l15;
@@ -60,13 +56,94 @@ GpuSystem::GpuSystem(const GpuConfig &cfg)
                                               *fabric_, energy_,
                                               link_domain_, l15_, l2_,
                                               dram_);
+
+    if (cfg_.sim_threads > 1)
+        activateParallelIfEligible();
+
+    // Armed after the parallel decision so the engine routes it: serial
+    // mode to queue 0's per-event check, parallel mode to the
+    // engine-level barrier check.
+    if (cfg_.watchdog_cycles > 0) {
+        engine_.setWatchdog(cfg_.watchdog_cycles,
+                            [this] { return occupancyDiagnostic(); });
+    }
+}
+
+void
+GpuSystem::activateParallelIfEligible()
+{
+    // Every condition here protects an invariant of the conservative
+    // window engine (docs/PDES.md): events of one module touch only
+    // that module's state, cross-module effects travel as sequencer
+    // messages, and nothing outside the sequencer observes more than
+    // one domain. Anything else must fall back to the serial engine —
+    // same results, just single-threaded.
+    const char *why = nullptr;
+    if (cfg_.num_modules < 2)
+        why = "a single module leaves nothing to parallelize";
+    else if (cfg_.mem_model != MemModel::Staged)
+        why = "the chain memory model walks remote phases synchronously "
+              "(need --mem-model staged)";
+    else if (cfg_.fabric_vcs > 0)
+        why = "virtual-channel credits are shared cross-module state "
+              "(need fabric_vcs = 0)";
+    else if (cfg_.cta_sched != CtaSchedPolicy::DistributedBatch)
+        why = "only the distributed CTA scheduler partitions its state "
+              "per module (need --cta-sched distributed)";
+    else if (cfg_.page_policy == PagePolicy::FirstTouch)
+        why = "first-touch page placement mutates the page table on "
+              "access order";
+    else if (!cfg_.fault.empty())
+        why = "fault plans inject global retry/rehoming state";
+
+    Cycle lookahead = 0;
+    if (why == nullptr) {
+        lookahead = fabric_->minRouteCycles();
+        if (lookahead <= 1) {
+            // Satellite guard: a one-cycle (or unrouted) fabric gives
+            // the window engine no usable lookahead — every window
+            // would degenerate to single-event serial catch-up.
+            why = "minimum inter-module route latency <= 1 cycle "
+                  "leaves no conservative lookahead";
+        }
+    }
+
+    if (why != nullptr) {
+        warn_once("--sim-threads ", cfg_.sim_threads,
+                  " requested but ", why, "; running serial");
+        return;
+    }
+
+    engine_.activateParallel(
+        cfg_.num_modules,
+        std::min<uint32_t>(cfg_.sim_threads, cfg_.num_modules), lookahead);
+    pipeline_->enableDomains(engine_);
+    MemPipeline *p = pipeline_.get();
+    engine_.setSequencerHook([p] { p->processMessages(); });
+}
+
+void
+GpuSystem::downgradeToSerial(const char *why)
+{
+    if (!engine_.parallel())
+        return;
+    warn_once("--sim-threads ", cfg_.sim_threads, " requested but ", why,
+              "; running serial");
+    pipeline_->disableDomains();
+    engine_.deactivateParallel();
+    if (cfg_.watchdog_cycles > 0) {
+        engine_.setWatchdog(cfg_.watchdog_cycles,
+                            [this] { return occupancyDiagnostic(); });
+    }
 }
 
 void
 GpuSystem::ctaFinished(SmId sm)
 {
-    if (rec_)
-        rec_->ctaFinished(moduleOfSm(sm), eq_.now());
+    if (rec_) {
+        const ModuleId m = moduleOfSm(sm);
+        rec_->ctaFinished(m, eventQueueFor(m).now());
+    }
     if (sink_)
         sink_->onCtaFinished(sm);
 }
@@ -138,11 +215,27 @@ aggregateHitRate(double hits, double misses)
 } // namespace
 
 void
+GpuSystem::mergeParallelStats()
+{
+    if (!engine_.parallel())
+        return;
+    pipeline_->mergeShards();
+    if (rec_ && !dram_shards_merged_ && !dram_queue_shards_.empty()) {
+        for (const auto &h : dram_queue_shards_)
+            rec_->dramQueueDelay().merge(*h);
+        dram_shards_merged_ = true;
+    }
+}
+
+void
 GpuSystem::dumpStats(std::ostream &os, bool per_sm) const
 {
-    os << "system.cycles " << eq_.now() << '\n';
+    // Reporting is logically const; parallel mode lazily folds the
+    // per-domain shards into the primary accumulators first.
+    const_cast<GpuSystem *>(this)->mergeParallelStats();
+    os << "system.cycles " << engine_.now() << '\n';
     os << "system.warp_insts " << totalWarpInstructions() << '\n';
-    os << "system.events " << eq_.executed() << '\n';
+    os << "system.events " << eventsExecuted() << '\n';
     os << "fabric.injected_bytes " << fabric_->injectedBytes() << '\n';
     os << "fabric.link_bytes " << fabric_->linkBytes() << '\n';
     // Route-policy counters only exist under adaptive selection; the
@@ -238,12 +331,32 @@ void
 GpuSystem::attachRecorder(obs::Recorder &rec)
 {
     rec_ = &rec;
+    // Trace spans and flight-recorder rings are emitted from inside
+    // event execution into one shared sink; both are serial-only.
+    if (engine_.parallel() && rec.traceEnabled())
+        downgradeToSerial("the event trace records spans into one "
+                          "shared sink");
+    else if (engine_.parallel() && rec.flight() != nullptr)
+        downgradeToSerial("the flight-recorder ring is single-threaded");
     pipeline_->setRecorder(&rec);
 
     // Queue-delay histograms at every bandwidth server. Recording is
-    // observational: acquire() results are untouched.
-    for (auto &d : dram_)
-        d->attachQueueHistogram(&rec.dramQueueDelay());
+    // observational: acquire() results are untouched. Parallel mode
+    // gives each DRAM partition a private shard (written only by its
+    // home domain) merged into the recorder's at the end of the run.
+    if (engine_.parallel()) {
+        dram_queue_shards_.clear();
+        for (auto &d : dram_) {
+            auto h = std::make_unique<stats::Histogram>(
+                rec.dramQueueDelay());
+            h->reset();
+            d->attachQueueHistogram(h.get());
+            dram_queue_shards_.push_back(std::move(h));
+        }
+    } else {
+        for (auto &d : dram_)
+            d->attachQueueHistogram(&rec.dramQueueDelay());
+    }
     fabric_->visitLinks([&rec](const std::string &, Link &l) {
         l.setQueueHistogram(&rec.linkQueueDelay());
         if (rec.traceEnabled())
@@ -365,7 +478,7 @@ GpuSystem::attachRecorder(obs::Recorder &rec)
         });
         sampler->addGauge("link." + name + ".backlog_cycles",
                           [this, lp] {
-            return static_cast<double>(lp->backlogCycles(eq_.now()));
+            return static_cast<double>(lp->backlogCycles(engine_.now()));
         });
     });
 
@@ -379,10 +492,12 @@ GpuSystem::attachRecorder(obs::Recorder &rec)
                             });
     }
 
-    // Passive hook: fires between events inside EventQueue::run(), so
-    // sampling perturbs neither event order nor simulated time.
-    eq_.setSampleHook(sampler->period(),
-                      [sampler](Cycle c) { sampler->sample(c); });
+    // Passive hook: fires between events inside EventQueue::run() —
+    // or, in parallel mode, at window barriers with the same boundary
+    // semantics — so sampling perturbs neither event order nor
+    // simulated time.
+    engine_.setSampleHook(sampler->period(),
+                          [sampler](Cycle c) { sampler->sample(c); });
 }
 
 void
@@ -390,7 +505,8 @@ GpuSystem::finishObservability()
 {
     if (!rec_)
         return;
-    rec_->finalize(eq_.now());
+    mergeParallelStats();
+    rec_->finalize(engine_.now());
     if (rec_->traceEnabled()) {
         fabric_->visitLinks([this](const std::string &name, Link &l) {
             rec_->linkBusySpans(name, l.busyIntervals());
@@ -401,6 +517,7 @@ GpuSystem::finishObservability()
 void
 GpuSystem::statsJson(std::ostream &os, const std::string &workload) const
 {
+    const_cast<GpuSystem *>(this)->mergeParallelStats();
     os << "{\n"
        << "  \"schema\": \"mcmgpu-stats/1\",\n"
        << "  \"config\": " << json::quoted(cfg_.name) << ",\n"
@@ -409,8 +526,8 @@ GpuSystem::statsJson(std::ostream &os, const std::string &workload) const
     const Domain link_domain =
         cfg_.board_level_links ? Domain::Board : Domain::Package;
     os << "  \"system\": {"
-       << "\"cycles\": " << eq_.now()
-       << ", \"events\": " << eq_.executed()
+       << "\"cycles\": " << engine_.now()
+       << ", \"events\": " << eventsExecuted()
        << ", \"warp_insts\": " << totalWarpInstructions()
        << ", \"enabled_sms\": " << enabled_sms_
        << ", \"fabric_injected_bytes\": " << fabric_->injectedBytes()
@@ -480,7 +597,8 @@ GpuSystem::statsJson(std::ostream &os, const std::string &workload) const
 void
 GpuSystem::fabricJson(std::ostream &os, const std::string &workload)
 {
-    const Cycle cycles = eq_.now();
+    mergeParallelStats();
+    const Cycle cycles = engine_.now();
 
     os << "{\n"
        << "  \"schema\": \"mcmgpu-fabric/1\",\n"

@@ -18,6 +18,7 @@
 
 #include "common/config.hh"
 #include "common/event_queue.hh"
+#include "common/sim_domain.hh"
 #include "core/sm.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
@@ -45,9 +46,28 @@ class GpuSystem : public SmContext
 
     // --- SmContext ---------------------------------------------------------
     EventQueue &eventQueue() override { return eq_; }
+    EventQueue &eventQueueFor(ModuleId m) override
+    { return engine_.parallel() ? engine_.queue(m) : eq_; }
     void memAccess(ModuleId src, Addr addr, uint32_t bytes, bool is_store,
                    Cycle now, TxnDoneFn done) override;
     void ctaFinished(SmId sm) override;
+
+    /**
+     * The simulation engine driving this machine. Serial by default;
+     * when --sim-threads > 1 and the configuration is eligible
+     * (docs/PDES.md) the constructor partitions it into one domain per
+     * module. Runs and time/event queries should go through the engine
+     * so they hold in both modes.
+     */
+    SimEngine &simEngine() { return engine_; }
+    const SimEngine &simEngine() const { return engine_; }
+
+    /** Events executed across all domains, net of the pipeline's
+     *  accounting corrections (inline-ack deliveries the serial engine
+     *  folds into the emitting event) — the figure the stats dumps
+     *  report and benchmarks use as the throughput numerator. */
+    uint64_t eventsExecuted() const
+    { return engine_.executed() - pipeline_->executedAdjust(); }
 
     /**
      * Synchronous convenience overload (tests, probes): launches the
@@ -159,8 +179,24 @@ class GpuSystem : public SmContext
     void fabricJson(std::ostream &os, const std::string &workload);
 
   private:
+    /** Try to split the engine into per-module domains (--sim-threads):
+     *  checks every eligibility condition, warns once naming the first
+     *  failed one, and otherwise activates the parallel engine and the
+     *  pipeline's domain mode. */
+    void activateParallelIfEligible();
+
+    /** Downgrade an activated parallel engine back to serial (legal
+     *  only before any event): a serial-only feature was requested. */
+    void downgradeToSerial(const char *why);
+
+    /** Parallel mode: fold the per-domain stat shards and histogram
+     *  shards into the primary accumulators before reporting.
+     *  Idempotent, no-op in serial mode. */
+    void mergeParallelStats();
+
     GpuConfig cfg_;
-    EventQueue eq_;
+    SimEngine engine_;
+    EventQueue &eq_; //!< engine_.queue(0): the serial-mode event queue
     PageTable page_table_;
     std::unique_ptr<Fabric> fabric_;
     EnergyModel energy_;
@@ -183,6 +219,12 @@ class GpuSystem : public SmContext
 
     CtaSink *sink_ = nullptr;
     obs::Recorder *rec_ = nullptr; //!< optional per-run recorder
+
+    /** Parallel mode with a recorder: per-partition DRAM queue-delay
+     *  histograms (each written only by the partition's home domain),
+     *  merged into the recorder's at mergeParallelStats(). */
+    std::vector<std::unique_ptr<stats::Histogram>> dram_queue_shards_;
+    bool dram_shards_merged_ = false;
 };
 
 } // namespace mcmgpu

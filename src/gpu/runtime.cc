@@ -84,22 +84,28 @@ Runtime::runKernel(const KernelDesc &kernel)
     active_ = &kernel;
     status_ = RunStatus::Finished;
     sched_->beginKernel(kernel.num_ctas);
+
+    // All time queries and runs go through the engine: serially it is
+    // the event queue itself; in parallel mode queue 0's clock can lag
+    // the global one between kernels, and scheduling below a domain's
+    // local time is an error.
+    SimEngine &engine = gpu_.simEngine();
     if (obs::Recorder *rec = gpu_.recorder())
-        rec->kernelBegin(kernel.name, gpu_.eventQueue().now());
+        rec->kernelBegin(kernel.name, engine.now());
 
     // Serial launch cost: driver work + grid setup on the front end.
     EventQueue &eq = gpu_.eventQueue();
     const Cycle limit = gpu_.config().cycle_limit;
-    Cycle start = eq.now() + gpu_.config().kernel_launch_cycles;
-    if (start > eq.now())
+    Cycle start = engine.now() + gpu_.config().kernel_launch_cycles;
+    if (start > engine.now())
         eq.schedule(start, [] {});
-    EventQueue::Outcome out = eq.run(limit); // advance to launch point
+    SimEngine::Outcome out = engine.run(limit); // advance to launch point
     if (out == EventQueue::Outcome::Drained) {
-        fillAllSms(eq.now());
+        fillAllSms(engine.now());
         // Drain the machine: every scheduled warp event, CTA refill,
         // and memory completion executes; an empty queue means the
         // grid retired.
-        out = eq.run(limit);
+        out = engine.run(limit);
     }
 
     if (out == EventQueue::Outcome::LimitHit) {
@@ -118,7 +124,7 @@ Runtime::runKernel(const KernelDesc &kernel)
         // one of them is parked on a full resource (MSHR pool, VC
         // credit pool) with no pending event left to free it. That is
         // a wedge, not a finished grid — diagnose it as one.
-        eq.diagnoseWedge(log_detail::concat(
+        engine.diagnoseWedge(log_detail::concat(
             gpu_.memPipeline().inflight(), " memory transaction(s) "
             "parked with no pending events (kernel '", kernel.name,
             "')"));
@@ -131,7 +137,7 @@ Runtime::runKernel(const KernelDesc &kernel)
     active_ = nullptr;
     ++kernels_executed_;
     if (obs::Recorder *rec = gpu_.recorder())
-        rec->kernelEnd(eq.now());
+        rec->kernelEnd(engine.now());
 
     // Kernel-boundary synchronization: software coherence flushes the
     // L1s and the GPM-side L1.5s exactly once (section 5.1.1).
@@ -153,8 +159,10 @@ Runtime::runAll(std::span<const KernelLaunch> launches)
 void
 Runtime::onCtaFinished(SmId sm)
 {
+    // Runs inside the retiring SM's domain: the refill must be stamped
+    // with (and scheduled at) that domain's local clock.
     if (active_)
-        refill(sm, gpu_.eventQueue().now());
+        refill(sm, gpu_.eventQueueFor(gpu_.moduleOfSm(sm)).now());
 }
 
 } // namespace mcmgpu

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/log.hh"
+#include "common/sim_domain.hh"
 #include "common/wait_graph.hh"
 #include "obs/recorder.hh"
 
@@ -356,6 +357,83 @@ MemPipeline::MemPipeline(const GpuConfig &cfg, EventQueue &eq, PageTable &pt,
 }
 
 void
+MemPipeline::setRecorder(obs::Recorder *rec)
+{
+    rec_ = rec;
+    buildShardHistograms();
+}
+
+void
+MemPipeline::enableDomains(SimEngine &engine)
+{
+    panic_if(!staged_, "domain mode requires the staged memory model");
+    panic_if(vcs_ > 0, "domain mode requires fabric_vcs == 0");
+    panic_if(!engine.parallel(), "enableDomains on a serial engine");
+    panic_if(engine.numDomains() != cfg_.num_modules,
+             "domain mode needs one domain per module");
+    engine_ = &engine;
+    shards_.resize(cfg_.num_modules);
+    peak_pos_.assign(cfg_.num_modules, 0);
+    buildShardHistograms();
+}
+
+void
+MemPipeline::disableDomains()
+{
+    if (engine_ == nullptr)
+        return;
+    for (const DomainShard &s : shards_) {
+        panic_if(s.inflight != 0 || s.launched != 0,
+                 "disableDomains after launches");
+    }
+    engine_ = nullptr;
+    shards_.clear();
+    peak_pos_.clear();
+}
+
+void
+MemPipeline::buildShardHistograms()
+{
+    if (rec_ == nullptr || shards_.empty() || shards_[0].lat[0])
+        return;
+    // Clone the recorder's (still empty) recipes so shard merges are
+    // bucket-exact.
+    for (DomainShard &s : shards_) {
+        s.lat[0] = std::make_unique<stats::Histogram>(
+            rec_->localLoadLatency());
+        s.lat[1] = std::make_unique<stats::Histogram>(
+            rec_->remoteLoadLatency());
+        s.lat[2] = std::make_unique<stats::Histogram>(
+            rec_->localStoreLatency());
+        s.lat[3] = std::make_unique<stats::Histogram>(
+            rec_->remoteStoreLatency());
+        for (auto &h : s.lat)
+            h->reset();
+    }
+}
+
+EventQueue &
+MemPipeline::queueFor(const MemTxn &txn)
+{
+    if (shards_.empty())
+        return eq_;
+    switch (txn.phase) {
+      case TxnPhase::L15:
+      case TxnPhase::FabReq:
+      case TxnPhase::Complete:
+        return engine_->queue(txn.src);
+      default:
+        return engine_->queue(txn.home_module);
+    }
+}
+
+EventQueue &
+MemPipeline::srcQueue(const MemTxn &txn)
+{
+    return shards_.empty() ? eq_ : engine_->queue(txn.src);
+}
+
+void
 MemPipeline::reportWaits(WaitGraph &wg) const
 {
     for (ModuleId m = 0; m < static_cast<ModuleId>(mshrs_.size()); ++m) {
@@ -432,7 +510,11 @@ MemPipeline::initTxn(MemTxn &txn, ModuleId src, Addr addr, uint32_t bytes,
     txn.src = src;
     txn.home_module = home;
     txn.home = part;
-    txn.id = next_id_++;
+    // Domain mode strides ids by module so every domain allocates from
+    // a private counter yet ids stay globally unique.
+    txn.id = shards_.empty()
+                 ? next_id_++
+                 : shards_[src].next_id++ * cfg_.num_modules + src;
     txn.issued = now;
     txn.stall_start = 0;
     txn.t = now;
@@ -480,27 +562,43 @@ MemPipeline::launch(ModuleId src, Addr addr, uint32_t bytes, bool is_store,
         return;
     }
 
-    MemTxn &txn = arena_.alloc();
+    const bool dom = !shards_.empty();
+    MemTxn &txn = (dom ? shards_[src].arena : arena_).alloc();
     initTxn(txn, src, addr, bytes, is_store, part, home, now);
     txn.done = std::move(done);
 
-    ++txn_launched_;
+    if (dom)
+        shards_[src].launched += 1;
+    else
+        ++txn_launched_;
     // The L1.5 sits on the SM side of the fabric and is probed at issue
     // in both models; what gets staged is everything behind it.
     const Cycle before = txn.t;
     serviceOne(txn);
     noteStage(TxnPhase::L15, before, txn);
     if (txn.phase == TxnPhase::Complete) {
-        ++txn_l15_hits_;
+        if (dom)
+            shards_[src].l15_hits += 1;
+        else
+            ++txn_l15_hits_;
         completeTxn(txn);
         return;
     }
 
-    occTick();
-    ++inflight_;
-    txn.in_pipeline = true;
-    if (static_cast<double>(inflight_) > txn_inflight_peak_.value())
-        txn_inflight_peak_.set(static_cast<double>(inflight_));
+    if (dom) {
+        DomainShard &s = shards_[src];
+        EventQueue &q = engine_->queue(src);
+        occTickShard(s, q.now());
+        ++s.inflight;
+        txn.in_pipeline = true;
+        s.peak_log.push_back({q.now(), q.currentSchedWhen(), +1});
+    } else {
+        occTick();
+        ++inflight_;
+        txn.in_pipeline = true;
+        if (static_cast<double>(inflight_) > txn_inflight_peak_.value())
+            txn_inflight_peak_.set(static_cast<double>(inflight_));
+    }
     admit(txn);
 }
 
@@ -513,7 +611,10 @@ MemPipeline::admit(MemTxn &txn)
             // Stall-on-full: FIFO-wait for an entry. The SM observes the
             // wait as a delayed completion in its scoreboard slot.
             txn.stall_start = txn.t;
-            ++txn_mshr_stalls_;
+            if (!shards_.empty())
+                shards_[txn.src].mshr_stalls += 1;
+            else
+                ++txn_mshr_stalls_;
             if (flightOn()) [[unlikely]] {
                 flightNote(txn.t, log_detail::concat(
                     "txn ", txn.id, " waiting on mshr:gpm", txn.src,
@@ -537,7 +638,7 @@ void
 MemPipeline::scheduleAdvance(MemTxn &txn)
 {
     MemTxn *tp = &txn; // arena addresses are stable for the whole flight
-    eq_.schedule(txn.t, [this, tp] { stagedAdvance(*tp); });
+    queueFor(txn).schedule(txn.t, [this, tp] { stagedAdvance(*tp); });
 }
 
 #if defined(__GNUC__)
@@ -546,15 +647,32 @@ __attribute__((flatten))
 void
 MemPipeline::stagedAdvance(MemTxn &txn)
 {
+    const bool dom = !shards_.empty();
     for (;;) {
         if (txn.phase == TxnPhase::Complete) {
+            // Remote stores complete at the home; in domain mode the
+            // acceptance crosses back to the source as an ack message
+            // (serial completes it inline — the compensation counter
+            // keeps event totals comparable).
+            if (dom && txn.remote && txn.is_store) {
+                emitStoreAck(txn, /*inline_ack=*/true);
+                return;
+            }
             // Deliver at the transaction's own done time: the last hop
             // computes an arrival later than the event it ran inside.
-            if (txn.t > eq_.now()) {
+            if (txn.t > srcQueue(txn).now()) {
                 scheduleAdvance(txn);
                 return;
             }
             completeTxn(txn);
+            return;
+        }
+        // Domain mode hands fabric traversals to the barrier sequencer:
+        // the hop is priced there (single-threaded) and the transaction
+        // rematerializes as a delivered event in the far domain.
+        if (dom && txn.remote && (txn.phase == TxnPhase::FabReq ||
+                                  txn.phase == TxnPhase::FabResp)) {
+            emitCross(txn);
             return;
         }
         // Credit gate: a remote packet may not enter the fabric until
@@ -576,6 +694,14 @@ MemPipeline::stagedAdvance(MemTxn &txn)
             releaseVcCredit(txn.src, txn.home_module, false);
         }
         if (txn.t > before) {
+            // A remote store that just reached Complete with a later
+            // acceptance time crosses back as a scheduled-ack message
+            // (serial would schedule the Complete event instead).
+            if (dom && txn.remote && txn.is_store &&
+                txn.phase == TxnPhase::Complete) {
+                emitStoreAck(txn, /*inline_ack=*/false);
+                return;
+            }
             scheduleAdvance(txn);
             return;
         }
@@ -662,10 +788,14 @@ MemPipeline::releaseMshr(MemTxn &txn)
         m.waitq_tail = nullptr;
     w->next = nullptr;
     w->holds_mshr = true;
-    const Cycle now = eq_.now();
+    const Cycle now = srcQueue(txn).now();
     if (w->t < now)
         w->t = now;
-    txn_mshr_stall_cycles_ += static_cast<double>(w->t - w->stall_start);
+    if (!shards_.empty())
+        shards_[w->src].mshr_stall_cycles +=
+            static_cast<double>(w->t - w->stall_start);
+    else
+        txn_mshr_stall_cycles_ += static_cast<double>(w->t - w->stall_start);
     if (flightOn()) [[unlikely]] {
         flightNote(w->t, log_detail::concat("mshr:gpm", w->src,
                                             " handed to txn ", w->id));
@@ -680,20 +810,41 @@ MemPipeline::finishCommon(MemTxn &txn)
         l15_stage_.fill(txn);
 
     if (rec_) {
-        if (txn.is_store)
+        if (!shards_.empty()) {
+            // Source-domain histogram shard; merged at end of run.
+            const size_t idx = (txn.is_store ? 2u : 0u) +
+                               (txn.remote ? 1u : 0u);
+            shards_[txn.src].lat[idx]->record(txn.t - txn.issued);
+        } else if (txn.is_store) {
             rec_->recordStore(txn.remote, txn.t - txn.issued);
-        else
+        } else {
             rec_->recordLoad(txn.remote, txn.t - txn.issued);
+        }
     }
 }
 
 void
 MemPipeline::completeTxn(MemTxn &txn)
 {
-    ++txn_completed_;
-    if (txn.in_pipeline) {
-        occTick();
-        --inflight_;
+    const bool dom = !shards_.empty();
+    if (dom) {
+        // Always a source-domain step: local completions and delivered
+        // load responses run in src events, remote-store acks are
+        // delivered to src by the sequencer.
+        DomainShard &s = shards_[txn.src];
+        s.completed += 1;
+        if (txn.in_pipeline) {
+            EventQueue &q = engine_->queue(txn.src);
+            occTickShard(s, q.now());
+            --s.inflight;
+            s.peak_log.push_back({q.now(), q.currentSchedWhen(), -1});
+        }
+    } else {
+        ++txn_completed_;
+        if (txn.in_pipeline) {
+            occTick();
+            --inflight_;
+        }
     }
     // Loads return their response credit at delivery; stores (which
     // never inject a response) return their request credit here.
@@ -712,7 +863,7 @@ MemPipeline::completeTxn(MemTxn &txn)
     // and may nest a new launch — the slot is not on the free list yet,
     // so neither can observe a recycled transaction.
     txn.done(txn, txn.t);
-    arena_.release(txn);
+    (dom ? shards_[txn.src].arena : arena_).release(txn);
 }
 
 void
@@ -727,22 +878,224 @@ MemPipeline::occTick()
 }
 
 void
+MemPipeline::occTickShard(DomainShard &s, Cycle now)
+{
+    // The global occupancy integral decomposes exactly into per-domain
+    // integrals: sum over domains of inflight_d * dt.
+    if (now > s.occ_last) {
+        s.occupancy_cycles += static_cast<double>(s.inflight) *
+                              static_cast<double>(now - s.occ_last);
+        s.occ_last = now;
+    }
+}
+
+void
 MemPipeline::noteStage(TxnPhase ph, Cycle before, MemTxn &txn)
 {
     const Cycle dt = txn.t - before;
-    switch (ph) {
-      case TxnPhase::L15: stage_l15_cycles_ += dt; break;
-      case TxnPhase::FabReq: stage_fab_req_cycles_ += dt; break;
-      case TxnPhase::L2Lookup:
-      case TxnPhase::L2Fill: stage_l2_cycles_ += dt; break;
-      case TxnPhase::DramRead: stage_dram_cycles_ += dt; break;
-      case TxnPhase::FabResp: stage_fab_resp_cycles_ += dt; break;
-      case TxnPhase::Complete: break;
+    if (!shards_.empty()) {
+        // Source-side stages shard by txn.src, home-side by the home
+        // module — the domain whose event (or whose barrier message)
+        // performed the step, so every shard has a single writer.
+        DomainShard &s = (ph == TxnPhase::L15 || ph == TxnPhase::FabReq)
+                             ? shards_[txn.src]
+                             : shards_[txn.home_module];
+        switch (ph) {
+          case TxnPhase::L15: s.stage_cycles[0] += dt; break;
+          case TxnPhase::FabReq: s.stage_cycles[1] += dt; break;
+          case TxnPhase::L2Lookup:
+          case TxnPhase::L2Fill: s.stage_cycles[2] += dt; break;
+          case TxnPhase::DramRead: s.stage_cycles[3] += dt; break;
+          case TxnPhase::FabResp: s.stage_cycles[4] += dt; break;
+          case TxnPhase::Complete: break;
+        }
+    } else {
+        switch (ph) {
+          case TxnPhase::L15: stage_l15_cycles_ += dt; break;
+          case TxnPhase::FabReq: stage_fab_req_cycles_ += dt; break;
+          case TxnPhase::L2Lookup:
+          case TxnPhase::L2Fill: stage_l2_cycles_ += dt; break;
+          case TxnPhase::DramRead: stage_dram_cycles_ += dt; break;
+          case TxnPhase::FabResp: stage_fab_resp_cycles_ += dt; break;
+          case TxnPhase::Complete: break;
+        }
     }
     if (dt > 0)
         traceStage(ph, before, txn);
     if (flightOn()) [[unlikely]]
         flightPhase(ph, txn);
+}
+
+// ----------------------------------------------- Domain mode (docs/PDES.md)
+
+void
+MemPipeline::emitCross(MemTxn &txn)
+{
+    // The fabric hop is serviced by the barrier sequencer; park the
+    // transaction in the emitting domain's outbox stamped with this
+    // event's calendar position so the sequencer can replay the serial
+    // service order.
+    const bool resp = txn.phase == TxnPhase::FabResp;
+    const uint32_t d = resp ? txn.home_module : txn.src;
+    EventQueue &q = engine_->queue(d);
+    CrossMsg m;
+    m.kind = resp ? CrossMsg::Resp : CrossMsg::Req;
+    m.src_dom = d;
+    m.emit_t = q.now();
+    m.emit_sched = q.currentSchedWhen();
+    m.txn = &txn;
+    shards_[d].outbox.push_back(m);
+}
+
+void
+MemPipeline::emitStoreAck(MemTxn &txn, bool inline_ack)
+{
+    EventQueue &q = engine_->queue(txn.home_module);
+    CrossMsg m;
+    m.kind = CrossMsg::Ack;
+    m.inline_ack = inline_ack;
+    m.src_dom = txn.home_module;
+    m.emit_t = q.now();
+    m.emit_sched = q.currentSchedWhen();
+    m.when = txn.t;
+    // Serial either completes the store inside this event (zero-latency
+    // tail: inherit this event's schedule cycle) or schedules a
+    // Complete event from it (schedule cycle = now); mirror both so the
+    // delivered ack sorts where the serial completion ran.
+    m.sched = inline_ack ? q.currentSchedWhen() : q.now();
+    m.txn = &txn;
+    shards_[txn.home_module].outbox.push_back(m);
+}
+
+void
+MemPipeline::processMessages()
+{
+    // Merge the per-domain outboxes into (emit cycle, emitting event's
+    // schedule cycle, domain, sequence) order — each outbox is already
+    // internally ordered, so a stable sort keyed on the first three
+    // fields reproduces it.
+    seq_buf_.clear();
+    for (DomainShard &s : shards_) {
+        seq_buf_.insert(seq_buf_.end(), s.outbox.begin(), s.outbox.end());
+        s.outbox.clear();
+    }
+    if (!seq_buf_.empty()) {
+        std::stable_sort(seq_buf_.begin(), seq_buf_.end(),
+                         [](const CrossMsg &a, const CrossMsg &b) {
+                             if (a.emit_t != b.emit_t)
+                                 return a.emit_t < b.emit_t;
+                             if (a.emit_sched != b.emit_sched)
+                                 return a.emit_sched < b.emit_sched;
+                             return a.src_dom < b.src_dom;
+                         });
+        for (CrossMsg &m : seq_buf_) {
+            MemTxn &txn = *m.txn;
+            MemTxn *tp = &txn;
+            switch (m.kind) {
+              case CrossMsg::Req: {
+                const Cycle before = txn.t;
+                serviceOne(txn); // fabric request hop -> L2Lookup
+                noteStage(TxnPhase::FabReq, before, txn);
+                engine_->queue(txn.home_module)
+                    .scheduleDelivered(txn.t, m.emit_t,
+                                       [this, tp] { stagedAdvance(*tp); });
+                break;
+              }
+              case CrossMsg::Resp: {
+                const Cycle before = txn.t;
+                serviceOne(txn); // fabric response hop -> Complete
+                noteStage(TxnPhase::FabResp, before, txn);
+                engine_->queue(txn.src)
+                    .scheduleDelivered(txn.t, m.emit_t,
+                                       [this, tp] { stagedAdvance(*tp); });
+                break;
+              }
+              case CrossMsg::Ack: {
+                if (m.inline_ack)
+                    ++exec_inline_acks_;
+                // Relaxed completion: the acceptance cycle txn.t is the
+                // value handed to the SM, but the source domain may have
+                // run ahead of it within the window that just drained —
+                // deliver at its current time then. The SM side already
+                // tolerates late wake-ups (memDone wakes at
+                // max(done, now)), and the slip is bounded by one
+                // window, deterministic for every worker count
+                // (docs/PDES.md).
+                EventQueue &sq = engine_->queue(txn.src);
+                const Cycle at = std::max(m.when, sq.now());
+                sq.scheduleDelivered(at, m.sched,
+                                     [this, tp] { completeTxn(*tp); });
+                break;
+              }
+            }
+        }
+    }
+    mergePeakLog();
+}
+
+void
+MemPipeline::mergePeakLog()
+{
+    // K-way merge of the per-domain inflight transition logs (each
+    // sorted by construction: events execute in calendar order) into
+    // the running global count; the peak is evaluated on launches, the
+    // same edge the serial scalar updates on.
+    for (size_t d = 0; d < shards_.size(); ++d)
+        peak_pos_[d] = 0;
+    for (;;) {
+        size_t best = shards_.size();
+        for (size_t d = 0; d < shards_.size(); ++d) {
+            if (peak_pos_[d] >= shards_[d].peak_log.size())
+                continue;
+            const PeakEntry &e = shards_[d].peak_log[peak_pos_[d]];
+            if (best == shards_.size())
+                best = d;
+            else {
+                const PeakEntry &b = shards_[best].peak_log[peak_pos_[best]];
+                if (e.when < b.when ||
+                    (e.when == b.when && e.sched < b.sched))
+                    best = d;
+            }
+        }
+        if (best == shards_.size())
+            break;
+        const PeakEntry &e = shards_[best].peak_log[peak_pos_[best]++];
+        merged_inflight_ += e.delta;
+        if (e.delta > 0 &&
+            static_cast<double>(merged_inflight_) > merged_peak_)
+            merged_peak_ = static_cast<double>(merged_inflight_);
+    }
+    for (DomainShard &s : shards_)
+        s.peak_log.clear();
+}
+
+void
+MemPipeline::mergeShards()
+{
+    if (shards_.empty() || shards_merged_)
+        return;
+    shards_merged_ = true;
+    mergePeakLog();
+    txn_inflight_peak_.set(merged_peak_);
+    for (DomainShard &s : shards_) {
+        txn_launched_ += s.launched;
+        txn_completed_ += s.completed;
+        txn_l15_hits_ += s.l15_hits;
+        txn_mshr_stalls_ += s.mshr_stalls;
+        txn_mshr_stall_cycles_ += s.mshr_stall_cycles;
+        txn_occupancy_cycles_ += s.occupancy_cycles;
+        stage_l15_cycles_ += s.stage_cycles[0];
+        stage_fab_req_cycles_ += s.stage_cycles[1];
+        stage_l2_cycles_ += s.stage_cycles[2];
+        stage_dram_cycles_ += s.stage_cycles[3];
+        stage_fab_resp_cycles_ += s.stage_cycles[4];
+        if (rec_ != nullptr && s.lat[0]) {
+            rec_->localLoadLatency().merge(*s.lat[0]);
+            rec_->remoteLoadLatency().merge(*s.lat[1]);
+            rec_->localStoreLatency().merge(*s.lat[2]);
+            rec_->remoteStoreLatency().merge(*s.lat[3]);
+        }
+    }
 }
 
 bool

@@ -45,6 +45,7 @@
 
 namespace mcmgpu {
 
+class SimEngine;
 class WaitGraph;
 
 namespace obs { class Recorder; }
@@ -232,10 +233,57 @@ class MemPipeline
 
     /** Observability sink for load/store latencies and (when tracing)
      *  per-stage transaction spans. May be null. */
-    void setRecorder(obs::Recorder *rec) { rec_ = rec; }
+    void setRecorder(obs::Recorder *rec);
+
+    // --- Per-GPM simulation domains (parallel engine; docs/PDES.md) ------
+    /**
+     * Partition the pipeline across the engine's per-GPM domains: one
+     * shard (arena, txn ids, stats mirrors, latency histograms, message
+     * outbox) per module, events scheduled into the owning module's
+     * queue, and remote traffic carried as cross-domain messages the
+     * barrier sequencer delivers. Must be called before any launch;
+     * requires staged mode with VCs off.
+     */
+    void enableDomains(SimEngine &engine);
+
+    /** Undo enableDomains (no launches yet): the owner downgraded to
+     *  serial execution after a serial-only feature was attached. */
+    void disableDomains();
+
+    bool domainMode() const { return engine_ != nullptr; }
+
+    /**
+     * Barrier sequencer: drain every domain's outbox in (emit cycle,
+     * emitting event's schedule cycle, domain, sequence) order — the
+     * serial execution order up to schedule-cycle ties. Requests and
+     * responses take their fabric hop here (link bandwidth calendars
+     * are order-insensitive within a cycle) and are delivered to the
+     * target domain; store acks are delivered to the source. Runs
+     * single-threaded between windows.
+     */
+    void processMessages();
+
+    /** Delivery events the serial engine folds into the emitting event
+     *  (zero-latency store acks); subtract from the engine's executed
+     *  count to report serial-comparable event totals. */
+    uint64_t executedAdjust() const { return exec_inline_acks_; }
+
+    /** Fold the per-domain shards into the primary stats scalars and
+     *  the recorder's histograms, in domain order (exact: integer
+     *  counts and cycle sums). Idempotent; call once the run ends. */
+    void mergeShards();
 
     /** Transactions currently between launch and completion (staged). */
-    uint64_t inflight() const { return inflight_; }
+    uint64_t
+    inflight() const
+    {
+        if (shards_.empty())
+            return inflight_;
+        uint64_t n = 0;
+        for (const DomainShard &s : shards_)
+            n += s.inflight;
+        return n;
+    }
 
     /** Virtual channels in play (0 = credit flow control off). */
     uint32_t numVcs() const { return vcs_; }
@@ -285,6 +333,68 @@ class MemPipeline
         MemTxn *waitq_tail = nullptr;
     };
 
+    /** One cross-domain message: a transaction handed to the barrier
+     *  sequencer at a phase seam (request/response fabric hop, store
+     *  ack). Ordering fields mirror the emitting event's position so
+     *  the sequencer can replay the serial service order. */
+    struct CrossMsg
+    {
+        enum Kind : uint8_t { Req, Resp, Ack };
+
+        Kind kind;
+        /** Serial completes this store inline in the emitting event;
+         *  the delivery event is an accounting artifact. */
+        bool inline_ack = false;
+        uint32_t src_dom = 0;    //!< emitting domain (merge tiebreak)
+        Cycle emit_t = 0;        //!< emitting event's cycle
+        Cycle emit_sched = 0;    //!< emitting event's schedule cycle
+        Cycle when = 0;          //!< ack delivery cycle (txn.t)
+        Cycle sched = 0;         //!< ack delivery schedule cycle
+        MemTxn *txn = nullptr;
+    };
+
+    /** In-flight transaction count transition (+1 launch, -1 complete)
+     *  for the barrier-merged global peak. */
+    struct PeakEntry
+    {
+        Cycle when;
+        Cycle sched;
+        int8_t delta;
+    };
+
+    /**
+     * Per-domain state: everything one domain's events touch without
+     * synchronization. Source-side counters (launches, occupancy, MSHR
+     * stalls, latency histograms) shard by txn.src; home-side counters
+     * (L2/DRAM stage cycles) by txn.home_module; the outbox belongs to
+     * the domain whose events fill it.
+     */
+    struct DomainShard
+    {
+        TxnArena arena;
+        uint64_t next_id = 0;
+
+        uint64_t inflight = 0;
+        Cycle occ_last = 0;
+
+        // Mirrors of the mem stats scalars (merged in domain order;
+        // integer-valued, so double sums are exact).
+        double launched = 0;
+        double completed = 0;
+        double l15_hits = 0;
+        double mshr_stalls = 0;
+        double mshr_stall_cycles = 0;
+        double occupancy_cycles = 0;
+        double stage_cycles[5] = {};  // l15, fab_req, l2, dram, fab_resp
+
+        std::vector<PeakEntry> peak_log;
+        std::vector<CrossMsg> outbox;
+
+        /** Latency histogram shards: local/remote load, local/remote
+         *  store (recorder recipes; merged at end of run). */
+        std::unique_ptr<stats::Histogram> lat[4];
+    };
+
     /** Service the transaction's current phase; updates txn.phase. */
     void serviceOne(MemTxn &txn);
 
@@ -306,6 +416,23 @@ class MemPipeline
     void releaseMshr(MemTxn &txn);
 
     void completeTxn(MemTxn &txn);
+
+    // --- Domain-mode internals (docs/PDES.md) ----------------------------
+    /** The queue a transaction's next event belongs to: src domain for
+     *  L15/FabReq/Complete, home domain for the home-side phases. */
+    EventQueue &queueFor(const MemTxn &txn);
+    /** The queue whose event is executing a source-side step. */
+    EventQueue &srcQueue(const MemTxn &txn);
+    /** Hand a request/response fabric hop to the barrier sequencer. */
+    void emitCross(MemTxn &txn);
+    /** Hand a completed remote store's ack to the barrier sequencer. */
+    void emitStoreAck(MemTxn &txn, bool inline_ack);
+    /** Merge the per-domain inflight transition logs into the global
+     *  peak (runs at barriers, single-threaded). */
+    void mergePeakLog();
+    /** Clone the recorder's latency histogram recipes into the shards. */
+    void buildShardHistograms();
+    void occTickShard(DomainShard &s, Cycle now);
 
     // --- Credit flow control (staged with fabric_vcs > 0) ---------------
     /** Gate a remote FabReq/FabResp on its VC credit; true = parked. */
@@ -351,6 +478,16 @@ class MemPipeline
     uint64_t next_id_ = 0;
     uint64_t inflight_ = 0;
     Cycle occ_last_ = 0;
+
+    // --- Domain mode (parallel engine) -----------------------------------
+    SimEngine *engine_ = nullptr;
+    std::vector<DomainShard> shards_;
+    std::vector<CrossMsg> seq_buf_;       //!< sequencer merge scratch
+    std::vector<size_t> peak_pos_;        //!< peak-log merge cursors
+    int64_t merged_inflight_ = 0;
+    double merged_peak_ = 0;
+    uint64_t exec_inline_acks_ = 0;
+    bool shards_merged_ = false;
 
     /** Per-transaction-stage trace spans are capped so tracing a long
      *  run cannot balloon the trace file. */

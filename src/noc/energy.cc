@@ -14,21 +14,20 @@ const EnergyDomain kEnergyDomains[4] = {
 void
 EnergyModel::account(Domain d, uint64_t bytes)
 {
-    bytes_[static_cast<int>(d)] += bytes;
+    bytes_[static_cast<int>(d)].fetch_add(bytes, std::memory_order_relaxed);
 }
 
 uint64_t
 EnergyModel::bytesIn(Domain d) const
 {
-    return bytes_[static_cast<int>(d)];
+    return bytes_[static_cast<int>(d)].load(std::memory_order_relaxed);
 }
 
 double
 EnergyModel::joulesIn(Domain d) const
 {
     const double pj_per_bit = kEnergyDomains[static_cast<int>(d)].pj_per_bit;
-    return static_cast<double>(bytes_[static_cast<int>(d)]) * 8.0 *
-           pj_per_bit * 1e-12;
+    return static_cast<double>(bytesIn(d)) * 8.0 * pj_per_bit * 1e-12;
 }
 
 double

@@ -16,6 +16,7 @@
 #ifndef MCMGPU_NOC_ENERGY_HH
 #define MCMGPU_NOC_ENERGY_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -54,7 +55,10 @@ class EnergyModel
     void reset();
 
   private:
-    uint64_t bytes_[4] = {0, 0, 0, 0};
+    /** Relaxed atomics: stages on different simulation domains account
+     *  concurrently (docs/PDES.md); totals are only read at barriers or
+     *  after the run, where the engine's joins order the updates. */
+    std::atomic<uint64_t> bytes_[4] = {{0}, {0}, {0}, {0}};
 };
 
 } // namespace mcmgpu

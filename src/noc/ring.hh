@@ -114,6 +114,21 @@ class Fabric
     virtual std::vector<uint64_t> routeCandidatePicks() const { return {}; }
 
     /**
+     * Minimum cross-module route latency in cycles: min over src != dst
+     * of the candidate-0 route's summed hop cycles. This is the PDES
+     * engine's conservative lookahead. 0 = unknown (only the
+     * table-routed fabric computes it), which disables parallel runs.
+     */
+    virtual Cycle minRouteCycles() const { return 0; }
+
+    /**
+     * True when every (src, dst) pair routes over exactly one candidate,
+     * i.e. send() carries no tie-breaking toggle state and the message
+     * processing order at a PDES barrier cannot change route choice.
+     */
+    virtual bool routesSingleCandidate() const { return false; }
+
+    /**
      * Factory from a machine description; applies the config's
      * FaultPlan (bandwidth derating, transient-error processes) to
      * every constructed link.

@@ -16,7 +16,7 @@ Simulator::run(const GpuConfig &cfg, const workloads::Workload &workload,
     GpuSystem gpu(cfg);
     Runtime rt(gpu);
     if (wall_timeout_s > 0.0)
-        gpu.eventQueue().setWallDeadline(wall_timeout_s);
+        gpu.simEngine().setWallDeadline(wall_timeout_s);
 
     // Observability is opt-in and purely passive: with everything off
     // (the default) no recorder exists and the hot paths only test a
@@ -55,7 +55,7 @@ Simulator::run(const GpuConfig &cfg, const workloads::Workload &workload,
 
     r.workload = workload.abbr;
     r.config = cfg.name;
-    r.cycles = gpu.eventQueue().now();
+    r.cycles = gpu.simEngine().now();
     r.warp_instructions = gpu.totalWarpInstructions();
     r.kernels = rt.kernelsExecuted();
     r.inter_module_bytes = gpu.interModuleBytes();

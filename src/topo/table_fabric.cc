@@ -154,6 +154,40 @@ TableRoutedFabric::routeHops(ModuleId src, ModuleId dst) const
     return static_cast<uint32_t>(best);
 }
 
+Cycle
+TableRoutedFabric::minRouteCycles() const
+{
+    Cycle best = kCycleMax;
+    for (uint32_t src = 0; src < graph_.nodes; ++src) {
+        for (uint32_t dst = 0; dst < graph_.nodes; ++dst) {
+            if (src == dst)
+                continue;
+            const RouteSet &set = table_.at(src, dst);
+            for (const LinkSeq &seq : set.candidates) {
+                Cycle sum = 0;
+                for (uint32_t link : seq)
+                    sum += graph_.links[link].hop_cycles;
+                best = std::min(best, sum);
+            }
+        }
+    }
+    return best == kCycleMax ? 0 : best;
+}
+
+bool
+TableRoutedFabric::routesSingleCandidate() const
+{
+    for (uint32_t src = 0; src < graph_.nodes; ++src) {
+        for (uint32_t dst = 0; dst < graph_.nodes; ++dst) {
+            if (src == dst)
+                continue;
+            if (table_.at(src, dst).candidates.size() != 1)
+                return false;
+        }
+    }
+    return true;
+}
+
 void
 TableRoutedFabric::dumpOccupancy(std::ostream &os) const
 {

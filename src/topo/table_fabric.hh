@@ -66,6 +66,9 @@ class TableRoutedFabric : public Fabric
     /** Hop count of the shortest candidate route (for tests). */
     uint32_t routeHops(ModuleId src, ModuleId dst) const;
 
+    Cycle minRouteCycles() const override;
+    bool routesSingleCandidate() const override;
+
     /** The compiled graph / tables backing this fabric (for tests). */
     const TopoGraph &graph() const { return graph_; }
     const RouteTable &routes() const { return table_; }

@@ -371,5 +371,98 @@ TEST(EventQueue, ResetClearsWatchdogWatermark)
     EXPECT_EQ(fired, 1);
 }
 
+// --- PDES window interface (docs/PDES.md) ----------------------------------
+
+TEST(EventQueueWindow, RunWindowStopsAtExclusiveEnd)
+{
+    EventQueue eq;
+    std::vector<Cycle> ran;
+    for (Cycle t : {3u, 7u, 10u, 11u, 40u})
+        eq.schedule(t, [&ran, t] { ran.push_back(t); });
+    EXPECT_EQ(eq.runWindow(10), 2u); // 3 and 7; 10 is excluded
+    EXPECT_EQ(ran, (std::vector<Cycle>{3, 7}));
+    EXPECT_EQ(eq.runWindow(41), 3u);
+    EXPECT_EQ(ran, (std::vector<Cycle>{3, 7, 10, 11, 40}));
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueueWindow, DeliveredEventsSortByScheduleStamp)
+{
+    // A delivered event carries the schedule stamp of the event that
+    // emitted it; within one cycle it must run where a single global
+    // queue would have run it — before locally-scheduled events whose
+    // schedule stamp is later, even though those were inserted first.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(4, [&] {}); // advance now so sched stamps differ
+    eq.runWindow(5);
+    eq.schedule(9, [&] { order.push_back(1); });  // sched stamp 4
+    eq.scheduleDelivered(9, 2, [&] { order.push_back(0); });
+    eq.scheduleDelivered(9, 7, [&] { order.push_back(2); });
+    eq.runWindow(10);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueueWindow, BarrierDeliveryBelowDrainCursorStillExecutes)
+{
+    // After a window drains, the queue's internal drain cursor parks at
+    // its next pending event. A barrier delivery may target an earlier
+    // cycle (past the window end but before that event); it must not be
+    // stranded behind the cursor.
+    EventQueue eq;
+    std::vector<Cycle> ran;
+    eq.schedule(5, [&] { ran.push_back(5); });
+    eq.schedule(50, [&] { ran.push_back(50); });
+    EXPECT_EQ(eq.runWindow(10), 1u); // cursor now parked at cycle 50
+    Cycle w = 0, s = 0;
+    ASSERT_TRUE(eq.peekTimes(w, s));
+    EXPECT_EQ(w, 50u);
+    eq.scheduleDelivered(12, 8, [&] { ran.push_back(12); });
+    ASSERT_TRUE(eq.peekTimes(w, s));
+    EXPECT_EQ(w, 12u); // the delivery is visible, not stranded
+    EXPECT_EQ(s, 8u);
+    eq.runWindow(100);
+    EXPECT_EQ(ran, (std::vector<Cycle>{5, 12, 50}));
+}
+
+TEST(EventQueueWindow, PeekTimesDoesNotExecute)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(6, [&] { ++fired; });
+    Cycle w = 0, s = 0;
+    ASSERT_TRUE(eq.peekTimes(w, s));
+    EXPECT_EQ(w, 6u);
+    EXPECT_EQ(s, 0u);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.size(), 1u);
+    eq.runWindow(7);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(eq.peekTimes(w, s));
+}
+
+TEST(EventQueueWindow, WindowsComposeWithRun)
+{
+    // Alternating runWindow and run must execute the same population in
+    // the same order as a single run would.
+    auto populate = [](EventQueue &q, std::vector<Cycle> &ran) {
+        for (Cycle t : {2u, 9u, 9u, 17u, 300u, 4100u})
+            q.schedule(t, [&ran, t] { ran.push_back(t); });
+    };
+    EventQueue serial;
+    std::vector<Cycle> serial_ran;
+    populate(serial, serial_ran);
+    serial.run();
+
+    EventQueue windowed;
+    std::vector<Cycle> window_ran;
+    populate(windowed, window_ran);
+    windowed.runWindow(9);
+    windowed.runWindow(20);
+    EXPECT_EQ(windowed.run(), EventQueue::Outcome::Drained);
+    EXPECT_EQ(window_ran, serial_ran);
+    EXPECT_EQ(windowed.now(), serial.now());
+}
+
 } // namespace
 } // namespace mcmgpu

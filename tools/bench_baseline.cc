@@ -138,10 +138,12 @@ runPair(const GpuConfig &cfg, const workloads::Workload &wl, int repeats)
             std::chrono::duration<double, std::milli>(t1 - t0).count();
         // Keep the fastest repeat: scheduler noise only ever slows a
         // run down, so the minimum is the closest to the true cost.
+        // Engine-level figures so both serial and parallel (--sim-
+        // threads) runs report totals over every domain.
         if (i == 0 || ms < best_ms) {
             best_ms = ms;
-            r.cycles = gpu.eventQueue().now();
-            r.events = gpu.eventQueue().executed();
+            r.cycles = gpu.simEngine().now();
+            r.events = gpu.eventsExecuted();
         }
     }
     r.wall_ms = best_ms;
@@ -315,6 +317,12 @@ usage()
         "+staged\n"
         "                     config suffix, staged-vc pairs (2 virtual\n"
         "                     channels, credit flow control) +staged-vc\n"
+        "  --sim-threads N    N > 1 adds a PDES pair family per machine:\n"
+        "                     +staged-dist (staged model, distributed\n"
+        "                     CTA batches, serial engine) and\n"
+        "                     +staged-dist-smtN (same machine on N\n"
+        "                     worker threads), plus a speedup summary\n"
+        "                     over the matched family\n"
         "  --out FILE         write BENCH json (default "
         "BENCH_hotpath.json)\n"
         "  --baseline FILE    committed baseline to regress against\n"
@@ -341,6 +349,7 @@ main(int argc, char **argv)
     bool run_chain = true;
     bool run_staged = false;
     bool run_staged_vc = false;
+    uint32_t sim_threads = 1;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -370,7 +379,10 @@ main(int argc, char **argv)
                              "all)\n";
                 return 2;
             }
-        } else if (a == "--out")
+        } else if (a == "--sim-threads")
+            sim_threads = static_cast<uint32_t>(
+                std::max(1, std::atoi(next().c_str())));
+        else if (a == "--out")
             out_path = next();
         else if (a == "--baseline")
             baseline_path = next();
@@ -432,6 +444,27 @@ main(int argc, char **argv)
             sv.name += "+staged-vc";
             cfgs.push_back(sv);
         }
+        if (sim_threads > 1) {
+            // PDES family: the serial reference and the N-thread run of
+            // the same machine, differing only in the engine.
+            // DistributedBatch scheduling — a PDES eligibility
+            // requirement (docs/PDES.md) — applies to both, and the
+            // "+staged" substring keeps the family on the
+            // throughput-only gate: parallel cycles carry the
+            // documented bounded store-ack slip, so they are not
+            // expected to match committed serial figures bit for bit.
+            // Ineligible machines (e.g. single-module mono-*) fall back
+            // to the serial engine in the -smt config by design.
+            GpuConfig sd = cfg;
+            sd.withMemModel(MemModel::Staged, 0);
+            sd.withSched(CtaSchedPolicy::DistributedBatch);
+            sd.name += "+staged-dist";
+            cfgs.push_back(sd);
+            GpuConfig sp = sd;
+            sp.withSimThreads(sim_threads);
+            sp.name += "-smt" + std::to_string(sim_threads);
+            cfgs.push_back(sp);
+        }
     }
 
     std::vector<PairResult> pairs;
@@ -447,6 +480,47 @@ main(int argc, char **argv)
                           << " Mev/s)\n";
             pairs.push_back(std::move(r));
         }
+    }
+
+    if (sim_threads > 1) {
+        // In-run PDES summary: aggregate serial-engine vs N-thread
+        // wall time over the matched +staged-dist family, per machine
+        // and in total. (On a single-core host this reports the
+        // threading overhead rather than a speedup; the figure is the
+        // honest measurement either way.)
+        const std::string ser_sfx = "+staged-dist";
+        const std::string par_sfx =
+            ser_sfx + "-smt" + std::to_string(sim_threads);
+        double tot_ser = 0.0, tot_par = 0.0;
+        for (const auto &m : machines) {
+            double ser_ms = 0.0, par_ms = 0.0;
+            uint64_t par_events = 0;
+            for (const auto &p : pairs) {
+                if (p.config == m + ser_sfx)
+                    ser_ms += p.wall_ms;
+                else if (p.config == m + par_sfx) {
+                    par_ms += p.wall_ms;
+                    par_events += p.events;
+                }
+            }
+            if (ser_ms <= 0.0 || par_ms <= 0.0)
+                continue;
+            tot_ser += ser_ms;
+            tot_par += par_ms;
+            std::cout << "pdes " << m << ": serial "
+                      << json::number(ser_ms) << " ms, smt"
+                      << sim_threads << " " << json::number(par_ms)
+                      << " ms -> " << json::number(ser_ms / par_ms)
+                      << "x ("
+                      << json::number(static_cast<double>(par_events) /
+                                      (par_ms / 1000.0) / 1e6)
+                      << " Mev/s parallel)\n";
+        }
+        if (tot_ser > 0.0 && tot_par > 0.0)
+            std::cout << "pdes total: " << json::number(tot_ser)
+                      << " ms serial vs " << json::number(tot_par)
+                      << " ms smt" << sim_threads << " -> "
+                      << json::number(tot_ser / tot_par) << "x\n";
     }
 
     const std::string doc = emitJson(machines, suite.size(), pairs);
